@@ -1,0 +1,112 @@
+//! Criterion bench: ablations of the design choices DESIGN.md calls out.
+//!
+//! * **cache-interference submodel** — the paper's Eq. (13)/Appendix-B
+//!   machinery vs a model with the submodel disabled (interference masses
+//!   zeroed): measures its cost and, via the reported speedup delta,
+//!   whether the accuracy it buys is worth it per workload;
+//! * **Aitken acceleration** in the generic fixed-point solver on a
+//!   slowly-contracting map (the numeric substrate's feature);
+//! * **damping ladder** — plain vs pre-damped iteration at deep
+//!   saturation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use snoop_mva::{MvaModel, SolverOptions};
+use snoop_numeric::fixed_point::{FixedPoint, Options};
+use snoop_protocol::ModSet;
+use snoop_workload::derived::ModelInputs;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+use snoop_workload::timing::TimingModel;
+
+/// Inputs with the cache-interference masses zeroed (ablated submodel).
+fn without_interference(inputs: &ModelInputs) -> ModelInputs {
+    ModelInputs {
+        shared_miss_mass: 0.0,
+        sw_broadcast_mass: 0.0,
+        csupply_weighted_mass: 0.0,
+        dirty_supply_mass: 0.0,
+        ..*inputs
+    }
+}
+
+fn bench_interference_ablation(c: &mut Criterion) {
+    let params = WorkloadParams::stress(); // the workload where it matters
+    let full = ModelInputs::derive(&params, ModSet::new(), &TimingModel::default())
+        .expect("valid");
+    let ablated = without_interference(&full);
+
+    let mut group = c.benchmark_group("interference_submodel");
+    group.bench_function("full", |b| {
+        let model = MvaModel::new(full);
+        b.iter(|| model.solve(black_box(10), &SolverOptions::default()).expect("converges"));
+    });
+    group.bench_function("ablated", |b| {
+        let model = MvaModel::new(ablated);
+        b.iter(|| model.solve(black_box(10), &SolverOptions::default()).expect("converges"));
+    });
+    group.finish();
+
+    // Print the accuracy side of the ablation once (Criterion reports the
+    // cost side): the interference submodel's contribution to R.
+    let with = MvaModel::new(full).solve(10, &SolverOptions::default()).expect("converges");
+    let without =
+        MvaModel::new(ablated).solve(10, &SolverOptions::default()).expect("converges");
+    eprintln!(
+        "interference ablation (stress workload, N = 10): speedup {:.4} with vs {:.4} without \
+         ({:+.2}%)",
+        with.speedup,
+        without.speedup,
+        (without.speedup / with.speedup - 1.0) * 100.0
+    );
+}
+
+fn bench_aitken(c: &mut Criterion) {
+    // A slowly contracting linear map: rate 0.995.
+    let map = |x: &[f64], out: &mut [f64]| out[0] = 0.995 * x[0] + 0.005;
+    let mut group = c.benchmark_group("fixed_point_acceleration");
+    group.bench_function("plain", |b| {
+        let solver = FixedPoint::new(Options {
+            max_iterations: 100_000,
+            tolerance: 1e-10,
+            ..Options::default()
+        });
+        b.iter(|| solver.solve(black_box(vec![0.0]), map).expect("converges"));
+    });
+    group.bench_function("aitken", |b| {
+        let solver = FixedPoint::new(Options {
+            max_iterations: 100_000,
+            tolerance: 1e-10,
+            aitken: true,
+            ..Options::default()
+        });
+        b.iter(|| solver.solve(black_box(vec![0.0]), map).expect("converges"));
+    });
+    group.finish();
+}
+
+fn bench_damping(c: &mut Criterion) {
+    let model = MvaModel::for_protocol(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+    )
+    .expect("valid");
+    let mut group = c.benchmark_group("damping_at_saturation");
+    group.sample_size(20);
+    for (label, damping) in [("plain", 1.0), ("damped_0.5", 0.5)] {
+        let options = SolverOptions { damping, ..SolverOptions::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| model.solve(black_box(2_000), &options).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_interference_ablation, bench_aitken, bench_damping
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: fixed-point convergence cost across tolerances and
+//! operating points.
+//!
+//! The paper reports convergence "within 15 iterations" at engineering
+//! tolerance; this bench measures how the solve cost scales as the
+//! tolerance tightens and as the system moves from light load into deep
+//! bus saturation (where plain successive substitution slows and the
+//! solver's damping ladder engages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use snoop_mva::{MvaModel, SolverOptions};
+use snoop_protocol::ModSet;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+fn bench_tolerance(c: &mut Criterion) {
+    let model = MvaModel::for_protocol(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+    )
+    .expect("valid");
+
+    let mut group = c.benchmark_group("solve_by_tolerance");
+    for (label, tolerance) in [("1e-3", 1e-3), ("1e-6", 1e-6), ("1e-12", 1e-12)] {
+        let options = SolverOptions { tolerance, ..SolverOptions::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| model.solve(black_box(10), &options).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_operating_point(c: &mut Criterion) {
+    let model = MvaModel::for_protocol(
+        &WorkloadParams::appendix_a(SharingLevel::Twenty),
+        ModSet::new(),
+    )
+    .expect("valid");
+
+    let mut group = c.benchmark_group("solve_by_load");
+    for n in [2usize, 10, 50, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| model.solve(black_box(n), &SolverOptions::default()).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_tolerance, bench_operating_point
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: the cost of the detailed comparator models.
+//!
+//! Together with `mva_solver`, this bench reproduces the paper's Section
+//! 3.2 cost comparison: the GTPN's reachability/steady-state pipeline
+//! grows combinatorially with the processor count, and simulation "is
+//! equivalently expensive" for comparable precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use snoop_gtpn::models::coherence::CoherenceNet;
+use snoop_gtpn::reachability::ReachabilityOptions;
+use snoop_mva::MvaModel;
+use snoop_protocol::ModSet;
+use snoop_sim::{simulate, SimConfig};
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+fn bench_gtpn_vs_n(c: &mut Criterion) {
+    let model = MvaModel::for_protocol(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+    )
+    .expect("valid");
+
+    let mut group = c.benchmark_group("gtpn_solve_vs_n");
+    group.sample_size(10);
+    for n in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let net = CoherenceNet::build(model.inputs(), black_box(n)).expect("builds");
+                net.solve(&ReachabilityOptions::default()).expect("solves")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_simulate");
+    group.sample_size(10);
+    for n in [2usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut config = SimConfig::for_protocol(
+                n,
+                WorkloadParams::appendix_a(SharingLevel::Five),
+                ModSet::new(),
+            );
+            config.warmup_references = 500;
+            config.measured_references = 5_000;
+            b.iter(|| simulate(black_box(&config)).expect("valid config"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_gtpn_vs_n, bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: MVA solution cost vs system size.
+//!
+//! The paper's headline efficiency claim (Section 3.2) is that the MVA
+//! solve is effectively constant in `N` — "under one second of cpu time,
+//! independent of the size of the system analyzed". This bench quantifies
+//! both the absolute cost and its (weak) growth with `N`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use snoop_mva::{MvaModel, SolverOptions};
+use snoop_protocol::ModSet;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+fn bench_solver_vs_n(c: &mut Criterion) {
+    let model = MvaModel::for_protocol(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+    )
+    .expect("valid");
+    let options = SolverOptions::default();
+
+    let mut group = c.benchmark_group("mva_solve_vs_n");
+    for n in [1usize, 10, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| model.solve(black_box(n), &options).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_per_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mva_solve_per_protocol");
+    for mods_str in ["WO", "WO+1", "WO+2", "WO+3", "WO+1+4", "WO+1+2+3+4"] {
+        let mods: ModSet = mods_str.parse().expect("valid");
+        let model = MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(SharingLevel::Twenty),
+            mods,
+        )
+        .expect("valid");
+        group.bench_function(mods_str, |b| {
+            b.iter(|| model.solve(black_box(10), &SolverOptions::default()).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_input_derivation(c: &mut Criterion) {
+    let params = WorkloadParams::appendix_a(SharingLevel::Five);
+    c.bench_function("derive_model_inputs", |b| {
+        b.iter(|| {
+            snoop_workload::derived::ModelInputs::derive_adjusted(
+                black_box(&params),
+                ModSet::all(),
+                &snoop_workload::timing::TimingModel::default(),
+            )
+            .expect("valid")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_solver_vs_n, bench_solver_per_protocol, bench_input_derivation
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Reproduces **Figure 4.1**: speedup-vs-N curves for the three plotted
+//! protocols (Write-Once; +modification 1; +modifications 1 & 4) at the
+//! three sharing levels, plus an ASCII rendering of the figure.
+//!
+//! ```text
+//! cargo run -p snoop-bench --release --bin figure_4_1 [--csv]
+//! ```
+
+use snoop_mva::report::{speedup_csv, speedup_table};
+use snoop_mva::sweep::figure_4_1_family;
+use snoop_mva::SolverOptions;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let sizes: Vec<usize> = (1..=20).chain([25, 30, 40, 50, 75, 100]).collect();
+    let family =
+        figure_4_1_family(&sizes, &SolverOptions::default()).expect("appendix-A solves");
+
+    if csv {
+        print!("{}", speedup_csv(&family));
+        return;
+    }
+
+    print!(
+        "{}",
+        speedup_table("Figure 4.1: The Mean Value Analysis Performance Results", &family)
+    );
+    println!();
+
+    // ASCII plot: speedup (y, 0..8) against N (x).
+    let height = 16usize;
+    let max_speedup = 8.0;
+    let plotted: Vec<(&str, char)> = vec![("WO", 'o'), ("WO+1", '+'), ("WO+1+4", '*')];
+    println!("ASCII rendering (5% sharing): o = WO, + = WO+1, * = WO+1+4");
+    let mut grid = vec![vec![' '; sizes.len()]; height + 1];
+    for (label, mark) in &plotted {
+        let series = family
+            .iter()
+            .find(|s| {
+                s.mods.to_string() == *label && s.sharing == snoop_workload::params::SharingLevel::Five
+            })
+            .expect("series exists");
+        for (x, p) in series.points.iter().enumerate() {
+            let y = ((p.speedup / max_speedup) * height as f64).round() as usize;
+            let y = y.min(height);
+            grid[height - y][x] = *mark;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = (height - i) as f64 / height as f64 * max_speedup;
+        println!("{y_label:>5.1} |{}", row.iter().collect::<String>());
+    }
+    println!("      +{}", "-".repeat(sizes.len()));
+    println!("       N = {:?}", &sizes[..8]);
+    println!("       (columns continue to N = 100)");
+}

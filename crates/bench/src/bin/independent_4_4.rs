@@ -1,0 +1,134 @@
+//! Reproduces the **Section 4.4** comparisons with independent studies:
+//!
+//! * `power`   — processing power of the protocol with modifications 1+2+3
+//!   at N = 9, 5% sharing (paper: MVA 4.32, GTPN 4.1, agreeing with
+//!   Papamarcos & Patel's model for block size 4);
+//! * `busutil` — relative bus utilization of Write-Once vs modifications
+//!   2+3 at ~99% sharing, unsaturated load (paper: ≈ +10% for Write-Once,
+//!   matching Katz et al.'s trace-driven results);
+//! * `amod`    — with `amod_p = 0.95` (the Archibald & Baer setting),
+//!   modification 2 performs roughly equal to modification 1 at 1% sharing.
+//!
+//! ```text
+//! cargo run -p snoop-bench --release --bin independent_4_4 [power|busutil|amod|all]
+//! ```
+
+use snoop_mva::paper::{PROCESSING_POWER_GTPN, PROCESSING_POWER_MVA};
+use snoop_mva::{MvaModel, SolverOptions};
+use snoop_protocol::ModSet;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "power" || which == "all" {
+        power();
+        println!();
+    }
+    if which == "busutil" || which == "all" {
+        busutil();
+        println!();
+    }
+    if which == "amod" || which == "all" {
+        amod();
+    }
+}
+
+fn power() {
+    println!("4.4-1: processing power, mods 1+2+3, N = 9, 5% sharing");
+    let model = MvaModel::for_protocol(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::from_numbers(&[1, 2, 3]).expect("valid"),
+    )
+    .expect("valid");
+    let s = model.solve(9, &SolverOptions::default()).expect("converges");
+    println!("paper MVA:  {PROCESSING_POWER_MVA:.2}");
+    println!("paper GTPN: {PROCESSING_POWER_GTPN:.2}");
+    println!("this MVA:   {:.2}", s.processing_power);
+    println!(
+        "check: processing power = speedup × τ/(τ+T_supply) = {:.2} × {:.4} = {:.2}",
+        s.speedup,
+        2.5 / 3.5,
+        s.speedup * 2.5 / 3.5
+    );
+}
+
+fn busutil() {
+    println!("4.4-2: bus utilization, Write-Once vs mods 2+3, ~99% sharing, unsaturated");
+    // The comparison's two ingredients (both from the paper's text): the
+    // probability that a block is already modified on a write hit is much
+    // lower under Write-Once than under modifications 2+3 (Write-Once keeps
+    // writing blocks through), and — per the modification-3 discussion and
+    // the Katz et al. implementation — a `write-word` occupies the bus for
+    // two cycles where an `invalidate` takes one.
+    use snoop_workload::timing::TimingModel;
+    let base = WorkloadParams::high_sharing();
+    let wo_params = WorkloadParams { amod_sw: 0.1, ..base };
+    let m23_params = WorkloadParams { amod_sw: 0.7, ..base };
+    let wo_timing = TimingModel { t_write: 2.0, ..TimingModel::default() };
+    let m23_timing = TimingModel::default();
+
+    // The exact workload behind the paper's "+10%" is not published; the
+    // share of broadcast traffic (and hence the gap) scales with the
+    // shared hit rate, so report the band. The paper's figure falls inside
+    // it at trace-like hit rates.
+    println!("{:>6} {:>10} {:>12} {:>10}", "h_sw", "U_bus WO", "U_bus m2+3", "WO vs m2+3");
+    for h_sw in [0.5, 0.6, 0.7] {
+        let wo_params = WorkloadParams { h_sw, ..wo_params };
+        let m23_params = WorkloadParams { h_sw, ..m23_params };
+        let wo = MvaModel::with_timing(&wo_params, ModSet::new(), &wo_timing)
+            .expect("valid")
+            .solve(2, &SolverOptions::default())
+            .expect("converges");
+        let m23 = MvaModel::with_timing(
+            &m23_params,
+            ModSet::from_numbers(&[2, 3]).expect("valid"),
+            &m23_timing,
+        )
+        .expect("valid")
+        .solve(2, &SolverOptions::default())
+        .expect("converges");
+        let increase = (wo.bus_utilization / m23.bus_utilization - 1.0) * 100.0;
+        println!(
+            "{h_sw:>6.2} {:>10.3} {:>12.3} {increase:>+9.1}%",
+            wo.bus_utilization, m23.bus_utilization
+        );
+    }
+    println!("(paper: \"the MVA models predict a 10% increase in bus utilization\",");
+    println!(" agreeing with the trace-driven results of Katz et al. [KEWP85])");
+}
+
+fn amod() {
+    println!("4.4-3: amod_p = 0.95 makes modification 2 ≈ modification 1 (1% sharing)");
+    let base = WorkloadParams::appendix_a(SharingLevel::One);
+    let high_amod = WorkloadParams { amod_private: 0.95, ..base };
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "N", "WO", "mod 1", "mod 2"
+    );
+    for n in [4usize, 8, 10] {
+        let solve = |params: &WorkloadParams, mods: &[u8]| {
+            MvaModel::for_protocol(params, ModSet::from_numbers(mods).expect("valid"))
+                .expect("valid")
+                .solve(n, &SolverOptions::default())
+                .expect("converges")
+                .speedup
+        };
+        // Default amod_p = 0.7: mod 1 clearly ahead of mod 2.
+        let default = (solve(&base, &[]), solve(&base, &[1]), solve(&base, &[2]));
+        // Archibald & Baer amod_p = 0.95: the gap closes.
+        let high = (solve(&high_amod, &[]), solve(&high_amod, &[1]), solve(&high_amod, &[2]));
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3}   (amod_p = 0.70)",
+            n, default.0, default.1, default.2
+        );
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3}   (amod_p = 0.95)",
+            "", high.0, high.1, high.2
+        );
+        let gap_default = (default.1 - default.2) / default.2 * 100.0;
+        let gap_high = (high.1 - high.2) / high.2 * 100.0;
+        println!("{:<10} mod1-over-mod2 gap: {gap_default:+.1}% → {gap_high:+.1}%", "");
+    }
+    println!("(paper: with amod_p = 0.95 \"the performance of modification 2 [is] roughly");
+    println!(" equal to the performance of modification 1 for the 1% sharing case\")");
+}

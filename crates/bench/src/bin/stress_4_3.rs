@@ -1,0 +1,62 @@
+//! Reproduces the **Section 4.3 stress tests**: workload settings chosen
+//! to maximize cache interference ("rep_p, rep_sw, and amod_sw to 0.0,
+//! csupply_sro and csupply_sw to 1.0, p_sw to 0.2, and hit_sw to 0.1"),
+//! where the paper found the MVA still within 5% of the detailed model.
+//! The discrete-event simulator plays the detailed-model role.
+//!
+//! ```text
+//! cargo run -p snoop-bench --release --bin stress_4_3
+//! ```
+
+use snoop_bench::rel_err;
+use snoop_mva::{MvaModel, SolverOptions};
+use snoop_protocol::ModSet;
+use snoop_sim::{simulate, SimConfig};
+use snoop_workload::params::WorkloadParams;
+
+fn main() {
+    println!("Section 4.3 stress test: MVA vs discrete-event simulation");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "N", "MVA", "DES", "err%", "MVA U_bus", "DES U_bus"
+    );
+    let params = WorkloadParams::stress();
+    let model = MvaModel::for_protocol(&params, ModSet::new()).expect("valid");
+    let mut worst: f64 = 0.0;
+    for n in [1usize, 2, 4, 6, 8, 10, 15, 20] {
+        let mva = model.solve(n, &SolverOptions::default()).expect("converges");
+        let sim = simulate(&SimConfig::for_protocol(n, params, ModSet::new()))
+            .expect("valid config");
+        let err = rel_err(mva.speedup, sim.speedup);
+        worst = worst.max(err.abs());
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>+8.2} {:>10.3} {:>10.3}",
+            n, mva.speedup, sim.speedup, err, mva.bus_utilization, sim.bus_utilization
+        );
+    }
+    println!("worst |error|: {worst:.2}%   (paper: within 5%)");
+
+    // A second stress variant the paper gestures at: maximal broadcast
+    // pressure (every reference a first write to a shared block).
+    println!();
+    println!("extra stress variant: write-heavy shared workload");
+    let heavy = WorkloadParams::builder()
+        .streams(0.5, 0.0, 0.5)
+        .r_sw(0.1)
+        .h_sw(0.6)
+        .amod_sw(0.0)
+        .csupply_sw(1.0)
+        .build()
+        .expect("valid");
+    let model = MvaModel::for_protocol(&heavy, ModSet::new()).expect("valid");
+    let mut worst: f64 = 0.0;
+    for n in [2usize, 6, 10] {
+        let mva = model.solve(n, &SolverOptions::default()).expect("converges");
+        let sim =
+            simulate(&SimConfig::for_protocol(n, heavy, ModSet::new())).expect("valid config");
+        let err = rel_err(mva.speedup, sim.speedup);
+        worst = worst.max(err.abs());
+        println!("N = {n:<3} MVA {:.3}  DES {:.3}  err {err:+.2}%", mva.speedup, sim.speedup);
+    }
+    println!("worst |error|: {worst:.2}%");
+}

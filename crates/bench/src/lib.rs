@@ -1,0 +1,63 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index); the benches
+//! under `benches/` measure the efficiency claims of Section 3.2.
+
+use snoop_mva::{MvaModel, MvaSolution, SolverOptions};
+use snoop_protocol::ModSet;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+/// Solves the MVA model for an Appendix-A workload.
+///
+/// # Panics
+///
+/// Panics on model construction/solution failure (experiment binaries want
+/// loud failures).
+pub fn solve_mva(sharing: SharingLevel, mods: ModSet, n: usize) -> MvaSolution {
+    MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), mods)
+        .expect("appendix-A parameters are valid")
+        .solve(n, &SolverOptions::default())
+        .expect("appendix-A models converge")
+}
+
+/// Formats a signed relative error in percent.
+pub fn rel_err(model: f64, reference: f64) -> f64 {
+    (model - reference) / reference * 100.0
+}
+
+/// Returns the largest absolute relative error (percent) across
+/// `(model, reference)` pairs.
+pub fn worst_abs_err<'a, I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = &'a (f64, f64)>,
+{
+    pairs
+        .into_iter()
+        .map(|&(model, reference)| rel_err(model, reference).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_mva_matches_published_ballpark() {
+        let s = solve_mva(SharingLevel::Five, ModSet::new(), 10);
+        assert!((s.speedup - 5.30).abs() < 0.1);
+    }
+
+    #[test]
+    fn rel_err_signs() {
+        assert!(rel_err(1.1, 1.0) > 0.0);
+        assert!(rel_err(0.9, 1.0) < 0.0);
+        assert!((rel_err(1.05, 1.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_err_picks_max() {
+        let pairs = [(1.0, 1.0), (1.1, 1.0), (0.8, 1.0)];
+        assert!((worst_abs_err(&pairs) - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and flags.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` and bare `--switch` flags (the latter map to "true").
+    flags: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an empty command line or a flag before the
+    /// subcommand.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = argv.iter().peekable();
+        match iter.next() {
+            Some(cmd) if !cmd.starts_with("--") => parsed.command = cmd.clone(),
+            Some(flag) => return Err(format!("expected a subcommand, got flag {flag}")),
+            None => return Err("no subcommand given".to_string()),
+        }
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        iter.next().expect("peeked").clone()
+                    }
+                    _ => "true".to_string(),
+                };
+                parsed.flags.insert(key.to_string(), value);
+            } else {
+                parsed.positional.push(token.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// String flag with default.
+    pub fn flag_str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.flags.get(key).map(String::as_str) == Some("true")
+    }
+
+    /// Parsed numeric flag with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn flag_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value {v:?} for --{key}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = parse(&["solve", "--n", "10", "extra", "--csv"]);
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.positional, vec!["extra"]);
+        assert_eq!(a.flag_num("n", 1usize).unwrap(), 10);
+        assert!(a.switch("csv"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["solve"]);
+        assert_eq!(a.flag_str("protocol", "WO"), "WO");
+        assert_eq!(a.flag_num("n", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(ParsedArgs::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_leading_flag() {
+        assert!(ParsedArgs::parse(&["--n".to_string()]).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_reported() {
+        let a = parse(&["solve", "--n", "ten"]);
+        let err = a.flag_num("n", 1usize).unwrap_err();
+        assert!(err.contains("--n"));
+    }
+}

@@ -1,0 +1,782 @@
+//! Subcommand implementations. Every command returns its output as a
+//! `String` so the dispatcher (and the tests) stay side-effect free.
+
+use std::fmt::Write as _;
+
+use snoop_gtpn::models::coherence::CoherenceNet;
+use snoop_gtpn::reachability::ReachabilityOptions;
+use snoop_mva::asymptote::asymptotic;
+use snoop_mva::paper::{table_4_1, TABLE_N};
+use snoop_mva::report::{comparison_table, speedup_csv, speedup_table};
+use snoop_mva::sweep::{figure_4_1_family, speedup_series};
+use snoop_mva::{MvaModel, SolverOptions};
+use snoop_protocol::{ModSet, Protocol};
+use snoop_sim::runner::replicate;
+use snoop_sim::trace_mode::{simulate_trace, TraceSimConfig};
+use snoop_sim::{simulate, SimConfig};
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+use crate::args::ParsedArgs;
+
+const HELP: &str = "\
+snoop — MVA performance models of snooping cache-consistency protocols
+       (Vernon, Lazowska & Zahorjan, ISCA 1988)
+
+usage: snoop <command> [flags]
+
+commands:
+  solve      solve the MVA model            --protocol WO+1 --sharing 5 --n 10
+  sweep      speedup curve over N           --protocol dragon --sharing 20 --max-n 100
+  table      reproduce Table 4.1            positional: a | b | c | util
+  figure     reproduce Figure 4.1           --csv for machine-readable output
+  validate   MVA vs discrete-event sim      --n 8 --protocol WO --sharing 5
+  gtpn       MVA vs GTPN (small N)          --n 2 --protocol WO --sharing 5
+  stress     Section 4.3 stress test        --n 10
+  trace      trace-driven cache simulation  --n 4 --protocol berkeley [--adaptive]
+  protocol   print transition tables        --protocol illinois
+  dot        Graphviz state diagram         --protocol dragon
+  asymptote  N → infinity speedups
+  sensitivity  speedup elasticities         --protocol WO --sharing 5 --n 10
+  convergence  iterate trajectory (Sec 3.2) --protocol WO --sharing 5 --n 10
+  calibrate  grid-search timing constants against the published tables
+  multiclass heterogeneous-workload model   --light 4 --heavy 4
+  hierarchy  clustered-bus model            --clusters 4 --per-cluster 8
+  measure    measure workload params from a trace simulation  --n 4
+  traffic    bus-traffic decomposition      --protocol WO --sharing 5
+  waits      bus-wait distribution (DES)    --n 8 --sharing 5
+  help       this text
+
+protocols: WO, WO+1, WO+1+4, … or write-once, illinois, berkeley, dragon,
+rwb, synapse, write-through.  sharing: 1 | 5 | 20 (percent).
+workload overrides: --params-file FILE (name = value lines, paper names).
+";
+
+/// Dispatches a command line; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown commands or bad flags.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    if argv.is_empty() {
+        return Ok(HELP.to_string());
+    }
+    let args = ParsedArgs::parse(argv)?;
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        "solve" => cmd_solve(&args),
+        "sweep" => cmd_sweep(&args),
+        "table" => cmd_table(&args),
+        "figure" => cmd_figure(&args),
+        "validate" => cmd_validate(&args),
+        "gtpn" => cmd_gtpn(&args),
+        "stress" => cmd_stress(&args),
+        "trace" => cmd_trace(&args),
+        "protocol" => cmd_protocol(&args),
+        "dot" => cmd_dot(&args),
+        "asymptote" => cmd_asymptote(&args),
+        "sensitivity" => cmd_sensitivity(&args),
+        "convergence" => cmd_convergence(&args),
+        "calibrate" => cmd_calibrate(&args),
+        "multiclass" => cmd_multiclass(&args),
+        "hierarchy" => cmd_hierarchy(&args),
+        "measure" => cmd_measure(&args),
+        "traffic" => cmd_traffic(&args),
+        "waits" => cmd_waits(&args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Resolves the workload: `--params-file` wins, else the Appendix-A preset
+/// for `--sharing`.
+fn workload_flag(args: &ParsedArgs) -> Result<WorkloadParams, String> {
+    match args.flag_str("params-file", "").as_str() {
+        "" => Ok(WorkloadParams::appendix_a(sharing_flag(args)?)),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            snoop_workload::file::from_str(&text).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn sharing_flag(args: &ParsedArgs) -> Result<SharingLevel, String> {
+    match args.flag_str("sharing", "5").as_str() {
+        "1" | "1%" => Ok(SharingLevel::One),
+        "5" | "5%" => Ok(SharingLevel::Five),
+        "20" | "20%" => Ok(SharingLevel::Twenty),
+        other => Err(format!("unknown sharing level {other:?}, expected 1, 5 or 20")),
+    }
+}
+
+fn protocol_flag(args: &ParsedArgs) -> Result<ModSet, String> {
+    args.flag_str("protocol", "WO").parse::<ModSet>().map_err(|e| e.to_string())
+}
+
+fn cmd_solve(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let n: usize = args.flag_num("n", 10)?;
+    let params = workload_flag(args)?;
+    let model = MvaModel::for_protocol(&params, mods).map_err(|e| e.to_string())?;
+    let solution = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    Ok(format!("{mods}\n{solution}\n"))
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let sharing = sharing_flag(args)?;
+    let max_n: usize = args.flag_num("max-n", 20)?;
+    let sizes: Vec<usize> = (1..=max_n).collect();
+    let refined = args.switch("refined");
+    let series = if refined {
+        // Size-dependent sharing ([GrMi87] refinement), anchored at N = 10.
+        snoop_mva::sweep::refined_speedup_series(
+            mods,
+            sharing,
+            &sizes,
+            &SolverOptions::default(),
+            10,
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        speedup_series(mods, sharing, &sizes, &SolverOptions::default())
+            .map_err(|e| e.to_string())?
+    };
+    let mut out = format!(
+        "speedup sweep: {mods} at {sharing} sharing{}\n",
+        if refined { " (size-dependent sharing)" } else { "" }
+    );
+    let _ = writeln!(out, "{:>5} {:>9} {:>8} {:>8}", "N", "speedup", "U_bus", "w_bus");
+    for p in &series.points {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>9.3} {:>8.3} {:>8.3}",
+            p.n, p.speedup, p.bus_utilization, p.w_bus
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_table(args: &ParsedArgs) -> Result<String, String> {
+    let which = args.positional.first().map(String::as_str).unwrap_or("a");
+    if which == "util" {
+        // Section 4.2's side-by-side: bus utilization at N = 6, 5% sharing
+        // ("the GTPN and MVA estimates of bus utilization are approximately
+        // 81% and 77%").
+        let model = MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::new(),
+        )
+        .map_err(|e| e.to_string())?;
+        let s = model.solve(6, &SolverOptions::default()).map_err(|e| e.to_string())?;
+        return Ok(comparison_table(
+            "Section 4.2: bus utilization, Write-Once, N = 6, 5% sharing",
+            &[("U_bus (paper MVA 0.77)".into(), 0.77, s.bus_utilization)],
+        ));
+    }
+    let panel = which.chars().next().filter(|c| "abc".contains(*c)).ok_or_else(|| {
+        format!("unknown table {which:?}, expected a, b, c or util")
+    })?;
+
+    let mut rows = Vec::new();
+    for published in table_4_1().into_iter().filter(|r| r.panel == panel) {
+        let model = MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(published.sharing),
+            published.mods(),
+        )
+        .map_err(|e| e.to_string())?;
+        for (i, &n) in TABLE_N.iter().enumerate() {
+            let s = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
+            rows.push((
+                format!("{} N={n}", published.sharing),
+                published.mva[i],
+                s.speedup,
+            ));
+        }
+    }
+    Ok(comparison_table(
+        &format!("Table 4.1({panel}): published MVA speedups vs this implementation"),
+        &rows,
+    ))
+}
+
+fn cmd_figure(args: &ParsedArgs) -> Result<String, String> {
+    let sizes: Vec<usize> = (1..=20).chain([30, 50, 100]).collect();
+    let family =
+        figure_4_1_family(&sizes, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    if args.switch("csv") {
+        Ok(speedup_csv(&family))
+    } else if args.switch("gnuplot") {
+        Ok(snoop_mva::report::gnuplot_script(
+            "Figure 4.1: The Mean Value Analysis Performance Results",
+            &family,
+        ))
+    } else {
+        Ok(speedup_table(
+            "Figure 4.1: speedups of Write-Once, +mod1, +mods1&4 (MVA)",
+            &family,
+        ))
+    }
+}
+
+fn cmd_validate(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let sharing = sharing_flag(args)?;
+    let n: usize = args.flag_num("n", 8)?;
+    let replications: usize = args.flag_num("replications", 3)?;
+
+    let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), mods)
+        .map_err(|e| e.to_string())?;
+    let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    let config = SimConfig::for_protocol(n, WorkloadParams::appendix_a(sharing), mods);
+    let sim = replicate(&config, replications, 0.95).map_err(|e| e.to_string())?;
+
+    let mut out = format!("{mods} at {sharing} sharing, N = {n}\n");
+    let _ = writeln!(
+        out,
+        "MVA:        speedup {:.3}  U_bus {:.3}  w_bus {:.3}",
+        mva.speedup, mva.bus_utilization, mva.w_bus
+    );
+    let _ = writeln!(
+        out,
+        "simulation: speedup {:.3} ± {:.3}  U_bus {:.3}  w_bus {:.3}  ({} replications)",
+        sim.speedup.mean,
+        sim.speedup.half_width,
+        sim.bus_utilization.mean,
+        sim.w_bus.mean,
+        replications
+    );
+    let err = (mva.speedup - sim.speedup.mean) / sim.speedup.mean * 100.0;
+    let _ = writeln!(out, "relative speedup error: {err:+.2}%");
+    Ok(out)
+}
+
+fn cmd_gtpn(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let sharing = sharing_flag(args)?;
+    let n: usize = args.flag_num("n", 2)?;
+    let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), mods)
+        .map_err(|e| e.to_string())?;
+    let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    let net = CoherenceNet::build(model.inputs(), n).map_err(|e| e.to_string())?;
+    let gtpn = net.solve(&ReachabilityOptions::default()).map_err(|e| e.to_string())?;
+
+    let mut out = format!("{mods} at {sharing} sharing, N = {n}\n");
+    let _ = writeln!(
+        out,
+        "MVA:  speedup {:.3}  U_bus {:.3}",
+        mva.speedup, mva.bus_utilization
+    );
+    let _ = writeln!(
+        out,
+        "GTPN: speedup {:.3}  U_bus {:.3}  ({} states)",
+        gtpn.speedup, gtpn.bus_utilization, gtpn.states
+    );
+    let err = (mva.speedup - gtpn.speedup) / gtpn.speedup * 100.0;
+    let _ = writeln!(out, "relative speedup error: {err:+.2}%");
+    Ok(out)
+}
+
+fn cmd_stress(args: &ParsedArgs) -> Result<String, String> {
+    let n: usize = args.flag_num("n", 10)?;
+    let params = WorkloadParams::stress();
+    let model =
+        MvaModel::for_protocol(&params, ModSet::new()).map_err(|e| e.to_string())?;
+    let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    let sim = simulate(&SimConfig::for_protocol(n, params, ModSet::new()))
+        .map_err(|e| e.to_string())?;
+    let err = (mva.speedup - sim.speedup) / sim.speedup * 100.0;
+    Ok(format!(
+        "Section 4.3 stress test (rep=amod_sw=0, csupply=1, p_sw=0.2, h_sw=0.1), N = {n}\n\
+         MVA speedup {:.3}   simulation speedup {:.3}   error {err:+.2}%\n\
+         (the paper reports MVA within 5% of the detailed model under stress)\n",
+        mva.speedup, sim.speedup
+    ))
+}
+
+fn cmd_trace(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let n: usize = args.flag_num("n", 4)?;
+    let mut config = TraceSimConfig::new(n, mods);
+    if args.switch("adaptive") {
+        let limit: u8 = args.flag_num("useless-limit", 2)?;
+        config.update_policy =
+            snoop_sim::trace_mode::UpdatePolicy::Adaptive { useless_limit: limit };
+    }
+    let m = simulate_trace(&config).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "trace-driven simulation: {mods}, N = {n}{}\n\
+         speedup {:.3}  U_bus {:.3}  emergent hit rate {:.3}\n\
+         per-stream hit rates: private {:.3}  sro {:.3}  sw {:.3}\n\
+         cache-supply rate {:.3}  bus ops/ref {:.3}  invalidations/ref {:.4}\n",
+        if args.switch("adaptive") { " (adaptive RWB broadcasts)" } else { "" },
+        m.speedup,
+        m.bus_utilization,
+        m.hit_rate,
+        m.hit_rate_private,
+        m.hit_rate_sro,
+        m.hit_rate_sw,
+        m.cache_supply_rate,
+        m.bus_ops_per_reference,
+        m.invalidations_per_reference
+    ))
+}
+
+fn cmd_dot(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    Ok(snoop_protocol::dot::state_diagram(&Protocol::new(mods)))
+}
+
+fn cmd_sensitivity(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let n: usize = args.flag_num("n", 10)?;
+    let params = workload_flag(args)?;
+    let rows = snoop_mva::sensitivity::sensitivities(&params, mods, n, 0.01)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "speedup elasticities, {mods}, N = {n} (±1% central differences)\n{}",
+        snoop_mva::sensitivity::render(&rows)
+    ))
+}
+
+fn cmd_convergence(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let n: usize = args.flag_num("n", 10)?;
+    let params = workload_flag(args)?;
+    let model = MvaModel::for_protocol(&params, mods).map_err(|e| e.to_string())?;
+    let (solution, history) = model
+        .solve_traced(n, &SolverOptions::paper())
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "fixed-point trajectory, {mods}, N = {n} (engineering tolerance)\n\
+         {:<6} {:>10} {:>10} {:>10}\n",
+        "iter", "w_bus", "w_mem", "R"
+    );
+    for (k, [w_bus, w_mem, r]) in history.iter().enumerate() {
+        let _ = writeln!(out, "{k:<6} {w_bus:>10.4} {w_mem:>10.4} {r:>10.4}");
+    }
+    let _ = writeln!(
+        out,
+        "converged in {} iterations (paper Section 3.2: \"within 15 iterations\")",
+        history.len() - 1
+    );
+    let _ = writeln!(out, "final speedup: {:.3}", solution.speedup);
+    Ok(out)
+}
+
+fn cmd_calibrate(_args: &ParsedArgs) -> Result<String, String> {
+    let fits = snoop_mva::calibration::grid_search().map_err(|e| e.to_string())?;
+    let mut out = String::from(
+        "timing-reconstruction grid search against the published Table 4.1 MVA cells\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>9} {:>9}",
+        "addr", "cache-extra", "wb-factor", "rms%", "worst%"
+    );
+    for fit in fits.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "{:>8.1} {:>12.1} {:>12.1} {:>9.2} {:>9.2}",
+            fit.candidate.address_cycles,
+            fit.candidate.cache_read_extra,
+            fit.candidate.writeback_factor,
+            fit.rms_error * 100.0,
+            fit.worst_error * 100.0
+        );
+    }
+    let shipped = snoop_mva::calibration::evaluate(&snoop_mva::calibration::shipped())
+        .map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "shipped defaults: rms {:.2}%, worst {:.2}%",
+        shipped.rms_error * 100.0,
+        shipped.worst_error * 100.0
+    );
+    Ok(out)
+}
+
+fn cmd_multiclass(args: &ParsedArgs) -> Result<String, String> {
+    use snoop_mva::multiclass::{MulticlassModel, WorkloadClass};
+    use snoop_workload::derived::ModelInputs;
+    use snoop_workload::timing::TimingModel;
+    let light: usize = args.flag_num("light", 4)?;
+    let heavy: usize = args.flag_num("heavy", 4)?;
+    let mods = protocol_flag(args)?;
+    let timing = TimingModel::default();
+    let light_inputs = ModelInputs::derive_adjusted(
+        &WorkloadParams::appendix_a(SharingLevel::One),
+        mods,
+        &timing,
+    )
+    .map_err(|e| e.to_string())?;
+    let heavy_inputs = ModelInputs::derive_adjusted(
+        &WorkloadParams::appendix_a(SharingLevel::Twenty),
+        mods,
+        &timing,
+    )
+    .map_err(|e| e.to_string())?;
+    let model = MulticlassModel::new(vec![
+        WorkloadClass { count: light, inputs: light_inputs },
+        WorkloadClass { count: heavy, inputs: heavy_inputs },
+    ])
+    .map_err(|e| e.to_string())?;
+    let s = model.solve().map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "multiclass model ({mods}): {light}× 1%-sharing + {heavy}× 20%-sharing processors\n"
+    );
+    let _ = writeln!(
+        out,
+        "total speedup {:.3}   U_bus {:.3}   w_bus {:.3}",
+        s.speedup, s.bus_utilization, s.w_bus
+    );
+    let _ = writeln!(
+        out,
+        "light class: {:.3} total ({:.3}/processor)   heavy class: {:.3} total ({:.3}/processor)",
+        s.class_speedup[0],
+        s.class_speedup[0] / light.max(1) as f64,
+        s.class_speedup[1],
+        s.class_speedup[1] / heavy.max(1) as f64
+    );
+    Ok(out)
+}
+
+fn cmd_hierarchy(args: &ParsedArgs) -> Result<String, String> {
+    use snoop_mva::hierarchical::{HierarchicalConfig, HierarchicalModel};
+    use snoop_workload::derived::ModelInputs;
+    use snoop_workload::timing::TimingModel;
+    let clusters: usize = args.flag_num("clusters", 4)?;
+    let per_cluster: usize = args.flag_num("per-cluster", 8)?;
+    let locality: f64 = args.flag_num("locality", 0.8)?;
+    let cluster_cache: f64 = args.flag_num("cluster-cache", 0.8)?;
+    let mods = protocol_flag(args)?;
+    let params = workload_flag(args)?;
+    let inputs = ModelInputs::derive_adjusted(&params, mods, &TimingModel::default())
+        .map_err(|e| e.to_string())?;
+    let s = HierarchicalModel::new(
+        inputs,
+        HierarchicalConfig {
+            clusters,
+            per_cluster,
+            cluster_locality: locality,
+            cluster_cache_hit: cluster_cache,
+        },
+    )
+    .map_err(|e| e.to_string())?
+    .solve()
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "hierarchical model: {clusters} clusters × {per_cluster} processors, {mods}\n\
+         (cluster locality {locality}, cluster-cache hit {cluster_cache})\n\
+         speedup {:.3}   U_local {:.3}   U_global {:.3}   U_mem {:.3}\n\
+         w_local {:.3}   w_global {:.3}\n",
+        s.speedup,
+        s.local_bus_utilization,
+        s.global_bus_utilization,
+        s.memory_utilization,
+        s.w_local,
+        s.w_global
+    ))
+}
+
+fn cmd_measure(args: &ParsedArgs) -> Result<String, String> {
+    use snoop_sim::trace_mode::simulate_trace_measuring;
+    let mods = protocol_flag(args)?;
+    let n: usize = args.flag_num("n", 4)?;
+    let (sim, params) = simulate_trace_measuring(&TraceSimConfig::new(n, mods))
+        .map_err(|e| e.to_string())?;
+    let mva = MvaModel::for_protocol(&params, mods)
+        .map_err(|e| e.to_string())?
+        .solve(n, &SolverOptions::default())
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "workload parameters measured from a trace-driven simulation ({mods}, N = {n}):\n\n{}",
+        snoop_workload::file::to_string(&params)
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "trace-simulation speedup: {:.3}   MVA on measured parameters: {:.3} ({:+.1}%)",
+        sim.speedup,
+        mva.speedup,
+        (mva.speedup - sim.speedup) / sim.speedup * 100.0
+    );
+    let _ = writeln!(out, "(save the block above with --params-file workflows)");
+    Ok(out)
+}
+
+fn cmd_traffic(args: &ParsedArgs) -> Result<String, String> {
+    use snoop_workload::derived::ModelInputs;
+    use snoop_workload::timing::TimingModel;
+    let mods = protocol_flag(args)?;
+    let params = workload_flag(args)?;
+    let inputs = ModelInputs::derive_adjusted(&params, mods, &TimingModel::default())
+        .map_err(|e| e.to_string())?;
+    let breakdown = snoop_mva::traffic::TrafficBreakdown::from_inputs(&inputs);
+    Ok(format!("bus-traffic decomposition, {mods}\n{}", breakdown.render()))
+}
+
+fn cmd_waits(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let n: usize = args.flag_num("n", 8)?;
+    let params = workload_flag(args)?;
+    let config = SimConfig::for_protocol(n, params, mods);
+    let (measures, profile) =
+        snoop_sim::simulate_with_profile(&config).map_err(|e| e.to_string())?;
+    let mva = MvaModel::for_protocol(&params, mods)
+        .map_err(|e| e.to_string())?
+        .solve(n, &SolverOptions::default())
+        .map_err(|e| e.to_string())?;
+    let mut out = format!("bus-wait distribution, {mods}, N = {n} (DES)\n");
+    let _ = writeln!(
+        out,
+        "mean {:.3} (MVA Eq.5: {:.3})   p50 {:.3}   p95 {:.3}   max {:.3}   zero-wait {:.1}%",
+        measures.w_bus,
+        mva.w_bus,
+        profile.p50,
+        profile.p95,
+        profile.max,
+        profile.zero_wait_fraction * 100.0
+    );
+    out.push_str(&profile.histogram.render(50));
+    let _ = writeln!(
+        out,
+        "\nresponse times (completion − issue): mean {:.3} (MVA R − τ: {:.3}), \
+         p50 {:.3}, p99 {:.3}",
+        profile.response_times.mean(),
+        mva.r - params.tau,
+        profile.response_times.quantile(0.5).unwrap_or(0.0),
+        profile.response_times.quantile(0.99).unwrap_or(0.0)
+    );
+    Ok(out)
+}
+
+fn cmd_protocol(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
+    let protocol = Protocol::new(mods);
+    Ok(format!(
+        "{}\n{}",
+        snoop_protocol::table::processor_table(&protocol),
+        snoop_protocol::table::snoop_table(&protocol)
+    ))
+}
+
+fn cmd_asymptote(_args: &ParsedArgs) -> Result<String, String> {
+    let mut out = String::from("asymptotic (N → ∞) speedups\n");
+    let _ = writeln!(out, "{:<12} {:>8} {:>8} {:>8}", "protocol", "1%", "5%", "20%");
+    for mods in ["WO", "WO+1", "WO+1+4", "WO+1+2+3", "WO+1+2+3+4"] {
+        let set: ModSet = mods.parse().map_err(|e: snoop_protocol::ProtocolError| e.to_string())?;
+        let _ = write!(out, "{mods:<12}");
+        for sharing in SharingLevel::ALL {
+            let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), set)
+                .map_err(|e| e.to_string())?;
+            let a = asymptotic(model.inputs());
+            let _ = write!(out, " {:>8.3}", a.speedup);
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, String> {
+        run(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = run_tokens(&["help"]).unwrap();
+        for cmd in ["solve", "sweep", "table", "figure", "validate", "gtpn", "stress"] {
+            assert!(h.contains(cmd), "missing {cmd}");
+        }
+        assert_eq!(run_tokens(&[]).unwrap(), h);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_tokens(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn solve_reports_speedup() {
+        let out = run_tokens(&["solve", "--protocol", "WO", "--sharing", "5", "--n", "10"])
+            .unwrap();
+        assert!(out.contains("speedup"));
+        assert!(out.contains("5.2") || out.contains("5.3"), "{out}");
+    }
+
+    #[test]
+    fn solve_accepts_named_protocols() {
+        let out = run_tokens(&["solve", "--protocol", "dragon", "--n", "4"]).unwrap();
+        assert!(out.contains("WO+1+2+3+4"));
+    }
+
+    #[test]
+    fn bad_sharing_is_reported() {
+        let err = run_tokens(&["solve", "--sharing", "42"]).unwrap_err();
+        assert!(err.contains("42"));
+    }
+
+    #[test]
+    fn table_a_compares_against_paper() {
+        let out = run_tokens(&["table", "a"]).unwrap();
+        assert!(out.contains("Table 4.1(a)"));
+        assert!(out.contains("maximum |error|"));
+        // 27 data rows (3 sharing × 9 N).
+        assert_eq!(out.lines().filter(|l| l.contains("N=")).count(), 27);
+    }
+
+    #[test]
+    fn table_util_compares_bus_utilization() {
+        let out = run_tokens(&["table", "util"]).unwrap();
+        assert!(out.contains("bus utilization"));
+    }
+
+    #[test]
+    fn figure_csv_is_machine_readable() {
+        let out = run_tokens(&["figure", "--csv"]).unwrap();
+        assert!(out.starts_with("protocol,sharing,n,"));
+        assert!(out.lines().count() > 9 * 10);
+    }
+
+    #[test]
+    fn figure_gnuplot_has_nine_data_blocks() {
+        let out = run_tokens(&["figure", "--gnuplot"]).unwrap();
+        assert_eq!(out.matches("<< EOD").count(), 9);
+        assert!(out.contains("plot "));
+    }
+
+    #[test]
+    fn sweep_has_max_n_rows() {
+        let out = run_tokens(&["sweep", "--max-n", "5"]).unwrap();
+        assert_eq!(out.lines().count(), 2 + 5);
+    }
+
+    #[test]
+    fn refined_sweep_differs_from_fixed() {
+        let fixed = run_tokens(&["sweep", "--max-n", "3", "--sharing", "20"]).unwrap();
+        let refined =
+            run_tokens(&["sweep", "--max-n", "3", "--sharing", "20", "--refined"]).unwrap();
+        assert!(refined.contains("size-dependent"));
+        assert_ne!(fixed, refined);
+    }
+
+    #[test]
+    fn protocol_prints_tables() {
+        let out = run_tokens(&["protocol", "--protocol", "illinois"]).unwrap();
+        assert!(out.contains("processor transitions"));
+        assert!(out.contains("snoop transitions"));
+    }
+
+    #[test]
+    fn asymptote_prints_matrix() {
+        let out = run_tokens(&["asymptote"]).unwrap();
+        assert!(out.contains("WO+1+4"));
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn gtpn_small_system_agrees() {
+        let out = run_tokens(&["gtpn", "--n", "2"]).unwrap();
+        assert!(out.contains("GTPN"));
+        assert!(out.contains("states"));
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = run_tokens(&["dot", "--protocol", "dragon"]).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("->"));
+    }
+
+    #[test]
+    fn sensitivity_lists_parameters() {
+        let out = run_tokens(&["sensitivity", "--n", "10"]).unwrap();
+        assert!(out.contains("h_private"));
+        assert!(out.contains("elasticity"));
+    }
+
+    #[test]
+    fn multiclass_reports_both_classes() {
+        let out = run_tokens(&["multiclass", "--light", "3", "--heavy", "5"]).unwrap();
+        assert!(out.contains("light class"));
+        assert!(out.contains("heavy class"));
+        assert!(out.contains("total speedup"));
+    }
+
+    #[test]
+    fn waits_reports_distribution() {
+        let out = run_tokens(&["waits", "--n", "4"]).unwrap();
+        assert!(out.contains("p95"));
+        assert!(out.contains("MVA Eq.5"));
+    }
+
+    #[test]
+    fn params_file_overrides_workload() {
+        let dir = std::env::temp_dir().join("snoop_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wl.txt");
+        std::fs::write(&path, "h_private = 0.99\n").unwrap();
+        let out = run_tokens(&["solve", "--n", "10", "--params-file", path.to_str().unwrap()])
+            .unwrap();
+        // Fewer misses than the default workload: speedup above 6.
+        let speedup: f64 = out
+            .lines()
+            .find(|l| l.contains("speedup"))
+            .and_then(|l| l.split("speedup = ").nth(1))
+            .and_then(|s| s.trim().parse().ok())
+            .expect("speedup parsed");
+        assert!(speedup > 6.0, "{speedup}");
+    }
+
+    #[test]
+    fn missing_params_file_is_reported() {
+        let err =
+            run_tokens(&["solve", "--params-file", "/nonexistent/file"]).unwrap_err();
+        assert!(err.contains("/nonexistent/file"));
+    }
+
+    #[test]
+    fn trace_adaptive_flag_works() {
+        let out = run_tokens(&["trace", "--protocol", "rwb", "--n", "2", "--adaptive"])
+            .unwrap();
+        assert!(out.contains("adaptive RWB"));
+        assert!(out.contains("per-stream hit rates"));
+    }
+
+    #[test]
+    fn convergence_shows_trajectory() {
+        let out = run_tokens(&["convergence", "--n", "6"]).unwrap();
+        assert!(out.contains("w_bus"));
+        assert!(out.contains("converged in"));
+        // Trajectory rows present (iteration 0 and at least a few more).
+        assert!(out.lines().count() > 6);
+    }
+
+    #[test]
+    fn measure_prints_params_block() {
+        let out = run_tokens(&["measure", "--n", "2"]).unwrap();
+        assert!(out.contains("h_private ="));
+        assert!(out.contains("trace-simulation speedup"));
+    }
+
+    #[test]
+    fn traffic_decomposes_the_bus() {
+        let wo = run_tokens(&["traffic", "--protocol", "WO"]).unwrap();
+        assert!(wo.contains("announcements"));
+        assert!(wo.contains("100.0%"));
+        let m1 = run_tokens(&["traffic", "--protocol", "WO+1"]).unwrap();
+        assert_ne!(wo, m1);
+    }
+
+    #[test]
+    fn hierarchy_reports_both_buses() {
+        let out =
+            run_tokens(&["hierarchy", "--clusters", "2", "--per-cluster", "4"]).unwrap();
+        assert!(out.contains("U_local"));
+        assert!(out.contains("U_global"));
+        assert!(out.contains("2 clusters × 4 processors"));
+    }
+}

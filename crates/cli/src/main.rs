@@ -1,0 +1,34 @@
+//! `snoop` — command-line interface to the MVA / GTPN / simulation suite.
+//!
+//! ```text
+//! snoop solve    --protocol WO+1 --sharing 5 --n 10
+//! snoop sweep    --protocol dragon --sharing 20 --max-n 100
+//! snoop table    a|b|c|util
+//! snoop figure   [--csv]
+//! snoop validate --n 8 [--protocol WO] [--sharing 5]
+//! snoop gtpn     --n 2 [--protocol WO] [--sharing 5]
+//! snoop stress   [--n 10]
+//! snoop trace    --n 4 [--protocol berkeley]
+//! snoop protocol [--protocol illinois]
+//! snoop asymptote
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("snoop: {message}");
+            eprintln!("run `snoop help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

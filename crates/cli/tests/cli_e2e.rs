@@ -1,0 +1,67 @@
+//! End-to-end tests of the `snoop` binary itself (process spawn, exit
+//! codes, stdout/stderr), complementing the in-process dispatcher tests.
+
+use std::process::Command;
+
+fn snoop(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_snoop"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_arguments_prints_help_and_succeeds() {
+    let out = snoop(&[]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: snoop"));
+}
+
+#[test]
+fn solve_prints_solution() {
+    let out = snoop(&["solve", "--protocol", "WO+1", "--sharing", "5", "--n", "10"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("speedup"));
+    assert!(stdout.contains("WO+1"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = snoop(&["bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bogus"));
+    assert!(stderr.contains("snoop help"));
+}
+
+#[test]
+fn bad_flag_value_fails_cleanly() {
+    let out = snoop(&["solve", "--n", "many"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--n"));
+}
+
+#[test]
+fn figure_csv_is_parseable() {
+    let out = snoop(&["figure", "--csv"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header");
+    let columns = header.split(',').count();
+    for line in lines {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV line: {line}");
+    }
+}
+
+#[test]
+fn dot_output_pipes_cleanly() {
+    let out = snoop(&["dot", "--protocol", "berkeley"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.trim_end().ends_with('}'));
+}

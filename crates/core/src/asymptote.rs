@@ -1,0 +1,186 @@
+//! Asymptotic (N → ∞) analysis.
+//!
+//! One of the paper's selling points (Section 4.1) is that the MVA
+//! equations solve for "arbitrarily large systems", revealing asymptotic
+//! behaviour the GTPN could not reach — e.g. "a greater potential gain for
+//! modification 4 than was evident from previous results for ten
+//! processors". This module computes the saturation speedup in closed form:
+//! as N grows the bus saturates, pinning the per-processor throughput at
+//! `1/D_bus`, where `D_bus` is the mean bus time demanded per memory
+//! request. The memory modules impose the analogous bound `1/D_mem`.
+//!
+//! `D_bus` depends weakly on the saturated memory waiting time `w_mem`,
+//! which is itself a one-dimensional fixed point; it contracts rapidly.
+
+use snoop_workload::derived::ModelInputs;
+
+/// The asymptotic performance bounds of a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Asymptote {
+    /// Limiting speedup as `N → ∞` (infinite if the workload generates no
+    /// bus traffic).
+    pub speedup: f64,
+    /// Bus demand per memory request at saturation (cycles).
+    pub bus_demand: f64,
+    /// Memory demand per memory request per module (cycles).
+    pub memory_demand: f64,
+    /// Which resource saturates first.
+    pub bottleneck: Bottleneck,
+    /// Saturated memory waiting time.
+    pub w_mem: f64,
+}
+
+/// The saturating resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// The shared bus saturates (the usual case).
+    Bus,
+    /// A memory module saturates before the bus.
+    Memory,
+    /// No shared resource saturates (no bus traffic at all).
+    None,
+}
+
+/// Computes the asymptotic speedup for the given model inputs.
+///
+/// Derivation: at saturation, `U_bus = 1` in Eq. (7) gives
+/// `N/R = 1/D_bus` with `D_bus = p_bc·(w_mem + T_write) + p_rr·t_read`,
+/// so `speedup = N·(τ+T_supply)/R = (τ+T_supply)/D_bus`. The saturated
+/// `w_mem` solves Eq. (11) with the arrival rate pinned at `N/R = 1/D_bus`
+/// (and `p_busy,mem → U_mem` as `N → ∞`).
+pub fn asymptotic(inputs: &ModelInputs) -> Asymptote {
+    let cycle = inputs.tau + inputs.t_supply;
+    let bc_mem = if inputs.bc_updates_memory { inputs.p_bc } else { 0.0 };
+    let mem_mass = bc_mem + inputs.p_rr * (inputs.p_csupwb_rr + inputs.p_reqwb_rr);
+    let m = f64::from(inputs.memory_modules);
+
+    // Fixed point for the saturated memory wait: w = U_mem(w)·d/2 where
+    // U_mem = mem_mass·d/(m·D_bus(w)). Contraction: iterate a few times.
+    let bus_demand_at = |w_mem: f64| {
+        let w_eff = if inputs.bc_updates_memory { w_mem } else { 0.0 };
+        inputs.p_bc * (w_eff + inputs.t_write) + inputs.p_rr * inputs.t_read
+    };
+
+    let mut w_mem = 0.0;
+    for _ in 0..200 {
+        let d_bus = bus_demand_at(w_mem);
+        if d_bus <= 0.0 {
+            break;
+        }
+        let u_mem = (mem_mass * inputs.d_mem / (m * d_bus)).clamp(0.0, 1.0);
+        let next = u_mem * inputs.d_mem / 2.0;
+        if (next - w_mem).abs() < 1e-14 {
+            w_mem = next;
+            break;
+        }
+        w_mem = next;
+    }
+
+    let bus_demand = bus_demand_at(w_mem);
+    let memory_demand = mem_mass * inputs.d_mem / m;
+
+    if bus_demand <= 0.0 && memory_demand <= 0.0 {
+        return Asymptote {
+            speedup: f64::INFINITY,
+            bus_demand: 0.0,
+            memory_demand: 0.0,
+            bottleneck: Bottleneck::None,
+            w_mem: 0.0,
+        };
+    }
+
+    let (bottleneck, demand) = if memory_demand > bus_demand {
+        (Bottleneck::Memory, memory_demand)
+    } else {
+        (Bottleneck::Bus, bus_demand)
+    };
+
+    Asymptote { speedup: cycle / demand, bus_demand, memory_demand, bottleneck, w_mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{MvaModel, SolverOptions};
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+    fn inputs(level: SharingLevel, mods: &[u8]) -> ModelInputs {
+        *MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(level),
+            ModSet::from_numbers(mods).unwrap(),
+        )
+        .unwrap()
+        .inputs()
+    }
+
+    #[test]
+    fn asymptote_matches_large_n_solver() {
+        for level in SharingLevel::ALL {
+            for mods in [&[][..], &[1], &[1, 4]] {
+                let i = inputs(level, mods);
+                let a = asymptotic(&i);
+                let s = MvaModel::new(i).solve(5_000, &SolverOptions::default()).unwrap();
+                assert!(
+                    (a.speedup - s.speedup).abs() / s.speedup < 0.01,
+                    "{level} {mods:?}: asymptote {} vs solver {}",
+                    a.speedup,
+                    s.speedup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bus_is_the_bottleneck_for_appendix_a() {
+        for level in SharingLevel::ALL {
+            let a = asymptotic(&inputs(level, &[]));
+            assert_eq!(a.bottleneck, Bottleneck::Bus, "{level}");
+        }
+    }
+
+    #[test]
+    fn table_4_1_asymptotic_ordering() {
+        // From the N = 100 columns of Table 4.1: mod 1+4 > mod 1 > WO, and
+        // within WO less sharing is better.
+        let wo_1 = asymptotic(&inputs(SharingLevel::One, &[])).speedup;
+        let wo_20 = asymptotic(&inputs(SharingLevel::Twenty, &[])).speedup;
+        assert!(wo_1 > wo_20);
+        let m1 = asymptotic(&inputs(SharingLevel::Five, &[1])).speedup;
+        let m14 = asymptotic(&inputs(SharingLevel::Five, &[1, 4])).speedup;
+        let wo_5 = asymptotic(&inputs(SharingLevel::Five, &[])).speedup;
+        assert!(m14 > m1 && m1 > wo_5, "{m14} > {m1} > {wo_5}");
+    }
+
+    #[test]
+    fn mod4_asymptote_is_nearly_sharing_independent() {
+        // Table 4.1(c): at N = 100 the three sharing levels give 7.56,
+        // 7.57, 7.70 — nearly flat.
+        let one = asymptotic(&inputs(SharingLevel::One, &[1, 4])).speedup;
+        let twenty = asymptotic(&inputs(SharingLevel::Twenty, &[1, 4])).speedup;
+        assert!((one - twenty).abs() / one < 0.1, "{one} vs {twenty}");
+    }
+
+    #[test]
+    fn no_traffic_means_unbounded_speedup() {
+        let p = WorkloadParams::builder()
+            .h_private(1.0)
+            .h_sro(1.0)
+            .h_sw(1.0)
+            .amod_private(1.0)
+            .amod_sw(1.0)
+            .build()
+            .unwrap();
+        let model = MvaModel::for_protocol(&p, ModSet::new()).unwrap();
+        let a = asymptotic(model.inputs());
+        assert_eq!(a.bottleneck, Bottleneck::None);
+        assert!(a.speedup.is_infinite());
+    }
+
+    #[test]
+    fn saturated_memory_wait_is_bounded() {
+        let a = asymptotic(&inputs(SharingLevel::Twenty, &[]));
+        assert!(a.w_mem >= 0.0);
+        assert!(a.w_mem <= 1.5); // d_mem/2
+    }
+}

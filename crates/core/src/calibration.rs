@@ -1,0 +1,166 @@
+//! Calibration of the reconstructed timing constants.
+//!
+//! The paper inherits its bus-transaction durations from \[VeHo86\] without
+//! restating them, so this reproduction carries three reconstructed
+//! constants (DESIGN.md §6): the bus occupancy of a memory-supplied read,
+//! of a cache-supplied read, and of an appended block write-back. This
+//! module makes the calibration *reproducible*: it grid-searches those
+//! constants against the published Table 4.1 MVA rows and reports the
+//! best-fitting combination — which is how the shipped
+//! [`snoop_workload::timing::TimingModel::default`] was chosen.
+
+use snoop_protocol::ModSet;
+use snoop_workload::derived::ModelInputs;
+use snoop_workload::params::WorkloadParams;
+use snoop_workload::timing::TimingModel;
+
+use crate::paper::{table_4_1, TABLE_N};
+use crate::solver::{MvaModel, SolverOptions};
+use crate::MvaError;
+
+/// One candidate timing reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingCandidate {
+    /// Address cycles prepended to a memory-supplied read
+    /// (memory read = address + latency + block).
+    pub address_cycles: f64,
+    /// Extra cycles a cache-supplied read adds beyond the block transfer
+    /// (0 = tag check overlaps the address cycle).
+    pub cache_read_extra: f64,
+    /// Cycles per appended block write-back, as a multiple of the block
+    /// transfer (1.0 = exactly one block time).
+    pub writeback_factor: f64,
+}
+
+/// Result of evaluating one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateFit {
+    /// The candidate.
+    pub candidate: TimingCandidate,
+    /// Root-mean-square relative error against the published MVA cells.
+    pub rms_error: f64,
+    /// Worst absolute relative error.
+    pub worst_error: f64,
+}
+
+/// Evaluates a candidate against all 81 published Table 4.1 MVA cells.
+///
+/// # Errors
+///
+/// Propagates model construction/solution failures.
+pub fn evaluate(candidate: &TimingCandidate) -> Result<CandidateFit, MvaError> {
+    // Express the candidate as a TimingModel. `cache_read_extra` and
+    // `writeback_factor` do not map onto TimingModel fields directly, so
+    // the inputs are derived manually below.
+    let timing = TimingModel { address_cycles: candidate.address_cycles, ..TimingModel::default() };
+
+    let mut sq_sum = 0.0;
+    let mut count = 0usize;
+    let mut worst: f64 = 0.0;
+    for row in table_4_1() {
+        let params = WorkloadParams::appendix_a(row.sharing);
+        let inputs = adjusted_inputs(&params, row.mods(), &timing, candidate)?;
+        let model = MvaModel::new(inputs);
+        for (i, &n) in TABLE_N.iter().enumerate() {
+            let s = model.solve(n, &SolverOptions::default())?;
+            let err = (s.speedup - row.mva[i]) / row.mva[i];
+            sq_sum += err * err;
+            worst = worst.max(err.abs());
+            count += 1;
+        }
+    }
+    Ok(CandidateFit {
+        candidate: *candidate,
+        rms_error: (sq_sum / count as f64).sqrt(),
+        worst_error: worst,
+    })
+}
+
+/// Derives model inputs under a candidate's non-standard knobs by
+/// re-deriving with the stock pipeline and then re-computing `t_read`.
+fn adjusted_inputs(
+    params: &WorkloadParams,
+    mods: ModSet,
+    timing: &TimingModel,
+    candidate: &TimingCandidate,
+) -> Result<ModelInputs, MvaError> {
+    let mut inputs = ModelInputs::derive_adjusted(params, mods, timing)?;
+    if inputs.p_rr > 0.0 {
+        let frac_cs = inputs.csupply_weighted_mass / inputs.p_rr;
+        let mem_read = timing.memory_read_cycles();
+        let cache_read = timing.block_cycles() + candidate.cache_read_extra;
+        let wb = timing.block_cycles() * candidate.writeback_factor;
+        inputs.t_read = frac_cs * cache_read
+            + (1.0 - frac_cs) * mem_read
+            + (inputs.p_csupwb_rr + inputs.p_reqwb_rr) * wb;
+    }
+    Ok(inputs)
+}
+
+/// Grid-searches the candidate space and returns fits sorted best-first.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn grid_search() -> Result<Vec<CandidateFit>, MvaError> {
+    let mut fits = Vec::new();
+    for address_cycles in [0.0, 0.5, 1.0, 2.0] {
+        for cache_read_extra in [0.0, 1.0, 2.0] {
+            for writeback_factor in [0.5, 1.0, 1.5, 2.0] {
+                let candidate =
+                    TimingCandidate { address_cycles, cache_read_extra, writeback_factor };
+                fits.push(evaluate(&candidate)?);
+            }
+        }
+    }
+    fits.sort_by(|a, b| {
+        a.rms_error.partial_cmp(&b.rms_error).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(fits)
+}
+
+/// The shipped reconstruction: 1 address cycle, overlap-free cache supply,
+/// one block time per write-back.
+pub fn shipped() -> TimingCandidate {
+    TimingCandidate { address_cycles: 1.0, cache_read_extra: 0.0, writeback_factor: 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_candidate_fits_within_five_percent() {
+        let fit = evaluate(&shipped()).unwrap();
+        assert!(fit.worst_error < 0.05, "worst {:.3}", fit.worst_error);
+        assert!(fit.rms_error < 0.025, "rms {:.4}", fit.rms_error);
+    }
+
+    #[test]
+    fn shipped_candidate_is_near_the_grid_optimum() {
+        let fits = grid_search().unwrap();
+        let best = fits.first().unwrap();
+        let shipped_fit = evaluate(&shipped()).unwrap();
+        // The shipped constants need not be the exact argmin of this coarse
+        // grid, but must be within a whisker of it.
+        assert!(
+            shipped_fit.rms_error <= best.rms_error * 1.25 + 1e-9,
+            "shipped rms {:.4} vs best {:.4} ({:?})",
+            shipped_fit.rms_error,
+            best.rms_error,
+            best.candidate
+        );
+    }
+
+    #[test]
+    fn clearly_wrong_timings_fit_worse() {
+        let wrong = TimingCandidate {
+            address_cycles: 2.0,
+            cache_read_extra: 2.0,
+            writeback_factor: 2.0,
+        };
+        let wrong_fit = evaluate(&wrong).unwrap();
+        let shipped_fit = evaluate(&shipped()).unwrap();
+        assert!(wrong_fit.rms_error > shipped_fit.rms_error);
+    }
+}

@@ -1,0 +1,305 @@
+//! The mean-value equations of Section 3.1, one function per equation.
+//!
+//! All functions are pure: they map the current iterates (waiting times,
+//! response time) and the static model inputs to the quantity the paper's
+//! equation defines. The fixed-point loop in [`crate::solver`] composes
+//! them; keeping them separate makes each equation independently testable
+//! against hand calculations.
+
+use snoop_workload::derived::ModelInputs;
+
+/// Effective memory wait attached to a broadcast: broadcasts that skip main
+/// memory (modification 3) never wait for a module.
+pub fn effective_w_mem(inputs: &ModelInputs, w_mem: f64) -> f64 {
+    if inputs.bc_updates_memory {
+        w_mem
+    } else {
+        0.0
+    }
+}
+
+/// Equation (3): weighted mean response time of broadcast operations,
+/// `R_broadcast = p_bc · (w_bus + w_mem + T_write)`.
+pub fn r_broadcast(inputs: &ModelInputs, w_bus: f64, w_mem: f64) -> f64 {
+    inputs.p_bc * (w_bus + effective_w_mem(inputs, w_mem) + inputs.t_write)
+}
+
+/// Equation (4): weighted mean response time of remote reads,
+/// `R_RemoteRead = p_rr · (w_bus + t_read)`.
+pub fn r_remote_read(inputs: &ModelInputs, w_bus: f64) -> f64 {
+    inputs.p_rr * (w_bus + inputs.t_read)
+}
+
+/// Equation (1): mean time between memory requests,
+/// `R = τ + R_local + R_broadcast + R_RemoteRead + T_supply`.
+pub fn response_time(inputs: &ModelInputs, r_local: f64, r_bc: f64, r_rr: f64) -> f64 {
+    inputs.tau + r_local + r_bc + r_rr + inputs.t_supply
+}
+
+/// Equation (6): mean bus queue length seen by an arrival,
+/// `Q̄_bus = (N−1) · (R_bc + R_rr) / R`.
+///
+/// "the mean queue length seen by an arriving request is estimated by the
+/// steady state mean queue length in the system if the requesting cache
+/// were removed" — the arrival-theorem approximation of Product Form
+/// queueing networks.
+///
+/// ```
+/// use snoop_mva::equations::bus_queue_length;
+/// // 10 processors each spending 2 of every 8 cycles in a bus phase: an
+/// // arrival sees the other nine's expected population, 9 · 2/8.
+/// assert_eq!(bus_queue_length(10, 1.5, 0.5, 8.0), 2.25);
+/// assert_eq!(bus_queue_length(1, 1.5, 0.5, 8.0), 0.0);
+/// ```
+pub fn bus_queue_length(n: usize, r_bc: f64, r_rr: f64, r: f64) -> f64 {
+    debug_assert!(n >= 1);
+    ((n - 1) as f64) * (r_bc + r_rr) / r
+}
+
+/// Equation (7): bus utilization,
+/// `U_bus = N · [p_bc·(w_mem + T_write) + p_rr·t_read] / R`, clamped to
+/// `[0, 1]` (intermediate iterates can momentarily overshoot).
+pub fn bus_utilization(inputs: &ModelInputs, n: usize, w_mem: f64, r: f64) -> f64 {
+    let per_request = inputs.p_bc * (effective_w_mem(inputs, w_mem) + inputs.t_write)
+        + inputs.p_rr * inputs.t_read;
+    (n as f64 * per_request / r).clamp(0.0, 1.0)
+}
+
+/// Equation (8): probability an arrival finds the server busy,
+/// `p_busy = (U − U/N) / (1 − U/N)`.
+///
+/// This removes the arriving cache's own contribution from the utilization,
+/// the same one-customer-removed correction as Eq. (6). Shared by the bus
+/// and the memory modules.
+///
+/// ```
+/// use snoop_mva::equations::p_busy;
+/// // A single customer never queues behind itself…
+/// assert_eq!(p_busy(0.7, 1), 0.0);
+/// // …while for many customers the correction vanishes.
+/// assert!((p_busy(0.7, 10_000) - 0.7).abs() < 1e-3);
+/// ```
+pub fn p_busy(utilization: f64, n: usize) -> f64 {
+    debug_assert!(n >= 1);
+    let share = utilization / n as f64;
+    if 1.0 - share <= 0.0 {
+        return 1.0;
+    }
+    ((utilization - share) / (1.0 - share)).clamp(0.0, 1.0)
+}
+
+/// Equation (9): mean bus access time over both request classes,
+/// `t_bus = [p_bc/(p_bc+p_rr)]·(T_write + w_mem) + [p_rr/(p_bc+p_rr)]·t_read`.
+pub fn mean_bus_access(inputs: &ModelInputs, w_mem: f64) -> f64 {
+    let total = inputs.p_bc + inputs.p_rr;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let t_bc = inputs.t_write + effective_w_mem(inputs, w_mem);
+    (inputs.p_bc * t_bc + inputs.p_rr * inputs.t_read) / total
+}
+
+/// Equation (10): mean residual life of the bus request in service.
+///
+/// The request found in service is a broadcast with probability
+/// proportional to the *time* broadcasts occupy the bus (length-biased
+/// sampling), and its mean remaining time is half its duration —
+/// deterministic access times, hence `x/2` rather than the exponential `x`.
+pub fn bus_residual_life(inputs: &ModelInputs, w_mem: f64) -> f64 {
+    let t_bc = inputs.t_write + effective_w_mem(inputs, w_mem);
+    let time_bc = inputs.p_bc * t_bc;
+    let time_rr = inputs.p_rr * inputs.t_read;
+    let total = time_bc + time_rr;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    (time_bc * (t_bc / 2.0) + time_rr * (inputs.t_read / 2.0)) / total
+}
+
+/// Equation (5): mean bus waiting time,
+/// `w_bus = (Q̄ − p_busy)·t_bus + p_busy·t_res`.
+///
+/// An arrival waits for the residual life of the request in service plus a
+/// full access time for every other queued request. Clamped at zero: early
+/// iterates can make `Q̄ < p_busy`.
+pub fn bus_waiting_time(q_bus: f64, p_busy_bus: f64, t_bus: f64, t_res: f64) -> f64 {
+    ((q_bus - p_busy_bus) * t_bus + p_busy_bus * t_res).max(0.0)
+}
+
+/// Equation (12): memory-module utilization,
+/// `U_mem = N · (1/m) · [p_bc + p_rr·(p_csupwb|rr + p_reqwb|rr)] · d_mem / R`,
+/// clamped to `[0, 1]`.
+///
+/// Broadcasts hit one of the `m` interleaved modules; block write-backs
+/// (supplier or requester) occupy the modules too. Under modification 3 the
+/// broadcast term vanishes ("the term for broadcast writes is removed from
+/// equation (12)").
+pub fn memory_utilization(inputs: &ModelInputs, n: usize, r: f64) -> f64 {
+    let bc_term = if inputs.bc_updates_memory { inputs.p_bc } else { 0.0 };
+    let mass = bc_term + inputs.p_rr * (inputs.p_csupwb_rr + inputs.p_reqwb_rr);
+    let m = f64::from(inputs.memory_modules);
+    (n as f64 / m * mass * inputs.d_mem / r).clamp(0.0, 1.0)
+}
+
+/// Equation (11): mean memory waiting time,
+/// `w_mem = p_busy,mem · d_mem / 2`.
+pub fn memory_waiting_time(inputs: &ModelInputs, p_busy_mem: f64) -> f64 {
+    p_busy_mem * inputs.d_mem / 2.0
+}
+
+/// Equation (2): weighted response-time contribution of locally satisfied
+/// requests, `R_local = p_local · n_interference · t_interference`.
+pub fn r_local(inputs: &ModelInputs, n_interference: f64, t_interference: f64) -> f64 {
+    inputs.p_local * n_interference * t_interference
+}
+
+/// The speedup measure of Section 4: `N · (τ + T_supply) / R`.
+///
+/// ```
+/// use snoop_mva::equations::speedup;
+/// use snoop_protocol::ModSet;
+/// use snoop_workload::derived::ModelInputs;
+/// use snoop_workload::params::WorkloadParams;
+/// use snoop_workload::timing::TimingModel;
+///
+/// # fn main() -> Result<(), snoop_workload::WorkloadError> {
+/// let i = ModelInputs::derive(&WorkloadParams::default(), ModSet::new(),
+///                             &TimingModel::default())?;
+/// // If each processor needed exactly τ + T_supply per request (no
+/// // contention, no misses), speedup would be N.
+/// assert_eq!(speedup(&i, 8, i.tau + i.t_supply), 8.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn speedup(inputs: &ModelInputs, n: usize, r: f64) -> f64 {
+    n as f64 * (inputs.tau + inputs.t_supply) / r
+}
+
+/// Processing power (Section 4.4): the sum of processor utilizations,
+/// `N · τ / R`.
+pub fn processing_power(inputs: &ModelInputs, n: usize, r: f64) -> f64 {
+    n as f64 * inputs.tau / r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::{SharingLevel, WorkloadParams};
+    use snoop_workload::timing::TimingModel;
+
+    fn inputs() -> ModelInputs {
+        ModelInputs::derive(
+            &WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::new(),
+            &TimingModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_wait_response_time() {
+        let i = inputs();
+        let r_bc = r_broadcast(&i, 0.0, 0.0);
+        let r_rr = r_remote_read(&i, 0.0);
+        let r = response_time(&i, 0.0, r_bc, r_rr);
+        // τ + T_supply + p_bc·T_write + p_rr·t_read ≈ 4.096 (hand-computed).
+        assert!((r - 4.096).abs() < 0.01, "R = {r}");
+        // Single processor: speedup = 3.5 / R ≈ 0.854 (Table 4.1(a): 0.855).
+        assert!((speedup(&i, 1, r) - 0.855).abs() < 0.005);
+    }
+
+    #[test]
+    fn bus_queue_is_zero_for_single_processor() {
+        assert_eq!(bus_queue_length(1, 0.5, 0.5, 4.0), 0.0);
+        assert!(bus_queue_length(10, 0.5, 0.5, 4.0) > 0.0);
+    }
+
+    #[test]
+    fn p_busy_removes_own_share() {
+        // N = 1: an arrival can never find the bus busy with another request.
+        assert_eq!(p_busy(0.7, 1), 0.0);
+        // Large N: approaches the raw utilization.
+        assert!((p_busy(0.7, 10_000) - 0.7).abs() < 1e-3);
+        // Saturation edge.
+        assert_eq!(p_busy(1.0, 1), 1.0);
+    }
+
+    #[test]
+    fn mean_access_between_classes() {
+        let i = inputs();
+        let t = mean_bus_access(&i, 0.0);
+        // Between T_write = 1 and t_read ≈ 8.7.
+        assert!(t > 1.0 && t < i.t_read, "t_bus = {t}");
+    }
+
+    #[test]
+    fn residual_life_is_length_biased() {
+        let i = inputs();
+        let t_res = bus_residual_life(&i, 0.0);
+        let t_bus = mean_bus_access(&i, 0.0);
+        // For deterministic services, the residual exceeds half the mean
+        // access time whenever long requests dominate the time axis.
+        assert!(t_res > t_bus / 2.0, "t_res = {t_res}, t_bus = {t_bus}");
+        assert!(t_res < i.t_read / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn waiting_time_never_negative() {
+        // Q̄ < p_busy (possible on early iterates) must clamp to zero.
+        assert_eq!(bus_waiting_time(0.1, 0.9, 5.0, 0.1), 0.0);
+        // Normal case: (Q̄ − p_busy)·t_bus + p_busy·t_res.
+        let w = bus_waiting_time(2.0, 0.5, 5.0, 2.0);
+        assert!((w - (1.5 * 5.0 + 0.5 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let i = inputs();
+        assert!(bus_utilization(&i, 1_000_000, 0.0, 4.0) <= 1.0);
+        assert!(memory_utilization(&i, 1_000_000, 4.0) <= 1.0);
+        assert!(bus_utilization(&i, 1, 0.0, 1e12) >= 0.0);
+    }
+
+    #[test]
+    fn memory_utilization_drops_under_mod3() {
+        let base = inputs();
+        let mod3 = ModelInputs::derive(
+            &WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::from_numbers(&[3]).unwrap(),
+            &TimingModel::default(),
+        )
+        .unwrap();
+        let r = 4.1;
+        assert!(memory_utilization(&mod3, 10, r) < memory_utilization(&base, 10, r));
+    }
+
+    #[test]
+    fn speedup_and_power_relation() {
+        // Processing power = speedup · τ/(τ + T_supply) (Section 4.4).
+        let i = inputs();
+        let r = 5.0;
+        let s = speedup(&i, 9, r);
+        let p = processing_power(&i, 9, r);
+        assert!((p - s * i.tau / (i.tau + i.t_supply)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_no_traffic_inputs() {
+        let p = WorkloadParams::builder()
+            .h_private(1.0)
+            .h_sro(1.0)
+            .h_sw(1.0)
+            .amod_private(1.0)
+            .amod_sw(1.0)
+            .build()
+            .unwrap();
+        let i = ModelInputs::derive(&p, ModSet::new(), &TimingModel::default()).unwrap();
+        assert_eq!(mean_bus_access(&i, 0.0), 0.0);
+        assert_eq!(bus_residual_life(&i, 0.0), 0.0);
+        let r = response_time(&i, 0.0, r_broadcast(&i, 0.0, 0.0), r_remote_read(&i, 0.0));
+        assert!((r - (i.tau + i.t_supply)).abs() < 1e-12);
+        // Perfect caching: speedup = N.
+        assert!((speedup(&i, 7, r) - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,432 @@
+//! Hierarchical (two-level bus) extension of the mean-value model.
+//!
+//! The paper's closing section points at "larger and more complex
+//! cache-coherent multiprocessors [Wils87, GoWo87]" — Wilson's
+//! hierarchical cache/bus architecture clusters processors on local buses
+//! and joins the clusters to main memory through a global bus. This module
+//! extends the customized-MVA method to that shape:
+//!
+//! ```text
+//!  cluster 1: P P … P ──local bus──┐
+//!  cluster 2: P P … P ──local bus──┼──global bus── memory modules
+//!  …                               │
+//!  cluster C: P P … P ──local bus──┘
+//! ```
+//!
+//! Traffic model (documented assumptions, same spirit as DESIGN.md §6):
+//!
+//! * every bus operation occupies the issuing cluster's **local bus** for
+//!   its full duration (snoops are cluster-local);
+//! * cache-supplied remote reads are satisfied **within the cluster** with
+//!   probability `cluster_locality` (the chance the supplier shares the
+//!   requester's cluster); memory-bound misses hit the cluster's
+//!   **second-level cache** first and are satisfied there with probability
+//!   `cluster_cache_hit` (Wilson's clusters cache the memory image); the
+//!   remainder, plus all memory-updating broadcasts, additionally occupy
+//!   the **global bus** and the memory modules;
+//! * waiting times compose: a global operation waits for its local bus,
+//!   then for the global bus (the local bus is held during the global
+//!   transaction, as in Wilson's design).
+//!
+//! With one cluster and `cluster_locality = 1` the global bus carries only
+//! memory traffic and the model reduces to the flat model with the bus
+//! demand split across two centers; the tests validate limiting behaviour
+//! rather than exact reduction.
+
+use snoop_numeric::fixed_point::{FixedPoint, Options};
+use snoop_workload::derived::ModelInputs;
+
+use crate::equations as eq;
+use crate::MvaError;
+
+/// Configuration of the hierarchical machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalConfig {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Processors per cluster.
+    pub per_cluster: usize,
+    /// Probability that a cache-supplied block comes from the requester's
+    /// own cluster (1 = perfectly clustered sharing, 1/C-ish = uniform).
+    pub cluster_locality: f64,
+    /// Probability that a memory-bound miss hits the cluster's
+    /// second-level cache (Wilson's cluster cache), never leaving the
+    /// local bus.
+    pub cluster_cache_hit: f64,
+}
+
+impl HierarchicalConfig {
+    /// Total processors.
+    pub fn total(&self) -> usize {
+        self.clusters * self.per_cluster
+    }
+}
+
+/// Solution of the hierarchical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalSolution {
+    /// Mean time between requests.
+    pub r: f64,
+    /// Total speedup `N·(τ + T_supply)/R`.
+    pub speedup: f64,
+    /// Local-bus utilization (per cluster; clusters are symmetric).
+    pub local_bus_utilization: f64,
+    /// Global-bus utilization.
+    pub global_bus_utilization: f64,
+    /// Memory-module utilization.
+    pub memory_utilization: f64,
+    /// Mean local-bus wait.
+    pub w_local: f64,
+    /// Mean global-bus wait.
+    pub w_global: f64,
+    /// Iterations to convergence.
+    pub iterations: usize,
+}
+
+/// The hierarchical mean-value model.
+///
+/// # Example
+///
+/// ```
+/// use snoop_mva::hierarchical::{HierarchicalConfig, HierarchicalModel};
+/// use snoop_protocol::ModSet;
+/// use snoop_workload::derived::ModelInputs;
+/// use snoop_workload::params::{SharingLevel, WorkloadParams};
+/// use snoop_workload::timing::TimingModel;
+///
+/// # fn main() -> Result<(), snoop_mva::MvaError> {
+/// let inputs = ModelInputs::derive_adjusted(
+///     &WorkloadParams::appendix_a(SharingLevel::Five),
+///     ModSet::from_numbers(&[1]).expect("valid"),
+///     &TimingModel::default(),
+/// )?;
+/// let model = HierarchicalModel::new(
+///     inputs,
+///     HierarchicalConfig {
+///         clusters: 4,
+///         per_cluster: 8,
+///         cluster_locality: 0.8,
+///         cluster_cache_hit: 0.7,
+///     },
+/// )?;
+/// let s = model.solve()?;
+/// // 32 processors: beyond a single bus's ceiling, below linear.
+/// assert!(s.speedup > 7.0 && s.speedup < 32.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalModel {
+    inputs: ModelInputs,
+    config: HierarchicalConfig,
+}
+
+impl HierarchicalModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvaError::InvalidSystemSize`] for an empty machine and a
+    /// workload error for a locality outside `[0, 1]`.
+    pub fn new(inputs: ModelInputs, config: HierarchicalConfig) -> Result<Self, MvaError> {
+        if config.total() == 0 {
+            return Err(MvaError::InvalidSystemSize(0));
+        }
+        if !(0.0..=1.0).contains(&config.cluster_locality) {
+            return Err(MvaError::Workload(snoop_workload::WorkloadError::InvalidParameter {
+                name: "cluster_locality",
+                value: config.cluster_locality,
+            }));
+        }
+        if !(0.0..=1.0).contains(&config.cluster_cache_hit) {
+            return Err(MvaError::Workload(snoop_workload::WorkloadError::InvalidParameter {
+                name: "cluster_cache_hit",
+                value: config.cluster_cache_hit,
+            }));
+        }
+        Ok(HierarchicalModel { inputs, config })
+    }
+
+    /// Per-request local and global bus demands (cycles), given the
+    /// current memory wait.
+    fn demands(&self, w_mem: f64) -> Demands {
+        let i = &self.inputs;
+        let w_mem_eff = eq::effective_w_mem(i, w_mem);
+
+        // Remote-read split: the cache-supplied fraction of t_read stays
+        // local with probability cluster_locality.
+        let frac_cs = if i.p_rr > 0.0 { i.csupply_weighted_mass / i.p_rr } else { 0.0 };
+        let local_supply_frac = frac_cs * self.config.cluster_locality;
+        // Memory-bound misses are filtered by the cluster cache.
+        let global_frac = (1.0 - local_supply_frac) * (1.0 - self.config.cluster_cache_hit);
+
+        // Broadcasts: memory-updating broadcasts go global; pure
+        // invalidations stay local.
+        let bc_global = if i.bc_updates_memory { i.p_bc } else { 0.0 };
+        let bc_local_only = i.p_bc - bc_global;
+
+        Demands {
+            // Everything holds the local bus.
+            local: i.p_bc * (i.t_write + w_mem_eff) + i.p_rr * i.t_read,
+            // Global-bus occupancy: global broadcasts and the global
+            // fraction of remote reads (weighted by the full t_read — the
+            // global transaction spans the transfer).
+            global: bc_global * (i.t_write + w_mem_eff) + i.p_rr * global_frac * i.t_read,
+            bc_local_only,
+            global_frac,
+        }
+    }
+
+    /// Solves the two-level fixed point. State: `[w_local, w_global,
+    /// w_mem, R]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-convergence.
+    pub fn solve(&self) -> Result<HierarchicalSolution, MvaError> {
+        let i = self.inputs;
+        let n_total = self.config.total();
+        let n_cluster = self.config.per_cluster;
+
+        let r0 = i.tau + i.t_supply + i.p_bc * i.t_write + i.p_rr * i.t_read;
+        let step = |state: &[f64], out: &mut [f64]| {
+            let (w_local, w_global, w_mem, r_prev) =
+                (state[0], state[1], state[2], state[3].max(1e-12));
+            let d = self.demands(w_mem);
+            let w_mem_eff = eq::effective_w_mem(&i, w_mem);
+
+            // Response time: local wait for every bus op; global ops chain
+            // the global wait on top.
+            let r_bc = i.p_bc * (w_local + w_mem_eff + i.t_write)
+                + (i.p_bc - d.bc_local_only) * w_global;
+            let r_rr = i.p_rr * (w_local + i.t_read) + i.p_rr * d.global_frac * w_global;
+            let r = i.tau + i.t_supply + r_bc + r_rr;
+
+            // Local bus: n_cluster customers, arrival-theorem queue.
+            let u_local = (n_cluster as f64 * d.local / r).clamp(0.0, 1.0);
+            let q_local = (n_cluster.saturating_sub(1)) as f64 * (r_bc + r_rr) / r_prev;
+            let p_busy_local = eq::p_busy(u_local, n_cluster.max(1));
+            let t_local = if i.p_bc + i.p_rr > 0.0 {
+                d.local / (i.p_bc + i.p_rr)
+            } else {
+                0.0
+            };
+            out[0] = eq::bus_waiting_time(q_local, p_busy_local, t_local, t_local / 2.0);
+
+            // Global bus: N customers, but only the global fraction of
+            // each cycle queues here.
+            let u_global = (n_total as f64 * d.global / r).clamp(0.0, 1.0);
+            let global_rate = i.p_bc - d.bc_local_only + i.p_rr * d.global_frac;
+            let t_global = if global_rate > 0.0 { d.global / global_rate } else { 0.0 };
+            let q_global =
+                (n_total.saturating_sub(1)) as f64 * global_rate * (t_global + w_global) / r_prev;
+            let p_busy_global = eq::p_busy(u_global, n_total);
+            out[1] = eq::bus_waiting_time(q_global, p_busy_global, t_global, t_global / 2.0);
+
+            // Memory, as in the flat model (Eqs. 11–12) over all N.
+            let u_mem = eq::memory_utilization(&i, n_total, r);
+            out[2] = eq::memory_waiting_time(&i, eq::p_busy(u_mem, n_total));
+            out[3] = r;
+        };
+
+        let mut solution = None;
+        let mut last_err = None;
+        for damping in [1.0, 0.5, 0.1] {
+            let solver = FixedPoint::new(Options {
+                max_iterations: 20_000,
+                tolerance: 1e-12,
+                damping,
+                record_history: false,
+                aitken: false,
+            });
+            match solver.solve(vec![0.0, 0.0, 0.0, r0], step) {
+                Ok(s) => {
+                    solution = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let solution = match solution {
+            Some(s) => s,
+            None => return Err(last_err.expect("attempted").into()),
+        };
+
+        let (w_local, w_global, w_mem, r) = (
+            solution.values[0],
+            solution.values[1],
+            solution.values[2],
+            solution.values[3],
+        );
+        let d = self.demands(w_mem);
+        Ok(HierarchicalSolution {
+            r,
+            speedup: n_total as f64 * (i.tau + i.t_supply) / r,
+            local_bus_utilization: (n_cluster as f64 * d.local / r).clamp(0.0, 1.0),
+            global_bus_utilization: (n_total as f64 * d.global / r).clamp(0.0, 1.0),
+            memory_utilization: eq::memory_utilization(&i, n_total, r),
+            w_local,
+            w_global,
+            iterations: solution.iterations,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Demands {
+    local: f64,
+    global: f64,
+    bc_local_only: f64,
+    global_frac: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{MvaModel, SolverOptions};
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::{SharingLevel, WorkloadParams};
+    use snoop_workload::timing::TimingModel;
+
+    fn inputs(level: SharingLevel, mods: &[u8]) -> ModelInputs {
+        ModelInputs::derive_adjusted(
+            &WorkloadParams::appendix_a(level),
+            ModSet::from_numbers(mods).unwrap(),
+            &TimingModel::default(),
+        )
+        .unwrap()
+    }
+
+    fn solve(clusters: usize, per_cluster: usize, locality: f64) -> HierarchicalSolution {
+        HierarchicalModel::new(
+            inputs(SharingLevel::Five, &[1]),
+            HierarchicalConfig {
+                clusters,
+                per_cluster,
+                cluster_locality: locality,
+                cluster_cache_hit: 0.7,
+            },
+        )
+        .unwrap()
+        .solve()
+        .unwrap()
+    }
+
+    #[test]
+    fn clusters_scale_past_the_single_bus_ceiling() {
+        // A flat bus saturates around speedup ≈ 6.5 for this workload; a
+        // clustered machine keeps scaling until the global bus saturates.
+        let flat = MvaModel::new(inputs(SharingLevel::Five, &[1]))
+            .solve(32, &SolverOptions::default())
+            .unwrap();
+        let clustered = solve(4, 8, 0.8);
+        assert!(
+            clustered.speedup > flat.speedup * 1.3,
+            "clustered {} vs flat {}",
+            clustered.speedup,
+            flat.speedup
+        );
+    }
+
+    #[test]
+    fn more_clusters_eventually_hit_the_global_bus() {
+        let mut last = 0.0;
+        let mut saturated = false;
+        for clusters in [1usize, 2, 4, 8, 16, 32] {
+            let s = solve(clusters, 4, 0.8);
+            assert!(s.speedup >= last * 0.98, "dropped at {clusters}: {} < {last}", s.speedup);
+            last = last.max(s.speedup);
+            if s.global_bus_utilization > 0.95 {
+                saturated = true;
+            }
+        }
+        assert!(saturated, "global bus never saturated");
+    }
+
+    #[test]
+    fn locality_relieves_the_global_bus() {
+        let tight = solve(8, 4, 1.0);
+        let loose = solve(8, 4, 0.0);
+        assert!(tight.global_bus_utilization <= loose.global_bus_utilization + 1e-9);
+        assert!(tight.speedup >= loose.speedup - 1e-9);
+    }
+
+    #[test]
+    fn single_processor_has_no_waiting() {
+        let s = solve(1, 1, 1.0);
+        assert!(s.w_local.abs() < 1e-9);
+        assert!(s.w_global.abs() < 1e-9);
+        // Speedup just below 1 (miss penalties), like the flat model.
+        assert!(s.speedup > 0.8 && s.speedup < 1.0);
+    }
+
+    #[test]
+    fn utilizations_are_physical() {
+        for clusters in [1usize, 4, 16] {
+            for per_cluster in [1usize, 4, 8] {
+                let s = solve(clusters, per_cluster, 0.5);
+                assert!((0.0..=1.0).contains(&s.local_bus_utilization));
+                assert!((0.0..=1.0).contains(&s.global_bus_utilization));
+                assert!((0.0..=1.0).contains(&s.memory_utilization));
+                assert!(s.speedup <= (clusters * per_cluster) as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mod3_keeps_invalidations_off_the_global_bus() {
+        let m3 = HierarchicalModel::new(
+            inputs(SharingLevel::Twenty, &[3]),
+            HierarchicalConfig {
+                clusters: 4,
+                per_cluster: 4,
+                cluster_locality: 0.5,
+                cluster_cache_hit: 0.5,
+            },
+        )
+        .unwrap()
+        .solve()
+        .unwrap();
+        let wo = HierarchicalModel::new(
+            inputs(SharingLevel::Twenty, &[]),
+            HierarchicalConfig {
+                clusters: 4,
+                per_cluster: 4,
+                cluster_locality: 0.5,
+                cluster_cache_hit: 0.5,
+            },
+        )
+        .unwrap()
+        .solve()
+        .unwrap();
+        // Write-through broadcasts hit the global bus; invalidations don't.
+        assert!(m3.global_bus_utilization < wo.global_bus_utilization);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let i = inputs(SharingLevel::Five, &[]);
+        for config in [
+            HierarchicalConfig {
+                clusters: 0,
+                per_cluster: 4,
+                cluster_locality: 0.5,
+                cluster_cache_hit: 0.5,
+            },
+            HierarchicalConfig {
+                clusters: 2,
+                per_cluster: 2,
+                cluster_locality: 1.5,
+                cluster_cache_hit: 0.5,
+            },
+            HierarchicalConfig {
+                clusters: 2,
+                per_cluster: 2,
+                cluster_locality: 0.5,
+                cluster_cache_hit: -0.1,
+            },
+        ] {
+            assert!(HierarchicalModel::new(i, config).is_err(), "{config:?}");
+        }
+    }
+}

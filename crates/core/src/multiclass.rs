@@ -1,0 +1,422 @@
+//! Multi-class extension of the mean-value model.
+//!
+//! The paper closes by arguing its "customized mean value equation"
+//! approach extends to "larger and more complex cache-coherent
+//! multiprocessors" (Section 5). This module takes one concrete step in
+//! that direction: **heterogeneous workload classes** sharing one bus —
+//! e.g. a machine where some processors run an OS/interactive mix with
+//! heavy sharing while others run private-data compute, or where different
+//! processors run different coherence-relevant reference mixes.
+//!
+//! Each class `c` (with `N_c` processors and its own derived
+//! [`ModelInputs`]) gets its own response-time equation; the bus and
+//! memory waiting times couple the classes exactly as in the single-class
+//! Eqs. (5)–(12), with class-weighted utilizations, access times and
+//! residual lives. With one class the model reduces *identically* to
+//! [`crate::MvaModel`] (property-tested).
+
+use snoop_numeric::fixed_point::{FixedPoint, Options};
+use snoop_workload::derived::ModelInputs;
+
+use crate::equations as eq;
+use crate::interference::Interference;
+use crate::MvaError;
+
+/// One workload class: a number of identical processors plus their
+/// derived inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadClass {
+    /// Number of processors of this class.
+    pub count: usize,
+    /// Derived model inputs for this class's workload/protocol.
+    pub inputs: ModelInputs,
+}
+
+/// A solved multi-class model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticlassSolution {
+    /// Per-class mean time between requests.
+    pub r: Vec<f64>,
+    /// Per-class speedup contribution `N_c·(τ_c + T_supply)/R_c`.
+    pub class_speedup: Vec<f64>,
+    /// Total speedup (sum of class contributions).
+    pub speedup: f64,
+    /// Bus utilization.
+    pub bus_utilization: f64,
+    /// Memory-module utilization.
+    pub memory_utilization: f64,
+    /// Mean bus waiting time (common to all classes).
+    pub w_bus: f64,
+    /// Mean memory waiting time.
+    pub w_mem: f64,
+    /// Iterations to convergence.
+    pub iterations: usize,
+}
+
+/// The multi-class mean-value model.
+///
+/// # Example
+///
+/// ```
+/// use snoop_mva::multiclass::{MulticlassModel, WorkloadClass};
+/// use snoop_protocol::ModSet;
+/// use snoop_workload::derived::ModelInputs;
+/// use snoop_workload::params::{SharingLevel, WorkloadParams};
+/// use snoop_workload::timing::TimingModel;
+///
+/// # fn main() -> Result<(), snoop_mva::MvaError> {
+/// let timing = TimingModel::default();
+/// let light = ModelInputs::derive_adjusted(
+///     &WorkloadParams::appendix_a(SharingLevel::One), ModSet::new(), &timing)?;
+/// let heavy = ModelInputs::derive_adjusted(
+///     &WorkloadParams::appendix_a(SharingLevel::Twenty), ModSet::new(), &timing)?;
+/// let model = MulticlassModel::new(vec![
+///     WorkloadClass { count: 4, inputs: light },
+///     WorkloadClass { count: 4, inputs: heavy },
+/// ])?;
+/// let s = model.solve()?;
+/// assert!(s.speedup > 3.0 && s.speedup < 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticlassModel {
+    classes: Vec<WorkloadClass>,
+}
+
+impl MulticlassModel {
+    /// Creates a model over the given classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvaError::InvalidSystemSize`] if there are no classes or
+    /// every class is empty.
+    pub fn new(classes: Vec<WorkloadClass>) -> Result<Self, MvaError> {
+        let total: usize = classes.iter().map(|c| c.count).sum();
+        if classes.is_empty() || total == 0 {
+            return Err(MvaError::InvalidSystemSize(0));
+        }
+        Ok(MulticlassModel { classes })
+    }
+
+    /// Total number of processors.
+    pub fn total_processors(&self) -> usize {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Solves the coupled fixed point. State vector: `[w_bus, w_mem,
+    /// R_1, …, R_C]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-convergence.
+    pub fn solve(&self) -> Result<MulticlassSolution, MvaError> {
+        let n_total = self.total_processors();
+        let c_count = self.classes.len();
+        let interference: Vec<Interference> =
+            self.classes.iter().map(|c| Interference::compute(&c.inputs, n_total)).collect();
+
+        // Initial state: zero waits, zero-wait response times.
+        let mut initial = vec![0.0, 0.0];
+        for class in &self.classes {
+            let i = &class.inputs;
+            initial.push(eq::response_time(
+                i,
+                0.0,
+                eq::r_broadcast(i, 0.0, 0.0),
+                eq::r_remote_read(i, 0.0),
+            ));
+        }
+
+        let step = |state: &[f64], out: &mut [f64]| {
+            let (w_bus, w_mem) = (state[0], state[1]);
+
+            // Per-class response times. The arrival-seen queue for a
+            // class-c request is the total expected bus-phase population
+            // minus the requester's own contribution — the multi-class
+            // generalization of Eq. 6's (N−1) factor.
+            let mut new_r = vec![0.0; c_count];
+            let q_total: f64 = self
+                .classes
+                .iter()
+                .enumerate()
+                .map(|(ci, class)| {
+                    let i = &class.inputs;
+                    let r_prev = state[2 + ci].max(1e-12);
+                    class.count as f64
+                        * (eq::r_broadcast(i, w_bus, w_mem) + eq::r_remote_read(i, w_bus))
+                        / r_prev
+                })
+                .sum();
+            for (ci, class) in self.classes.iter().enumerate() {
+                let i = &class.inputs;
+                let r_prev = state[2 + ci].max(1e-12);
+                let r_bc = eq::r_broadcast(i, w_bus, w_mem);
+                let r_rr = eq::r_remote_read(i, w_bus);
+                let q_seen = (q_total - (r_bc + r_rr) / r_prev).max(0.0);
+                let n_int = interference[ci].n_interference(q_seen);
+                let r_local = eq::r_local(i, n_int, interference[ci].t_interference);
+                new_r[ci] = eq::response_time(i, r_local, r_bc, r_rr);
+            }
+
+            // Class-weighted bus utilization, access time and residual.
+            let mut u_bus = 0.0;
+            let mut rate_bc = 0.0; // class-weighted broadcast rate
+            let mut rate_rr = 0.0;
+            let mut t_bc_mix = 0.0;
+            let mut t_rr_mix = 0.0;
+            let mut u_mem = 0.0;
+            for (ci, class) in self.classes.iter().enumerate() {
+                let i = &class.inputs;
+                let nr = class.count as f64 / new_r[ci].max(1e-12);
+                let w_mem_eff = eq::effective_w_mem(i, w_mem);
+                let t_bc = i.t_write + w_mem_eff;
+                u_bus += nr * (i.p_bc * t_bc + i.p_rr * i.t_read);
+                rate_bc += nr * i.p_bc;
+                rate_rr += nr * i.p_rr;
+                t_bc_mix += nr * i.p_bc * t_bc;
+                t_rr_mix += nr * i.p_rr * i.t_read;
+                let bc_mem = if i.bc_updates_memory { i.p_bc } else { 0.0 };
+                u_mem += nr
+                    * (bc_mem + i.p_rr * (i.p_csupwb_rr + i.p_reqwb_rr))
+                    * i.d_mem
+                    / f64::from(i.memory_modules);
+            }
+            let u_bus = u_bus.clamp(0.0, 1.0);
+            let u_mem = u_mem.clamp(0.0, 1.0);
+            let total_rate = rate_bc + rate_rr;
+            let (t_bus, t_res) = if total_rate > 0.0 && (t_bc_mix + t_rr_mix) > 0.0 {
+                let t_bus = (t_bc_mix + t_rr_mix) / total_rate;
+                let mean_bc = if rate_bc > 0.0 { t_bc_mix / rate_bc } else { 0.0 };
+                let mean_rr = if rate_rr > 0.0 { t_rr_mix / rate_rr } else { 0.0 };
+                let t_res = (t_bc_mix * (mean_bc / 2.0) + t_rr_mix * (mean_rr / 2.0))
+                    / (t_bc_mix + t_rr_mix);
+                (t_bus, t_res)
+            } else {
+                (0.0, 0.0)
+            };
+
+            let p_busy_bus = eq::p_busy(u_bus, n_total);
+            let p_busy_mem = eq::p_busy(u_mem, n_total);
+
+            // Arrival-seen queue, averaged over classes: the total minus
+            // one processor's expected own contribution (q_total/N). With
+            // one class this is exactly Eq. 6's (N−1)/N factor.
+            let q_seen_avg = (q_total * (1.0 - 1.0 / n_total as f64)).max(0.0);
+            out[0] = eq::bus_waiting_time(q_seen_avg, p_busy_bus, t_bus, t_res);
+            // Memory wait uses the maximum d_mem across classes (identical
+            // in practice — they share the physical memory).
+            let d_mem = self.classes.iter().map(|c| c.inputs.d_mem).fold(0.0, f64::max);
+            out[1] = p_busy_mem * d_mem / 2.0;
+            out[2..2 + c_count].copy_from_slice(&new_r);
+        };
+
+        let solver = FixedPoint::new(Options {
+            max_iterations: 20_000,
+            tolerance: 1e-12,
+            damping: 1.0,
+            record_history: false,
+            aitken: false,
+        });
+        let solution = match solver.solve(initial.clone(), step) {
+            Ok(s) => s,
+            Err(_) => FixedPoint::new(Options {
+                max_iterations: 40_000,
+                tolerance: 1e-12,
+                damping: 0.3,
+                record_history: false,
+                aitken: false,
+            })
+            .solve(initial, step)?,
+        };
+
+        let (w_bus, w_mem) = (solution.values[0], solution.values[1]);
+        let r: Vec<f64> = solution.values[2..].to_vec();
+        let class_speedup: Vec<f64> = self
+            .classes
+            .iter()
+            .zip(&r)
+            .map(|(c, &r)| c.count as f64 * (c.inputs.tau + c.inputs.t_supply) / r)
+            .collect();
+
+        // Final utilizations from the converged state.
+        let mut u_bus = 0.0;
+        let mut u_mem = 0.0;
+        for (class, &rc) in self.classes.iter().zip(&r) {
+            let i = &class.inputs;
+            let nr = class.count as f64 / rc;
+            let w_mem_eff = eq::effective_w_mem(i, w_mem);
+            u_bus += nr * (i.p_bc * (i.t_write + w_mem_eff) + i.p_rr * i.t_read);
+            let bc_mem = if i.bc_updates_memory { i.p_bc } else { 0.0 };
+            u_mem += nr
+                * (bc_mem + i.p_rr * (i.p_csupwb_rr + i.p_reqwb_rr))
+                * i.d_mem
+                / f64::from(i.memory_modules);
+        }
+
+        Ok(MulticlassSolution {
+            speedup: class_speedup.iter().sum(),
+            class_speedup,
+            r,
+            bus_utilization: u_bus.clamp(0.0, 1.0),
+            memory_utilization: u_mem.clamp(0.0, 1.0),
+            w_bus,
+            w_mem,
+            iterations: solution.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{MvaModel, SolverOptions};
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::{SharingLevel, WorkloadParams};
+    use snoop_workload::timing::TimingModel;
+
+    fn inputs(level: SharingLevel, mods: &[u8]) -> ModelInputs {
+        ModelInputs::derive_adjusted(
+            &WorkloadParams::appendix_a(level),
+            ModSet::from_numbers(mods).unwrap(),
+            &TimingModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_class_reduces_to_single_class_model() {
+        for level in SharingLevel::ALL {
+            for n in [1usize, 4, 10, 20] {
+                let i = inputs(level, &[]);
+                let multi = MulticlassModel::new(vec![WorkloadClass { count: n, inputs: i }])
+                    .unwrap()
+                    .solve()
+                    .unwrap();
+                let single =
+                    MvaModel::new(i).solve(n, &SolverOptions::default()).unwrap();
+                assert!(
+                    (multi.speedup - single.speedup).abs() < 1e-6,
+                    "{level} N={n}: multi {} vs single {}",
+                    multi.speedup,
+                    single.speedup
+                );
+                assert!((multi.w_bus - single.w_bus).abs() < 1e-6);
+                assert!((multi.bus_utilization - single.bus_utilization).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_classes_merge() {
+        let i = inputs(SharingLevel::Five, &[]);
+        let split = MulticlassModel::new(vec![
+            WorkloadClass { count: 3, inputs: i },
+            WorkloadClass { count: 5, inputs: i },
+        ])
+        .unwrap()
+        .solve()
+        .unwrap();
+        let merged = MulticlassModel::new(vec![WorkloadClass { count: 8, inputs: i }])
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!(
+            (split.speedup - merged.speedup).abs() < 1e-6,
+            "{} vs {}",
+            split.speedup,
+            merged.speedup
+        );
+    }
+
+    #[test]
+    fn mixed_system_sits_between_pure_systems() {
+        let light = inputs(SharingLevel::One, &[]);
+        let heavy = inputs(SharingLevel::Twenty, &[]);
+        let pure_light = MulticlassModel::new(vec![WorkloadClass { count: 8, inputs: light }])
+            .unwrap()
+            .solve()
+            .unwrap();
+        let pure_heavy = MulticlassModel::new(vec![WorkloadClass { count: 8, inputs: heavy }])
+            .unwrap()
+            .solve()
+            .unwrap();
+        let mixed = MulticlassModel::new(vec![
+            WorkloadClass { count: 4, inputs: light },
+            WorkloadClass { count: 4, inputs: heavy },
+        ])
+        .unwrap()
+        .solve()
+        .unwrap();
+        assert!(
+            mixed.speedup < pure_light.speedup && mixed.speedup > pure_heavy.speedup,
+            "light {} mixed {} heavy {}",
+            pure_light.speedup,
+            mixed.speedup,
+            pure_heavy.speedup
+        );
+    }
+
+    #[test]
+    fn light_class_outperforms_heavy_class_per_processor() {
+        let light = inputs(SharingLevel::One, &[]);
+        let heavy = inputs(SharingLevel::Twenty, &[]);
+        let mixed = MulticlassModel::new(vec![
+            WorkloadClass { count: 4, inputs: light },
+            WorkloadClass { count: 4, inputs: heavy },
+        ])
+        .unwrap()
+        .solve()
+        .unwrap();
+        let per_light = mixed.class_speedup[0] / 4.0;
+        let per_heavy = mixed.class_speedup[1] / 4.0;
+        assert!(per_light > per_heavy, "{per_light} vs {per_heavy}");
+    }
+
+    #[test]
+    fn heavy_neighbours_slow_you_down() {
+        let light = inputs(SharingLevel::One, &[]);
+        let heavy = inputs(SharingLevel::Twenty, &[]);
+        let alone = MulticlassModel::new(vec![WorkloadClass { count: 4, inputs: light }])
+            .unwrap()
+            .solve()
+            .unwrap();
+        let crowded = MulticlassModel::new(vec![
+            WorkloadClass { count: 4, inputs: light },
+            WorkloadClass { count: 8, inputs: heavy },
+        ])
+        .unwrap()
+        .solve()
+        .unwrap();
+        assert!(
+            crowded.class_speedup[0] < alone.speedup,
+            "{} vs {}",
+            crowded.class_speedup[0],
+            alone.speedup
+        );
+    }
+
+    #[test]
+    fn mixed_protocols_share_the_bus() {
+        // Half the machine runs Write-Once, half runs mods 1+4.
+        let wo = inputs(SharingLevel::Five, &[]);
+        let m14 = inputs(SharingLevel::Five, &[1, 4]);
+        let s = MulticlassModel::new(vec![
+            WorkloadClass { count: 5, inputs: wo },
+            WorkloadClass { count: 5, inputs: m14 },
+        ])
+        .unwrap()
+        .solve()
+        .unwrap();
+        assert!(s.class_speedup[1] > s.class_speedup[0]);
+        assert!(s.bus_utilization <= 1.0);
+        assert!(s.speedup > 4.0 && s.speedup < 10.0, "{}", s.speedup);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(MulticlassModel::new(vec![]).is_err());
+        let i = inputs(SharingLevel::Five, &[]);
+        assert!(MulticlassModel::new(vec![WorkloadClass { count: 0, inputs: i }]).is_err());
+    }
+}

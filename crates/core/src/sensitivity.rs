@@ -1,0 +1,202 @@
+//! Parameter sensitivity analysis.
+//!
+//! The paper closes by noting the model "can be put to good use for
+//! evaluating the protocols more thoroughly — all that is needed are
+//! workload measurement studies to aid in the assignment of parameter
+//! values". Sensitivities tell the measurement effort where to go: a
+//! parameter with elasticity near zero does not need a precise estimate.
+//!
+//! [`sensitivities`] computes, by central finite differences, the
+//! *elasticity* of speedup with respect to each basic workload parameter:
+//! `(∂S/S) / (∂θ/θ)` — the percent change in speedup per percent change in
+//! the parameter.
+
+use snoop_protocol::ModSet;
+use snoop_workload::params::WorkloadParams;
+
+use crate::solver::{MvaModel, SolverOptions};
+use crate::MvaError;
+
+/// Elasticity of speedup with respect to one parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Parameter name as in the paper.
+    pub parameter: &'static str,
+    /// Base value of the parameter.
+    pub value: f64,
+    /// Elasticity `d ln S / d ln θ`; `None` when the parameter is zero
+    /// (elasticity undefined) or perturbation leaves the valid domain.
+    pub elasticity: Option<f64>,
+}
+
+/// The perturbable parameters, with accessors.
+type Field = (&'static str, fn(&WorkloadParams) -> f64, fn(&mut WorkloadParams, f64));
+
+fn fields() -> Vec<Field> {
+    vec![
+        ("tau", |p| p.tau, |p, v| p.tau = v),
+        ("h_private", |p| p.h_private, |p, v| p.h_private = v),
+        ("h_sro", |p| p.h_sro, |p, v| p.h_sro = v),
+        ("h_sw", |p| p.h_sw, |p, v| p.h_sw = v),
+        ("r_private", |p| p.r_private, |p, v| p.r_private = v),
+        ("r_sw", |p| p.r_sw, |p, v| p.r_sw = v),
+        ("amod_private", |p| p.amod_private, |p, v| p.amod_private = v),
+        ("amod_sw", |p| p.amod_sw, |p, v| p.amod_sw = v),
+        ("csupply_sro", |p| p.csupply_sro, |p, v| p.csupply_sro = v),
+        ("csupply_sw", |p| p.csupply_sw, |p, v| p.csupply_sw = v),
+        ("wb_csupply", |p| p.wb_csupply, |p, v| p.wb_csupply = v),
+        ("rep_p", |p| p.rep_p, |p, v| p.rep_p = v),
+        ("rep_sw", |p| p.rep_sw, |p, v| p.rep_sw = v),
+    ]
+}
+
+fn speedup(params: &WorkloadParams, mods: ModSet, n: usize) -> Result<f64, MvaError> {
+    Ok(MvaModel::for_protocol(params, mods)?.solve(n, &SolverOptions::default())?.speedup)
+}
+
+/// Computes speedup elasticities for every basic parameter at the given
+/// operating point, using a relative step of `step` (e.g. `0.01` = ±1%).
+///
+/// # Errors
+///
+/// Propagates model errors at the base point; individual perturbations
+/// that leave the valid domain yield `elasticity: None` instead of
+/// failing the whole analysis.
+pub fn sensitivities(
+    base: &WorkloadParams,
+    mods: ModSet,
+    n: usize,
+    step: f64,
+) -> Result<Vec<Sensitivity>, MvaError> {
+    let s0 = speedup(base, mods, n)?;
+    let mut out = Vec::new();
+    for (name, get, set) in fields() {
+        let v = get(base);
+        if v == 0.0 || s0 == 0.0 {
+            out.push(Sensitivity { parameter: name, value: v, elasticity: None });
+            continue;
+        }
+        let dv = v * step;
+        let mut up = *base;
+        set(&mut up, v + dv);
+        let mut down = *base;
+        set(&mut down, v - dv);
+        let elasticity = match (speedup(&up, mods, n), speedup(&down, mods, n)) {
+            (Ok(su), Ok(sd)) => Some(((su - sd) / (2.0 * dv)) * (v / s0)),
+            _ => None, // perturbation left the valid domain
+        };
+        out.push(Sensitivity { parameter: name, value: v, elasticity });
+    }
+    // Most influential first.
+    out.sort_by(|a, b| {
+        let ka = a.elasticity.map_or(-1.0, f64::abs);
+        let kb = b.elasticity.map_or(-1.0, f64::abs);
+        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(out)
+}
+
+/// Renders a sensitivity report.
+pub fn render(rows: &[Sensitivity]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>8} {:>12}", "parameter", "value", "elasticity");
+    for r in rows {
+        match r.elasticity {
+            Some(e) => {
+                let _ = writeln!(out, "{:<14} {:>8.3} {:>+12.4}", r.parameter, r.value, e);
+            }
+            None => {
+                let _ = writeln!(out, "{:<14} {:>8.3} {:>12}", r.parameter, r.value, "-");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_workload::params::SharingLevel;
+
+    fn run(n: usize) -> Vec<Sensitivity> {
+        sensitivities(
+            &WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::new(),
+            n,
+            0.01,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn covers_every_parameter() {
+        let rows = run(10);
+        assert_eq!(rows.len(), 13);
+        let mut names: Vec<_> = rows.iter().map(|r| r.parameter).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn hit_rates_dominate() {
+        // The private hit rate is the workload's most influential knob at
+        // saturation (misses are the bus traffic).
+        let rows = run(20);
+        let top: Vec<_> = rows.iter().take(3).map(|r| r.parameter).collect();
+        assert!(top.contains(&"h_private"), "top 3: {top:?}");
+    }
+
+    #[test]
+    fn hit_rate_elasticity_is_positive_replacements_negative() {
+        let rows = run(10);
+        let by_name = |n: &str| {
+            rows.iter().find(|r| r.parameter == n).unwrap().elasticity.unwrap()
+        };
+        assert!(by_name("h_private") > 0.0);
+        assert!(by_name("rep_p") < 0.0);
+        assert!(by_name("rep_sw") < 0.0);
+    }
+
+    #[test]
+    fn tau_elasticity_small_at_single_processor() {
+        // At N = 1 speedup = (τ+1)/R with R ≈ τ + overheads: raising τ
+        // *helps* the ratio slightly (overhead amortized).
+        let rows = sensitivities(
+            &WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::new(),
+            1,
+            0.01,
+        )
+        .unwrap();
+        let tau = rows.iter().find(|r| r.parameter == "tau").unwrap();
+        assert!(tau.elasticity.unwrap().abs() < 0.3);
+    }
+
+    #[test]
+    fn boundary_parameters_yield_none_or_value() {
+        // h_private at 1.0: +1% perturbation is invalid, elasticity None.
+        let params = WorkloadParams::builder().h_private(1.0).build().unwrap();
+        let rows = sensitivities(&params, ModSet::new(), 4, 0.01).unwrap();
+        let h = rows.iter().find(|r| r.parameter == "h_private").unwrap();
+        assert!(h.elasticity.is_none());
+    }
+
+    #[test]
+    fn render_is_table_shaped() {
+        let text = render(&run(10));
+        assert!(text.contains("elasticity"));
+        assert_eq!(text.lines().count(), 14);
+    }
+
+    #[test]
+    fn rows_sorted_by_magnitude() {
+        let rows = run(10);
+        let mags: Vec<f64> =
+            rows.iter().filter_map(|r| r.elasticity).map(f64::abs).collect();
+        for w in mags.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "{mags:?}");
+        }
+    }
+}

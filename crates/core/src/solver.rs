@@ -1,0 +1,475 @@
+//! The fixed-point solver (Section 3.2).
+//!
+//! The mean-value equations are cyclically interdependent: the response
+//! time `R` depends on the bus and memory waiting times, which depend on
+//! the utilizations, which depend on `R`. Following the paper, the solver
+//! iterates from zero waiting times until the iterates stop moving.
+//!
+//! The iteration state is the vector `[w_bus, w_mem, R]`; one application
+//! of the map evaluates Eqs. (1)–(13) in dependency order.
+
+use snoop_numeric::fixed_point::{FixedPoint, Options};
+use snoop_protocol::ModSet;
+use snoop_workload::derived::ModelInputs;
+use snoop_workload::params::WorkloadParams;
+use snoop_workload::timing::TimingModel;
+
+use crate::equations as eq;
+use crate::interference::Interference;
+use crate::outputs::MvaSolution;
+use crate::MvaError;
+
+/// Options controlling the fixed-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Maximum iterations (the paper needs ≤ 15 at engineering tolerance;
+    /// the default budget is generous for tight tolerances and stress
+    /// workloads).
+    pub max_iterations: usize,
+    /// Relative convergence tolerance on `[w_bus, w_mem, R]`.
+    pub tolerance: f64,
+    /// Damping factor in `(0, 1]`; 1 is the paper's plain iteration, values
+    /// below 1 stabilize pathological workloads.
+    pub damping: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { max_iterations: 10_000, tolerance: 1e-12, damping: 1.0 }
+    }
+}
+
+impl SolverOptions {
+    /// The paper's engineering tolerance (used by the "≤ 15 iterations"
+    /// reproduction; the paper does not state its tolerance — 1e-3 on the
+    /// iterates reproduces its iteration counts for the system sizes it
+    /// compares against the GTPN).
+    pub fn paper() -> Self {
+        SolverOptions { max_iterations: 500, tolerance: 1e-3, damping: 1.0 }
+    }
+}
+
+/// An MVA model instance: derived inputs, ready to solve for any `N`.
+///
+/// # Example
+///
+/// ```
+/// use snoop_mva::{MvaModel, SolverOptions};
+/// use snoop_protocol::ModSet;
+/// use snoop_workload::params::WorkloadParams;
+///
+/// # fn main() -> Result<(), snoop_mva::MvaError> {
+/// let model = MvaModel::for_protocol(&WorkloadParams::default(), ModSet::new())?;
+/// let s4 = model.solve(4, &SolverOptions::default())?;
+/// let s8 = model.solve(8, &SolverOptions::default())?;
+/// assert!(s8.speedup > s4.speedup);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaModel {
+    inputs: ModelInputs,
+}
+
+impl MvaModel {
+    /// Builds a model directly from derived inputs.
+    pub fn new(inputs: ModelInputs) -> Self {
+        MvaModel { inputs }
+    }
+
+    /// Derives inputs for `params` under `mods` — applying the paper's
+    /// Appendix-A per-modification parameter adjustments — with the default
+    /// timing model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation errors.
+    pub fn for_protocol(params: &WorkloadParams, mods: ModSet) -> Result<Self, MvaError> {
+        let inputs = ModelInputs::derive_adjusted(params, mods, &TimingModel::default())?;
+        Ok(MvaModel { inputs })
+    }
+
+    /// Like [`MvaModel::for_protocol`] with an explicit timing model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation errors.
+    pub fn with_timing(
+        params: &WorkloadParams,
+        mods: ModSet,
+        timing: &TimingModel,
+    ) -> Result<Self, MvaError> {
+        let inputs = ModelInputs::derive_adjusted(params, mods, timing)?;
+        Ok(MvaModel { inputs })
+    }
+
+    /// The derived inputs.
+    pub fn inputs(&self) -> &ModelInputs {
+        &self.inputs
+    }
+
+    /// One application of the mean-value map: `[w_bus, w_mem, R] →
+    /// [w_bus′, w_mem′, R′]`, evaluating the equations in dependency order.
+    fn step(&self, n: usize, interference: &Interference, state: &[f64], out: &mut [f64]) {
+        let inputs = &self.inputs;
+        let (w_bus, w_mem, r_prev) = (state[0], state[1], state[2].max(1e-12));
+
+        // Response-time components (Eqs. 2–4) from current waiting times.
+        let r_bc = eq::r_broadcast(inputs, w_bus, w_mem);
+        let r_rr = eq::r_remote_read(inputs, w_bus);
+        let q_bus = eq::bus_queue_length(n, r_bc, r_rr, r_prev);
+        let n_int = interference.n_interference(q_bus);
+        let r_local = eq::r_local(inputs, n_int, interference.t_interference);
+        let r = eq::response_time(inputs, r_local, r_bc, r_rr);
+
+        // Bus waiting time (Eqs. 5–10).
+        let u_bus = eq::bus_utilization(inputs, n, w_mem, r);
+        let p_busy_bus = eq::p_busy(u_bus, n);
+        let t_bus = eq::mean_bus_access(inputs, w_mem);
+        let t_res = eq::bus_residual_life(inputs, w_mem);
+        let w_bus_next = eq::bus_waiting_time(q_bus, p_busy_bus, t_bus, t_res);
+
+        // Memory waiting time (Eqs. 11–12).
+        let u_mem = eq::memory_utilization(inputs, n, r);
+        let p_busy_mem = eq::p_busy(u_mem, n);
+        let w_mem_next = eq::memory_waiting_time(inputs, p_busy_mem);
+
+        out[0] = w_bus_next;
+        out[1] = w_mem_next;
+        out[2] = r;
+    }
+
+    /// Solves the model and returns the full iterate trajectory
+    /// `(w_bus, w_mem, R)` per iteration — the raw material of the paper's
+    /// Section 3.2 convergence claim, and the data behind the CLI's
+    /// `convergence` command.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MvaModel::solve`].
+    pub fn solve_traced(
+        &self,
+        n: usize,
+        options: &SolverOptions,
+    ) -> Result<(MvaSolution, Vec<[f64; 3]>), MvaError> {
+        if n == 0 {
+            return Err(MvaError::InvalidSystemSize(0));
+        }
+        let inputs = self.inputs;
+        let interference = Interference::compute(&inputs, n);
+        let r0 = eq::response_time(
+            &inputs,
+            0.0,
+            eq::r_broadcast(&inputs, 0.0, 0.0),
+            eq::r_remote_read(&inputs, 0.0),
+        );
+        let fixed_point = FixedPoint::new(Options {
+            max_iterations: options.max_iterations,
+            tolerance: options.tolerance,
+            damping: options.damping,
+            record_history: true,
+            aitken: false,
+        });
+        let traced = fixed_point
+            .solve(vec![0.0, 0.0, r0], |x, out| self.step(n, &interference, x, out))?;
+        let history: Vec<[f64; 3]> =
+            traced.history.iter().map(|v| [v[0], v[1], v[2]]).collect();
+        // Reuse the standard path for the consistent solution report.
+        let solution = self.solve(n, options)?;
+        Ok((solution, history))
+    }
+
+    /// Solves the model for `n` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvaError::InvalidSystemSize`] for `n = 0` and propagates
+    /// non-convergence as [`MvaError::Numeric`].
+    pub fn solve(&self, n: usize, options: &SolverOptions) -> Result<MvaSolution, MvaError> {
+        if n == 0 {
+            return Err(MvaError::InvalidSystemSize(0));
+        }
+        let inputs = self.inputs;
+        let interference = Interference::compute(&inputs, n);
+
+        // Start from zero waiting times (Section 3.2) and the zero-wait
+        // response time.
+        let r0 = eq::response_time(
+            &inputs,
+            0.0,
+            eq::r_broadcast(&inputs, 0.0, 0.0),
+            eq::r_remote_read(&inputs, 0.0),
+        );
+        // Plain successive substitution, the paper's method. Near deep
+        // saturation (N in the thousands) the undamped map can oscillate;
+        // retry with increasing under-relaxation, which preserves the fixed
+        // point. Aitken acceleration is deliberately NOT used here: the
+        // clamps in Eqs. (5)/(7)/(12) make the map non-smooth and
+        // extrapolation can enter limit cycles.
+        let mut solution = None;
+        let mut last_err = None;
+        for damping in [options.damping, 0.5 * options.damping, 0.1 * options.damping] {
+            let fixed_point = FixedPoint::new(Options {
+                max_iterations: options.max_iterations,
+                tolerance: options.tolerance,
+                damping,
+                record_history: false,
+                aitken: false,
+            });
+            match fixed_point
+                .solve(vec![0.0, 0.0, r0], |x, out| self.step(n, &interference, x, out))
+            {
+                Ok(s) => {
+                    solution = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let solution = match solution {
+            Some(s) => s,
+            None => return Err(last_err.expect("at least one attempt ran").into()),
+        };
+
+        // Recompute the reported measures once more from the converged
+        // state so every output is mutually consistent.
+        let (w_bus, w_mem, r_conv) = (solution.values[0], solution.values[1], solution.values[2]);
+        let r_bc = eq::r_broadcast(&inputs, w_bus, w_mem);
+        let r_rr = eq::r_remote_read(&inputs, w_bus);
+        let q_bus = eq::bus_queue_length(n, r_bc, r_rr, r_conv);
+        let n_int = interference.n_interference(q_bus);
+        let r_local = eq::r_local(&inputs, n_int, interference.t_interference);
+        let r = eq::response_time(&inputs, r_local, r_bc, r_rr);
+
+        Ok(MvaSolution {
+            n,
+            r,
+            speedup: eq::speedup(&inputs, n, r),
+            processing_power: eq::processing_power(&inputs, n, r),
+            bus_utilization: eq::bus_utilization(&inputs, n, w_mem, r),
+            memory_utilization: eq::memory_utilization(&inputs, n, r),
+            w_bus,
+            w_mem,
+            q_bus,
+            n_interference: n_int,
+            t_interference: interference.t_interference,
+            r_local,
+            r_broadcast: r_bc,
+            r_remote_read: r_rr,
+            iterations: solution.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_workload::params::SharingLevel;
+
+    fn solve(level: SharingLevel, mods: &[u8], n: usize) -> MvaSolution {
+        MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(level),
+            ModSet::from_numbers(mods).unwrap(),
+        )
+        .unwrap()
+        .solve(n, &SolverOptions::default())
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_processors() {
+        let m = MvaModel::for_protocol(&WorkloadParams::default(), ModSet::new()).unwrap();
+        assert!(matches!(
+            m.solve(0, &SolverOptions::default()),
+            Err(MvaError::InvalidSystemSize(0))
+        ));
+    }
+
+    #[test]
+    fn single_processor_has_no_waiting() {
+        let s = solve(SharingLevel::Five, &[], 1);
+        assert_eq!(s.w_bus, 0.0);
+        assert_eq!(s.w_mem, 0.0);
+        assert_eq!(s.q_bus, 0.0);
+        // Table 4.1(a): 0.855 at N = 1, 5% sharing.
+        assert!((s.speedup - 0.855).abs() < 0.005, "speedup = {}", s.speedup);
+    }
+
+    #[test]
+    fn solutions_are_physical() {
+        for level in SharingLevel::ALL {
+            for mods in [&[][..], &[1], &[2], &[3], &[1, 4], &[1, 2, 3], &[1, 2, 3, 4]] {
+                for n in [1, 2, 6, 10, 20, 100] {
+                    let s = solve(level, mods, n);
+                    assert!(
+                        s.is_physical(2.5, 1.0),
+                        "{level} {mods:?} N={n}: {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_is_nearly_monotone_in_n() {
+        // Speedup grows with N until saturation, then flattens. A slight
+        // decline past saturation is genuine model behaviour — the paper's
+        // own Table 4.1(b) reads 7.09 at N = 20 and 7.04 at N = 100 — so a
+        // 1% dip is tolerated.
+        for level in SharingLevel::ALL {
+            let mut last = 0.0;
+            for n in [1, 2, 4, 6, 8, 10, 15, 20, 50, 100] {
+                let s = solve(level, &[], n);
+                assert!(
+                    s.speedup >= last * 0.99,
+                    "{level}: speedup dropped at N={n}: {} < {last}",
+                    s.speedup
+                );
+                last = last.max(s.speedup);
+            }
+        }
+    }
+
+    #[test]
+    fn bus_saturates_as_n_grows() {
+        let s = solve(SharingLevel::Five, &[], 100);
+        assert!(s.bus_utilization > 0.95, "U_bus = {}", s.bus_utilization);
+        // The response time grows roughly linearly with N past saturation,
+        // so speedup flattens.
+        let s200 = solve(SharingLevel::Five, &[], 200);
+        assert!((s200.speedup - s.speedup).abs() < 0.05);
+    }
+
+    #[test]
+    fn more_sharing_means_less_speedup() {
+        for n in [4, 10, 20] {
+            let one = solve(SharingLevel::One, &[], n).speedup;
+            let five = solve(SharingLevel::Five, &[], n).speedup;
+            let twenty = solve(SharingLevel::Twenty, &[], n).speedup;
+            assert!(one > five && five > twenty, "N={n}: {one} {five} {twenty}");
+        }
+    }
+
+    #[test]
+    fn modification_1_improves_speedup() {
+        for level in SharingLevel::ALL {
+            for n in [6, 10, 20] {
+                let wo = solve(level, &[], n).speedup;
+                let m1 = solve(level, &[1], n).speedup;
+                assert!(m1 > wo, "{level} N={n}: mod1 {m1} ≤ WO {wo}");
+            }
+        }
+    }
+
+    #[test]
+    fn modifications_2_and_3_have_little_effect() {
+        // Section 4: "Speedups for modifications 2 and 3 are nearly
+        // indistinguishable from the results for the protocols without
+        // these modifications."
+        for level in SharingLevel::ALL {
+            let wo = solve(level, &[], 10).speedup;
+            let m2 = solve(level, &[2], 10).speedup;
+            let m3 = solve(level, &[3], 10).speedup;
+            assert!((m2 - wo).abs() / wo < 0.03, "{level}: mod2 {m2} vs {wo}");
+            assert!((m3 - wo).abs() / wo < 0.03, "{level}: mod3 {m3} vs {wo}");
+        }
+    }
+
+    #[test]
+    fn modification_4_helps_at_scale_and_sharing() {
+        // Section 4.1: "Modification 4 is more advantageous as system size
+        // and the level of sharing increase."
+        let m1 = solve(SharingLevel::Twenty, &[1], 100).speedup;
+        let m14 = solve(SharingLevel::Twenty, &[1, 4], 100).speedup;
+        assert!(m14 > m1 + 1.0, "mod1+4 {m14} vs mod1 {m1}");
+    }
+
+    #[test]
+    fn converges_within_16_iterations_at_paper_tolerance() {
+        // Section 3.2: "Solution of the equations converged within 15
+        // iterations in all experiments reported in this paper." Our map
+        // (which carries the response time as an explicit state component)
+        // needs at most 16 over the GTPN-comparison range N ≤ 10 at the
+        // engineering tolerance; beyond saturation (N ≥ 15) plain
+        // substitution slows as its linear rate approaches 1, which the
+        // solver tolerates with its larger default budget.
+        for level in SharingLevel::ALL {
+            for mods in [&[][..], &[1], &[2], &[3], &[1, 4], &[1, 2, 3]] {
+                for n in [1, 2, 4, 6, 8, 10] {
+                    let model = MvaModel::for_protocol(
+                        &WorkloadParams::appendix_a(level),
+                        ModSet::from_numbers(mods).unwrap(),
+                    )
+                    .unwrap();
+                    let s = model.solve(n, &SolverOptions::paper()).unwrap();
+                    assert!(
+                        s.iterations <= 16,
+                        "{level} {mods:?} N={n}: {} iterations",
+                        s.iterations
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_solve_matches_plain_solve() {
+        let model = MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::new(),
+        )
+        .unwrap();
+        let plain = model.solve(10, &SolverOptions::paper()).unwrap();
+        let (traced, history) = model.solve_traced(10, &SolverOptions::paper()).unwrap();
+        assert!((plain.r - traced.r).abs() < 1e-12);
+        // History starts at zero waits and ends at the fixed point.
+        assert_eq!(history[0][0], 0.0);
+        assert_eq!(history[0][1], 0.0);
+        let last = history.last().unwrap();
+        assert!((last[0] - traced.w_bus).abs() < 1e-3);
+        // Monotone approach for this workload: R grows from its zero-wait
+        // value toward the fixed point.
+        assert!(history.first().unwrap()[2] <= last[2] + 1e-9);
+        assert!(history.len() >= 2);
+    }
+
+    #[test]
+    fn stress_workload_converges() {
+        let model =
+            MvaModel::for_protocol(&WorkloadParams::stress(), ModSet::new()).unwrap();
+        for n in [2, 10, 50] {
+            let s = model.solve(n, &SolverOptions::default()).unwrap();
+            assert!(s.is_physical(2.5, 1.0), "N={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn damping_reaches_same_fixed_point() {
+        let model = MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(SharingLevel::Twenty),
+            ModSet::new(),
+        )
+        .unwrap();
+        let plain = model.solve(10, &SolverOptions::default()).unwrap();
+        let damped = model
+            .solve(10, &SolverOptions { damping: 0.5, ..SolverOptions::default() })
+            .unwrap();
+        assert!((plain.r - damped.r).abs() < 1e-8);
+    }
+
+    #[test]
+    fn perfect_cache_gives_linear_speedup() {
+        let p = WorkloadParams::builder()
+            .h_private(1.0)
+            .h_sro(1.0)
+            .h_sw(1.0)
+            .amod_private(1.0)
+            .amod_sw(1.0)
+            .build()
+            .unwrap();
+        let model = MvaModel::for_protocol(&p, ModSet::new()).unwrap();
+        let s = model.solve(64, &SolverOptions::default()).unwrap();
+        assert!((s.speedup - 64.0).abs() < 1e-9);
+        assert_eq!(s.bus_utilization, 0.0);
+    }
+}

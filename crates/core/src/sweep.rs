@@ -1,0 +1,250 @@
+//! Parameter sweeps: speedup curves over system size, protocols and
+//! sharing levels — the data behind Figure 4.1 and Table 4.1.
+
+use snoop_protocol::ModSet;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+use crate::solver::{MvaModel, SolverOptions};
+use crate::{MvaError, MvaSolution};
+
+/// The processor counts of Table 4.1.
+pub const TABLE_4_1_N: [usize; 9] = [1, 2, 4, 6, 8, 10, 15, 20, 100];
+
+/// One speedup-vs-N series for a (protocol, sharing level) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupSeries {
+    /// Modification set of the protocol.
+    pub mods: ModSet,
+    /// Sharing level of the workload.
+    pub sharing: SharingLevel,
+    /// Solutions, parallel to the requested `n` values.
+    pub points: Vec<MvaSolution>,
+}
+
+impl SpeedupSeries {
+    /// The speedups of the series.
+    pub fn speedups(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.speedup).collect()
+    }
+}
+
+/// Solves one (protocol, sharing) series over the given system sizes.
+///
+/// # Errors
+///
+/// Propagates model construction and solver errors.
+pub fn speedup_series(
+    mods: ModSet,
+    sharing: SharingLevel,
+    sizes: &[usize],
+    options: &SolverOptions,
+) -> Result<SpeedupSeries, MvaError> {
+    let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), mods)?;
+    let points =
+        sizes.iter().map(|&n| model.solve(n, options)).collect::<Result<Vec<_>, _>>()?;
+    Ok(SpeedupSeries { mods, sharing, points })
+}
+
+/// Solves the full Figure 4.1 family: the three protocols the paper plots
+/// (Write-Once, modification 1, modifications 1+4), each at the three
+/// sharing levels.
+///
+/// # Errors
+///
+/// Propagates model construction and solver errors.
+pub fn figure_4_1_family(
+    sizes: &[usize],
+    options: &SolverOptions,
+) -> Result<Vec<SpeedupSeries>, MvaError> {
+    let protocols = [
+        ModSet::new(),
+        ModSet::from_numbers(&[1]).expect("valid"),
+        ModSet::from_numbers(&[1, 4]).expect("valid"),
+    ];
+    let mut series = Vec::new();
+    for mods in protocols {
+        for sharing in SharingLevel::ALL {
+            series.push(speedup_series(mods, sharing, sizes, options)?);
+        }
+    }
+    Ok(series)
+}
+
+/// Solves one series with the size-dependent sharing refinement (the
+/// \[GrMi87\] improvement the paper's Section 2.3 calls for), anchored so
+/// the Appendix-A `csupply` values hold exactly at `reference_n`.
+///
+/// Unlike [`speedup_series`], the derived inputs change with `N`: the
+/// probability that some other cache can supply a shared block grows as
+/// `1 − (1 − q)^(N−1)`.
+///
+/// # Errors
+///
+/// Propagates model construction and solver errors.
+pub fn refined_speedup_series(
+    mods: ModSet,
+    sharing: SharingLevel,
+    sizes: &[usize],
+    options: &SolverOptions,
+    reference_n: usize,
+) -> Result<SpeedupSeries, MvaError> {
+    let base = WorkloadParams::appendix_a(sharing);
+    let refinement =
+        snoop_workload::sharing::SizeDependentSharing::anchored(&base, reference_n)?;
+    let points = sizes
+        .iter()
+        .map(|&n| {
+            let params = refinement.at_size(&base, n);
+            MvaModel::for_protocol(&params, mods)?.solve(n, options)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SpeedupSeries { mods, sharing, points })
+}
+
+/// Sweeps one scalar workload parameter, returning `(value, speedup)`
+/// pairs. `set` mutates a copy of `base` for each swept value.
+///
+/// # Errors
+///
+/// Propagates model construction and solver errors (e.g. an invalid swept
+/// value).
+pub fn parameter_sweep<F>(
+    base: &WorkloadParams,
+    mods: ModSet,
+    n: usize,
+    values: &[f64],
+    options: &SolverOptions,
+    mut set: F,
+) -> Result<Vec<(f64, MvaSolution)>, MvaError>
+where
+    F: FnMut(&mut WorkloadParams, f64),
+{
+    values
+        .iter()
+        .map(|&v| {
+            let mut params = *base;
+            set(&mut params, v);
+            let model = MvaModel::for_protocol(&params, mods)?;
+            Ok((v, model.solve(n, options)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_has_one_point_per_size() {
+        let s = speedup_series(
+            ModSet::new(),
+            SharingLevel::Five,
+            &TABLE_4_1_N,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(s.points.len(), 9);
+        assert_eq!(s.speedups().len(), 9);
+        assert_eq!(s.points[0].n, 1);
+        assert_eq!(s.points[8].n, 100);
+    }
+
+    #[test]
+    fn figure_family_has_nine_series() {
+        let family = figure_4_1_family(&[1, 10], &SolverOptions::default()).unwrap();
+        assert_eq!(family.len(), 9);
+        // Distinct protocol/sharing combinations.
+        let mut keys: Vec<String> =
+            family.iter().map(|s| format!("{}/{}", s.mods, s.sharing)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 9);
+    }
+
+    #[test]
+    fn refined_series_anchors_at_reference() {
+        let fixed = speedup_series(
+            ModSet::new(),
+            SharingLevel::Twenty,
+            &[2, 10, 50],
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let refined = refined_speedup_series(
+            ModSet::new(),
+            SharingLevel::Twenty,
+            &[2, 10, 50],
+            &SolverOptions::default(),
+            10,
+        )
+        .unwrap();
+        // At the anchor the two models coincide.
+        assert!(
+            (fixed.points[1].speedup - refined.points[1].speedup).abs() < 1e-9,
+            "anchor mismatch: {} vs {}",
+            fixed.points[1].speedup,
+            refined.points[1].speedup
+        );
+        // Away from it they differ (csupply moved).
+        assert!((fixed.points[0].speedup - refined.points[0].speedup).abs() > 1e-6);
+        assert!((fixed.points[2].speedup - refined.points[2].speedup).abs() > 1e-6);
+    }
+
+    #[test]
+    fn refinement_helps_at_scale_for_write_once() {
+        // More caches holding copies means more cache-supplied (fast)
+        // misses at large N — with Write-Once partially offset by extra
+        // supplier write-backs; the net effect is positive for the
+        // Appendix-A workload.
+        let fixed = speedup_series(
+            ModSet::new(),
+            SharingLevel::Twenty,
+            &[100],
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let refined = refined_speedup_series(
+            ModSet::new(),
+            SharingLevel::Twenty,
+            &[100],
+            &SolverOptions::default(),
+            10,
+        )
+        .unwrap();
+        assert!(
+            refined.points[0].speedup > fixed.points[0].speedup,
+            "refined {} vs fixed {}",
+            refined.points[0].speedup,
+            fixed.points[0].speedup
+        );
+    }
+
+    #[test]
+    fn parameter_sweep_tracks_hit_rate() {
+        let sweep = parameter_sweep(
+            &WorkloadParams::default(),
+            ModSet::new(),
+            10,
+            &[0.80, 0.90, 0.99],
+            &SolverOptions::default(),
+            |p, v| p.h_private = v,
+        )
+        .unwrap();
+        assert_eq!(sweep.len(), 3);
+        // Higher private hit rate, higher speedup.
+        assert!(sweep[2].1.speedup > sweep[0].1.speedup);
+    }
+
+    #[test]
+    fn parameter_sweep_propagates_invalid_values() {
+        let err = parameter_sweep(
+            &WorkloadParams::default(),
+            ModSet::new(),
+            4,
+            &[1.5],
+            &SolverOptions::default(),
+            |p, v| p.h_private = v,
+        );
+        assert!(err.is_err());
+    }
+}

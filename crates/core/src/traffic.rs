@@ -1,0 +1,199 @@
+//! Bus-traffic decomposition.
+//!
+//! Speedup tells you *that* a modification helps; the traffic breakdown
+//! tells you *why*. This module splits the expected bus occupancy per 100
+//! memory references into its causes — write-through/invalidate
+//! announcements, miss fetches (memory- vs cache-supplied), supplier
+//! write-backs and replacement write-backs — the presentation style of the
+//! original protocol papers (\[Good83\], \[PaPa84\], \[KEWP85\]).
+
+use snoop_workload::derived::ModelInputs;
+
+/// Expected bus operations and bus cycles per 100 memory references,
+/// decomposed by cause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficBreakdown {
+    /// Consistency announcements (`write-word`/`invalidate`): operations.
+    pub announcements: f64,
+    /// Announcement bus cycles.
+    pub announcement_cycles: f64,
+    /// Miss fetches supplied by memory: operations.
+    pub memory_fetches: f64,
+    /// Memory-fetch bus cycles.
+    pub memory_fetch_cycles: f64,
+    /// Miss fetches supplied by another cache: operations.
+    pub cache_fetches: f64,
+    /// Cache-fetch bus cycles.
+    pub cache_fetch_cycles: f64,
+    /// Supplier write-backs (Write-Once's dirty-snoop memory update):
+    /// block transfers.
+    pub supplier_writebacks: f64,
+    /// Supplier write-back cycles.
+    pub supplier_writeback_cycles: f64,
+    /// Replacement (victim) write-backs: block transfers.
+    pub replacement_writebacks: f64,
+    /// Replacement write-back cycles.
+    pub replacement_writeback_cycles: f64,
+}
+
+impl TrafficBreakdown {
+    /// Computes the breakdown from derived model inputs, using the same
+    /// timing reconstruction as `t_read` (memory fetch 8 cycles, cache
+    /// fetch 4, write-back 4 with the default timing model, all scaled by
+    /// the inputs' block size).
+    pub fn from_inputs(inputs: &ModelInputs) -> Self {
+        let per100 = 100.0;
+        let block = inputs.block_cycles;
+        let mem_fetch_cycles = 1.0 + inputs.d_mem + block; // addr + latency + block
+
+        let frac_cs = if inputs.p_rr > 0.0 {
+            inputs.csupply_weighted_mass / inputs.p_rr
+        } else {
+            0.0
+        };
+        let cache_fetches = inputs.p_rr * frac_cs * per100;
+        let memory_fetches = inputs.p_rr * (1.0 - frac_cs) * per100;
+        let supplier_wb = inputs.p_rr * inputs.p_csupwb_rr * per100;
+        let replacement_wb = inputs.p_rr * inputs.p_reqwb_rr * per100;
+        let announcements = inputs.p_bc * per100;
+
+        TrafficBreakdown {
+            announcements,
+            announcement_cycles: announcements * inputs.t_write,
+            memory_fetches,
+            memory_fetch_cycles: memory_fetches * mem_fetch_cycles,
+            cache_fetches,
+            cache_fetch_cycles: cache_fetches * block,
+            supplier_writebacks: supplier_wb,
+            supplier_writeback_cycles: supplier_wb * block,
+            replacement_writebacks: replacement_wb,
+            replacement_writeback_cycles: replacement_wb * block,
+        }
+    }
+
+    /// Total bus operations per 100 references (write-backs ride their
+    /// parent transaction and are not counted as separate operations).
+    pub fn total_operations(&self) -> f64 {
+        self.announcements + self.memory_fetches + self.cache_fetches
+    }
+
+    /// Total bus cycles per 100 references. Consistent with the model's
+    /// zero-wait bus demand: `100·(p_bc·T_write + p_rr·t_read)`.
+    pub fn total_cycles(&self) -> f64 {
+        self.announcement_cycles
+            + self.memory_fetch_cycles
+            + self.cache_fetch_cycles
+            + self.supplier_writeback_cycles
+            + self.replacement_writeback_cycles
+    }
+
+    /// Renders the breakdown as a fixed-width table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>10} {:>10} {:>8}",
+            "cause (per 100 refs)", "ops", "cycles", "cyc %"
+        );
+        let total = self.total_cycles().max(1e-12);
+        let mut row = |name: &str, ops: f64, cycles: f64| {
+            let _ = writeln!(
+                out,
+                "{name:<26} {ops:>10.3} {cycles:>10.2} {:>7.1}%",
+                cycles / total * 100.0
+            );
+        };
+        row("announcements", self.announcements, self.announcement_cycles);
+        row("memory fetches", self.memory_fetches, self.memory_fetch_cycles);
+        row("cache-to-cache fetches", self.cache_fetches, self.cache_fetch_cycles);
+        row("supplier write-backs", self.supplier_writebacks, self.supplier_writeback_cycles);
+        row(
+            "replacement write-backs",
+            self.replacement_writebacks,
+            self.replacement_writeback_cycles,
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>10.3} {:>10.2} {:>7.1}%",
+            "total",
+            self.total_operations(),
+            self.total_cycles(),
+            100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::{SharingLevel, WorkloadParams};
+    use snoop_workload::timing::TimingModel;
+
+    fn breakdown(level: SharingLevel, mods: &[u8]) -> TrafficBreakdown {
+        let inputs = ModelInputs::derive_adjusted(
+            &WorkloadParams::appendix_a(level),
+            ModSet::from_numbers(mods).unwrap(),
+            &TimingModel::default(),
+        )
+        .unwrap();
+        TrafficBreakdown::from_inputs(&inputs)
+    }
+
+    #[test]
+    fn cycles_match_the_zero_wait_bus_demand() {
+        // The decomposition must tile exactly the demand the MVA charges
+        // the bus with (at zero memory wait).
+        for level in SharingLevel::ALL {
+            for mods in [&[][..], &[1], &[2], &[3], &[1, 4]] {
+                let inputs = ModelInputs::derive_adjusted(
+                    &WorkloadParams::appendix_a(level),
+                    ModSet::from_numbers(mods).unwrap(),
+                    &TimingModel::default(),
+                )
+                .unwrap();
+                let b = TrafficBreakdown::from_inputs(&inputs);
+                let demand = 100.0 * (inputs.p_bc * inputs.t_write + inputs.p_rr * inputs.t_read);
+                assert!(
+                    (b.total_cycles() - demand).abs() < 1e-9,
+                    "{level} {mods:?}: {} vs {demand}",
+                    b.total_cycles()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod1_eliminates_most_announcements() {
+        let wo = breakdown(SharingLevel::Five, &[]);
+        let m1 = breakdown(SharingLevel::Five, &[1]);
+        // Write-Once's announcements are dominated by private write-throughs.
+        assert!(m1.announcements < wo.announcements * 0.1);
+        // Fetch traffic is nearly unchanged (slightly more replacements).
+        assert!((m1.memory_fetches - wo.memory_fetches).abs() < 0.5);
+    }
+
+    #[test]
+    fn mod2_eliminates_supplier_writebacks() {
+        let wo = breakdown(SharingLevel::Twenty, &[]);
+        let m2 = breakdown(SharingLevel::Twenty, &[2]);
+        assert!(wo.supplier_writebacks > 0.0);
+        assert_eq!(m2.supplier_writebacks, 0.0);
+    }
+
+    #[test]
+    fn memory_fetches_dominate_cycles_for_appendix_a() {
+        let b = breakdown(SharingLevel::Five, &[]);
+        assert!(b.memory_fetch_cycles > b.total_cycles() * 0.5);
+    }
+
+    #[test]
+    fn render_tiles_to_100_percent() {
+        let text = breakdown(SharingLevel::Twenty, &[]).render();
+        assert!(text.contains("total"));
+        assert!(text.contains("100.0%"));
+        assert_eq!(text.lines().count(), 7);
+    }
+}

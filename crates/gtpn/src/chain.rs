@@ -1,0 +1,49 @@
+//! Embedded Markov chain construction from the state graph.
+
+use snoop_numeric::sparse::{CsrMatrix, Triplet};
+
+use crate::reachability::StateGraph;
+use crate::GtpnError;
+
+/// Builds the one-step transition-probability matrix of the state graph.
+///
+/// Every state of a [`StateGraph`] is settled and every edge spans exactly
+/// one time unit, so the chain's stationary distribution is directly the
+/// time-average state distribution.
+///
+/// # Errors
+///
+/// Propagates sparse-assembly errors (should not occur for a well-formed
+/// graph).
+pub fn transition_matrix(graph: &StateGraph) -> Result<CsrMatrix, GtpnError> {
+    let n = graph.len();
+    let mut triplets = Vec::new();
+    for (s, row) in graph.edges.iter().enumerate() {
+        for &(t, p) in row {
+            triplets.push(Triplet { row: s, col: t, value: p });
+        }
+    }
+    Ok(CsrMatrix::from_triplets(n, n, &triplets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Firing, NetBuilder};
+    use crate::reachability::{explore, ReachabilityOptions};
+    use snoop_numeric::markov::check_stochastic;
+
+    #[test]
+    fn matrix_is_stochastic() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Geometric(0.3), &[(a, 1)], &[(z, 1)]);
+        b.timed("back", Firing::Deterministic(2), &[(z, 1)], &[(a, 1)]);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        let p = transition_matrix(&g).unwrap();
+        assert_eq!(p.rows(), g.len());
+        check_stochastic(&p, 1e-9).unwrap();
+    }
+}

@@ -1,0 +1,110 @@
+//! Graphviz (DOT) export of nets and reachability graphs.
+
+use std::fmt::Write as _;
+
+use crate::net::{Firing, Net};
+use crate::reachability::StateGraph;
+
+/// Renders the net structure: places as circles (with initial tokens),
+/// transitions as boxes (immediate = thin, timed = labeled with their
+/// firing law).
+pub fn net_diagram(net: &Net) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph net {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, place) in net.places().iter().enumerate() {
+        let tokens = if place.initial_tokens > 0 {
+            format!("\\n●×{}", place.initial_tokens)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "  p{i} [label=\"{}{tokens}\", shape=circle];", place.name);
+    }
+    for (i, t) in net.transitions().iter().enumerate() {
+        let law = match t.firing {
+            Firing::Immediate => format!("w={}", t.weight),
+            Firing::Deterministic(d) => format!("det {d}"),
+            Firing::Geometric(p) => format!("geo {p}"),
+        };
+        let style = if matches!(t.firing, Firing::Immediate) {
+            ", height=0.1, style=filled, fillcolor=black, fontcolor=white"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  t{i} [label=\"{}\\n{law}\", shape=box{style}];", t.name);
+        for &(p, k) in &t.inputs {
+            let mult = if k > 1 { format!(" [label=\"{k}\"]") } else { String::new() };
+            let _ = writeln!(out, "  p{} -> t{i}{mult};", p.index());
+        }
+        for &(p, k) in &t.outputs {
+            let mult = if k > 1 { format!(" [label=\"{k}\"]") } else { String::new() };
+            let _ = writeln!(out, "  t{i} -> p{};", p.index());
+            let _ = mult;
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the expanded state graph (small nets only: every timed state
+/// becomes a node, every one-tick transition an edge labeled with its
+/// probability).
+pub fn state_graph_diagram(graph: &StateGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph states {{");
+    for (i, state) in graph.states.iter().enumerate() {
+        let marking: Vec<String> = state.marking.iter().map(u32::to_string).collect();
+        let _ = writeln!(
+            out,
+            "  s{i} [label=\"[{}] +{} firing\"];",
+            marking.join(","),
+            state.active.len()
+        );
+    }
+    for (s, row) in graph.edges.iter().enumerate() {
+        for &(t, p) in row {
+            let _ = writeln!(out, "  s{s} -> s{t} [label=\"{p:.3}\"];");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+    use crate::reachability::{explore, ReachabilityOptions};
+
+    fn sample_net() -> Net {
+        let mut b = NetBuilder::new();
+        let a = b.place("ready", 2);
+        let q = b.place("queue", 0);
+        b.immediate("classify", &[(a, 1)], &[(q, 1)]);
+        b.timed("serve", Firing::Deterministic(3), &[(q, 2)], &[(a, 2)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn net_diagram_is_well_formed() {
+        let d = net_diagram(&sample_net());
+        assert!(d.starts_with("digraph"));
+        assert_eq!(d.matches('{').count(), d.matches('}').count());
+        assert!(d.contains("ready"));
+        assert!(d.contains("det 3"));
+        assert!(d.contains("●×2"));
+        // Multiplicity-2 input arc is labeled.
+        assert!(d.contains("[label=\"2\"]"));
+    }
+
+    #[test]
+    fn state_graph_diagram_lists_all_states() {
+        let net = sample_net();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        let d = state_graph_diagram(&g);
+        for i in 0..g.len() {
+            assert!(d.contains(&format!("s{i} [")), "missing state {i}");
+        }
+        assert!(d.contains("->"));
+    }
+}

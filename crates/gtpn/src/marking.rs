@@ -1,0 +1,101 @@
+//! Timed states: marking plus in-flight firings.
+
+/// Remaining-time encoding for an active firing: deterministic firings
+/// carry a countdown, geometric firings are memoryless and carry none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Remaining {
+    /// Completes when the countdown (in ticks) reaches zero.
+    Ticks(u32),
+    /// Completes each tick with the transition's geometric probability.
+    Memoryless,
+}
+
+/// One in-flight firing of a timed transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActiveFiring {
+    /// Index of the firing transition.
+    pub transition: usize,
+    /// Remaining time.
+    pub remaining: Remaining,
+}
+
+/// A timed state of the net: the token marking (tokens currently *in
+/// places* — tokens held by firing transitions are not) plus the multiset
+/// of in-flight firings, kept sorted so equal states hash equally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TimedState {
+    /// Tokens per place.
+    pub marking: Vec<u32>,
+    /// In-flight firings, sorted.
+    pub active: Vec<ActiveFiring>,
+}
+
+impl TimedState {
+    /// Creates a state, normalizing the firing order.
+    pub fn new(marking: Vec<u32>, mut active: Vec<ActiveFiring>) -> Self {
+        active.sort_unstable();
+        TimedState { marking, active }
+    }
+
+    /// Number of active firings of transition `t`.
+    pub fn active_count(&self, t: usize) -> u32 {
+        self.active.iter().filter(|f| f.transition == t).count() as u32
+    }
+
+    /// Total tokens in places (excludes tokens held by firings).
+    pub fn total_tokens(&self) -> u32 {
+        self.marking.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn active_order_is_normalized() {
+        let a = TimedState::new(
+            vec![1, 0],
+            vec![
+                ActiveFiring { transition: 2, remaining: Remaining::Ticks(1) },
+                ActiveFiring { transition: 0, remaining: Remaining::Memoryless },
+            ],
+        );
+        let b = TimedState::new(
+            vec![1, 0],
+            vec![
+                ActiveFiring { transition: 0, remaining: Remaining::Memoryless },
+                ActiveFiring { transition: 2, remaining: Remaining::Ticks(1) },
+            ],
+        );
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn active_count_counts_duplicates() {
+        let s = TimedState::new(
+            vec![0],
+            vec![
+                ActiveFiring { transition: 1, remaining: Remaining::Ticks(3) },
+                ActiveFiring { transition: 1, remaining: Remaining::Ticks(1) },
+                ActiveFiring { transition: 2, remaining: Remaining::Memoryless },
+            ],
+        );
+        assert_eq!(s.active_count(1), 2);
+        assert_eq!(s.active_count(2), 1);
+        assert_eq!(s.active_count(0), 0);
+    }
+
+    #[test]
+    fn total_tokens_ignores_held() {
+        let s = TimedState::new(
+            vec![2, 3],
+            vec![ActiveFiring { transition: 0, remaining: Remaining::Ticks(1) }],
+        );
+        assert_eq!(s.total_tokens(), 5);
+    }
+}

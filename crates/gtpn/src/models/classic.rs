@@ -1,0 +1,117 @@
+//! Classic nets with known solutions, used as engine validation fixtures.
+
+use crate::net::{Firing, Net, NetBuilder, PlaceId, TransitionId};
+use crate::GtpnError;
+
+/// A closed cyclic server: `customers` tokens circulate between a
+/// geometric "think" stage and a deterministic single server — the
+/// machine-repairman model, the skeleton of the multiprocessor net.
+#[derive(Debug, Clone)]
+pub struct MachineRepairman {
+    /// The underlying net.
+    pub net: Net,
+    /// Thinking stations (one geometric transition per customer).
+    pub think: Vec<TransitionId>,
+    /// The repair (service) transitions, one per customer.
+    pub serve: Vec<TransitionId>,
+    /// The queue place (customers waiting for the server).
+    pub queue: Vec<PlaceId>,
+    /// The server-free place.
+    pub server_free: PlaceId,
+}
+
+impl MachineRepairman {
+    /// Builds the model: `customers` machines, geometric think with mean
+    /// `1/think_p`, deterministic service of `service` ticks.
+    ///
+    /// Each customer gets its own think transition and queue place so the
+    /// engine's state space mirrors the multiprocessor net's structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates net-construction errors (e.g. zero service time).
+    pub fn build(customers: usize, think_p: f64, service: u32) -> Result<Self, GtpnError> {
+        let mut b = NetBuilder::new();
+        let server_free = b.place("server-free", 1);
+        let mut think = Vec::new();
+        let mut serve = Vec::new();
+        let mut queue = Vec::new();
+        for i in 0..customers {
+            let ready = b.place(&format!("ready-{i}"), 1);
+            let waiting = b.place(&format!("waiting-{i}"), 0);
+            think.push(b.timed(
+                &format!("think-{i}"),
+                Firing::Geometric(think_p),
+                &[(ready, 1)],
+                &[(waiting, 1)],
+            ));
+            serve.push(b.timed(
+                &format!("serve-{i}"),
+                Firing::Deterministic(service),
+                &[(waiting, 1), (server_free, 1)],
+                &[(ready, 1), (server_free, 1)],
+            ));
+            queue.push(waiting);
+        }
+        Ok(MachineRepairman { net: b.build()?, think, serve, queue, server_free })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve_net;
+
+    #[test]
+    fn single_customer_matches_renewal_theory() {
+        // One machine: cycle = mean think (1/p) + service (s).
+        let m = MachineRepairman::build(1, 0.25, 3).unwrap();
+        let sol = solve_net(&m.net).unwrap();
+        let cycle = 1.0 / 0.25 + 3.0;
+        assert!((sol.throughput(m.think[0]) - 1.0 / cycle).abs() < 1e-9);
+        // Server busy s out of every cycle ticks.
+        assert!((sol.utilization(m.serve[0]) - 3.0 / cycle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_customers_contend() {
+        let m = MachineRepairman::build(2, 0.25, 3).unwrap();
+        let sol = solve_net(&m.net).unwrap();
+        // Per-customer throughput drops below the solo value because of
+        // queueing, but total server utilization rises.
+        let solo_cycle = 1.0 / 0.25 + 3.0;
+        let x0 = sol.throughput(m.think[0]);
+        let x1 = sol.throughput(m.think[1]);
+        assert!((x0 - x1).abs() < 1e-9, "symmetric customers: {x0} vs {x1}");
+        assert!(x0 < 1.0 / solo_cycle);
+        let server_util: f64 = (x0 + x1) * 3.0;
+        assert!(server_util > 3.0 / solo_cycle);
+        assert!(server_util < 1.0);
+    }
+
+    #[test]
+    fn heavy_load_saturates_server() {
+        // Think almost instantaneous: the server should be ~always busy and
+        // throughput ~1/service.
+        let m = MachineRepairman::build(3, 0.95, 4).unwrap();
+        let sol = solve_net(&m.net).unwrap();
+        let total: f64 = m.think.iter().map(|&t| sol.throughput(t)).sum();
+        assert!((total - 0.25).abs() < 0.02, "total throughput {total}");
+        let util: f64 = m.serve.iter().map(|&t| sol.utilization(t)).sum();
+        assert!(util > 0.9, "server utilization {util}");
+    }
+
+    #[test]
+    fn state_count_grows_with_customers() {
+        // The paper's Section 3.2 cost argument in miniature.
+        let sizes: Vec<usize> = (1..=3)
+            .map(|n| {
+                let m = MachineRepairman::build(n, 0.4, 4).unwrap();
+                solve_net(&m.net).unwrap().state_count()
+            })
+            .collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+        // Growth is multiplicative, not additive.
+        assert!(sizes[2] > 2 * sizes[1], "{sizes:?}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Ready-made GTPN models.
+//!
+//! * [`classic`] — textbook nets with closed-form solutions, used to
+//!   validate the engine itself;
+//! * [`coherence`] — the snooping-cache multiprocessor net (the detailed
+//!   model the paper validates its MVA equations against), built from the
+//!   same derived [`snoop_workload::derived::ModelInputs`] the MVA model
+//!   consumes.
+
+pub mod classic;
+pub mod coherence;

@@ -1,0 +1,546 @@
+//! Reachability analysis: expanding the timed state graph.
+//!
+//! Discrete-time GTPN semantics, one tick per state transition:
+//!
+//! 1. **Completions** — deterministic firings whose countdown reaches zero
+//!    deposit their output tokens; each memoryless (geometric) firing
+//!    completes independently with its probability, branching the
+//!    successor distribution.
+//! 2. **Zero-time activity** — enabled immediate transitions fire (highest
+//!    priority class first, conflicts resolved probabilistically by
+//!    weight), then enabled timed transitions *start* (consuming their
+//!    input tokens), also racing by weight — this reproduces the
+//!    random-order bus service of the \[VeHo86\] models. The activity repeats
+//!    until the state is quiescent ("settled").
+//!
+//! Every state in the graph is settled, so each edge represents exactly one
+//! time unit and the embedded Markov chain's stationary distribution *is*
+//! the time-average distribution.
+
+use std::collections::HashMap;
+
+use crate::marking::{ActiveFiring, Remaining, TimedState};
+use crate::net::{Firing, Net};
+use crate::GtpnError;
+
+/// Budgets for the expansion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReachabilityOptions {
+    /// Maximum number of distinct states before giving up.
+    pub max_states: usize,
+    /// Maximum tokens allowed in any single place (unboundedness guard).
+    pub token_bound: u32,
+    /// Probability below which a branch is discarded (and the remaining
+    /// mass renormalized).
+    pub probability_floor: f64,
+    /// Maximum zero-time firings along one settling path (immediate-cycle
+    /// livelock guard).
+    pub max_zero_time_firings: usize,
+}
+
+impl Default for ReachabilityOptions {
+    fn default() -> Self {
+        ReachabilityOptions {
+            max_states: 200_000,
+            token_bound: 4096,
+            probability_floor: 1e-12,
+            max_zero_time_firings: 10_000,
+        }
+    }
+}
+
+/// The expanded state graph with edge probabilities and per-state expected
+/// firing counts.
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    /// All settled states.
+    pub states: Vec<TimedState>,
+    /// `edges[s]` = successor distribution of state `s` (probabilities sum
+    /// to 1).
+    pub edges: Vec<Vec<(usize, f64)>>,
+    /// `firing_rates[s][t]` = expected number of firings of transition `t`
+    /// during one tick taken from state `s` (completions for timed
+    /// transitions, fires for immediate ones).
+    pub firing_rates: Vec<Vec<f64>>,
+    /// Index of the initial settled state... states reached by settling the
+    /// initial marking, with their probabilities.
+    pub initial: Vec<(usize, f64)>,
+}
+
+impl StateGraph {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the graph is empty (never true for a successful expansion).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Expands the reachable timed state graph of `net`.
+///
+/// # Errors
+///
+/// Returns [`GtpnError::StateSpaceExplosion`], [`GtpnError::UnboundedPlace`]
+/// or [`GtpnError::ImmediateLivelock`] when a budget is violated.
+pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, GtpnError> {
+    let mut explorer = Explorer { net, options, index: HashMap::new(), states: Vec::new() };
+
+    // Settle the initial marking (zero-time activity only; firing counts
+    // during the transient settle are not attributed to any state).
+    let mut initial_counts = vec![0.0; net.transitions().len()];
+    let mut settled = Vec::new();
+    explorer.settle(
+        net.initial_marking(),
+        Vec::new(),
+        1.0,
+        0,
+        &mut initial_counts,
+        &mut settled,
+    )?;
+    let initial: Vec<(usize, f64)> = {
+        let mut acc: Vec<(usize, f64)> = Vec::new();
+        for (state, prob) in settled {
+            let id = explorer.intern(state)?;
+            match acc.iter_mut().find(|(s, _)| *s == id) {
+                Some((_, p)) => *p += prob,
+                None => acc.push((id, prob)),
+            }
+        }
+        acc
+    };
+
+    // Breadth-first expansion.
+    let mut edges: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut firing_rates: Vec<Vec<f64>> = Vec::new();
+    let mut next_unexpanded = 0usize;
+    while next_unexpanded < explorer.states.len() {
+        let state = explorer.states[next_unexpanded].clone();
+        let (dist, counts) = explorer.step(&state)?;
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for (s, p) in dist {
+            let id = explorer.intern(s)?;
+            match row.iter_mut().find(|(t, _)| *t == id) {
+                Some((_, q)) => *q += p,
+                None => row.push((id, p)),
+            }
+        }
+        // Renormalize (the probability floor may have trimmed mass).
+        let total: f64 = row.iter().map(|(_, p)| p).sum();
+        if total > 0.0 {
+            for (_, p) in &mut row {
+                *p /= total;
+            }
+        }
+        edges.push(row);
+        firing_rates.push(counts);
+        next_unexpanded += 1;
+    }
+
+    Ok(StateGraph { states: explorer.states, edges, firing_rates, initial })
+}
+
+/// Successor distribution and expected per-transition firing counts of
+/// one tick.
+type StepOutcome = (Vec<(TimedState, f64)>, Vec<f64>);
+
+struct Explorer<'a> {
+    net: &'a Net,
+    options: &'a ReachabilityOptions,
+    index: HashMap<TimedState, usize>,
+    states: Vec<TimedState>,
+}
+
+impl Explorer<'_> {
+    fn intern(&mut self, state: TimedState) -> Result<usize, GtpnError> {
+        if let Some(&id) = self.index.get(&state) {
+            return Ok(id);
+        }
+        if self.states.len() >= self.options.max_states {
+            return Err(GtpnError::StateSpaceExplosion { limit: self.options.max_states });
+        }
+        let id = self.states.len();
+        self.states.push(state.clone());
+        self.index.insert(state, id);
+        Ok(id)
+    }
+
+    /// One tick from a settled state: returns the successor distribution
+    /// and the expected firing counts.
+    fn step(&self, state: &TimedState) -> Result<StepOutcome, GtpnError> {
+        let mut counts = vec![0.0; self.net.transitions().len()];
+        let mut out = Vec::new();
+
+        // Split active firings into deterministic (advance their clocks)
+        // and geometric (branch over completion subsets).
+        let mut advanced: Vec<ActiveFiring> = Vec::new();
+        let mut det_completions: Vec<usize> = Vec::new();
+        let mut geometrics: Vec<usize> = Vec::new();
+        for f in &state.active {
+            match f.remaining {
+                Remaining::Ticks(1) => det_completions.push(f.transition),
+                Remaining::Ticks(k) => advanced
+                    .push(ActiveFiring { transition: f.transition, remaining: Remaining::Ticks(k - 1) }),
+                Remaining::Memoryless => geometrics.push(f.transition),
+            }
+        }
+
+        self.branch_geometrics(
+            state,
+            &advanced,
+            &det_completions,
+            &geometrics,
+            0,
+            Vec::new(),
+            Vec::new(),
+            1.0,
+            &mut counts,
+            &mut out,
+        )?;
+        Ok((out, counts))
+    }
+
+    /// Recursively branches over which memoryless firings complete this
+    /// tick, then applies completions and settles. `completed_geo` and
+    /// `surviving_geo` partition the first `i` entries of `geometrics`
+    /// (kept as separate lists so several concurrent firings of the same
+    /// transition are counted individually).
+    #[allow(clippy::too_many_arguments)]
+    fn branch_geometrics(
+        &self,
+        state: &TimedState,
+        advanced: &[ActiveFiring],
+        det_completions: &[usize],
+        geometrics: &[usize],
+        i: usize,
+        completed_geo: Vec<usize>,
+        surviving_geo: Vec<usize>,
+        prob: f64,
+        counts: &mut [f64],
+        out: &mut Vec<(TimedState, f64)>,
+    ) -> Result<(), GtpnError> {
+        if prob < self.options.probability_floor {
+            return Ok(());
+        }
+        if i < geometrics.len() {
+            let t = geometrics[i];
+            let p = match self.net.transitions()[t].firing {
+                Firing::Geometric(p) => p,
+                _ => unreachable!("memoryless firing of non-geometric transition"),
+            };
+            // Branch: completes.
+            let mut with = completed_geo.clone();
+            with.push(t);
+            self.branch_geometrics(
+                state,
+                advanced,
+                det_completions,
+                geometrics,
+                i + 1,
+                with,
+                surviving_geo.clone(),
+                prob * p,
+                counts,
+                out,
+            )?;
+            // Branch: keeps firing.
+            if p < 1.0 {
+                let mut survives = surviving_geo;
+                survives.push(t);
+                self.branch_geometrics(
+                    state,
+                    advanced,
+                    det_completions,
+                    geometrics,
+                    i + 1,
+                    completed_geo,
+                    survives,
+                    prob * (1.0 - p),
+                    counts,
+                    out,
+                )?;
+            }
+            return Ok(());
+        }
+
+        // All geometric outcomes decided: build the post-tick marking.
+        let mut marking = state.marking.clone();
+        let mut active = advanced.to_vec();
+        for &t in &surviving_geo {
+            active.push(ActiveFiring { transition: t, remaining: Remaining::Memoryless });
+        }
+        for &t in det_completions.iter().chain(completed_geo.iter()) {
+            counts[t] += prob;
+            for &(p, k) in &self.net.transitions()[t].outputs {
+                marking[p.index()] = marking[p.index()].saturating_add(k);
+                if marking[p.index()] > self.options.token_bound {
+                    return Err(GtpnError::UnboundedPlace { place: p.index() });
+                }
+            }
+        }
+
+        let mut settled = Vec::new();
+        self.settle(marking, active, prob, 0, counts, &mut settled)?;
+        out.extend(settled);
+        Ok(())
+    }
+
+    /// Zero-time activity: immediate firings (priority then weight race),
+    /// then timed starts (weight race), until quiescent. Iterative with an
+    /// explicit worklist — livelocked nets would otherwise recurse until
+    /// the stack overflows before the firing budget triggers.
+    fn settle(
+        &self,
+        marking: Vec<u32>,
+        active: Vec<ActiveFiring>,
+        prob: f64,
+        zero_time_firings: usize,
+        counts: &mut [f64],
+        out: &mut Vec<(TimedState, f64)>,
+    ) -> Result<(), GtpnError> {
+        type WorkItem = (Vec<u32>, Vec<ActiveFiring>, f64, usize);
+        let mut work: Vec<WorkItem> = vec![(marking, active, prob, zero_time_firings)];
+
+        while let Some((marking, active, prob, fired)) = work.pop() {
+            if prob < self.options.probability_floor {
+                continue;
+            }
+            if fired > self.options.max_zero_time_firings {
+                return Err(GtpnError::ImmediateLivelock);
+            }
+
+            // Highest-priority enabled immediate class.
+            let mut best_priority = None;
+            for t in self.net.transitions() {
+                if matches!(t.firing, Firing::Immediate) && t.enabled(&marking) {
+                    best_priority =
+                        Some(best_priority.map_or(t.priority, |b: u32| b.max(t.priority)));
+                }
+            }
+            let candidates: Vec<usize> = if let Some(prio) = best_priority {
+                self.net
+                    .transitions()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| {
+                        matches!(t.firing, Firing::Immediate)
+                            && t.priority == prio
+                            && t.enabled(&marking)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            } else {
+                // No immediates: race the enabled timed transitions to start.
+                self.net
+                    .transitions()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| {
+                        !matches!(t.firing, Firing::Immediate) && t.enabled(&marking)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            };
+
+            if candidates.is_empty() {
+                out.push((TimedState::new(marking, active), prob));
+                continue;
+            }
+
+            let total_weight: f64 =
+                candidates.iter().map(|&i| self.net.transitions()[i].weight).sum();
+            for &ti in &candidates {
+                let t = &self.net.transitions()[ti];
+                let branch_prob = prob * t.weight / total_weight;
+                let mut m = marking.clone();
+                for &(p, k) in &t.inputs {
+                    m[p.index()] -= k;
+                }
+                let mut a = active.clone();
+                match t.firing {
+                    Firing::Immediate => {
+                        counts[ti] += branch_prob;
+                        for &(p, k) in &t.outputs {
+                            m[p.index()] = m[p.index()].saturating_add(k);
+                            if m[p.index()] > self.options.token_bound {
+                                return Err(GtpnError::UnboundedPlace { place: p.index() });
+                            }
+                        }
+                    }
+                    Firing::Deterministic(d) => {
+                        a.push(ActiveFiring { transition: ti, remaining: Remaining::Ticks(d) });
+                    }
+                    Firing::Geometric(_) => {
+                        a.push(ActiveFiring { transition: ti, remaining: Remaining::Memoryless });
+                    }
+                }
+                work.push((m, a, branch_prob, fired + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Firing, NetBuilder};
+
+    #[test]
+    fn deterministic_cycle_has_period_states() {
+        let mut b = NetBuilder::new();
+        let w = b.place("working", 1);
+        let r = b.place("resting", 0);
+        b.timed("finish", Firing::Deterministic(2), &[(w, 1)], &[(r, 1)]);
+        b.timed("restart", Firing::Deterministic(1), &[(r, 1)], &[(w, 1)]);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        assert_eq!(g.len(), 3);
+        // Every edge distribution is a single successor with probability 1.
+        for row in &g.edges {
+            assert_eq!(row.len(), 1);
+            assert!((row[0].1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn geometric_branches_two_ways() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Geometric(0.25), &[(a, 1)], &[(z, 1)]);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        // States: firing-in-progress, and absorbed (token in z, quiescent).
+        assert_eq!(g.len(), 2);
+        let firing_state = &g.states[g.initial[0].0];
+        assert_eq!(firing_state.active.len(), 1);
+        let row = &g.edges[g.initial[0].0];
+        assert_eq!(row.len(), 2);
+        let p_complete: f64 =
+            row.iter().find(|(s, _)| g.states[*s].marking[1] == 1).map(|(_, p)| *p).unwrap();
+        assert!((p_complete - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_race_splits_by_weight() {
+        let mut b = NetBuilder::new();
+        let src = b.place("src", 1);
+        let left = b.place("left", 0);
+        let right = b.place("right", 0);
+        b.immediate_weighted("go-left", 1.0, 0, &[(src, 1)], &[(left, 1)]);
+        b.immediate_weighted("go-right", 3.0, 0, &[(src, 1)], &[(right, 1)]);
+        // Tick timers so the settled states are distinguishable and live.
+        b.timed("l", Firing::Deterministic(1), &[(left, 1)], &[(src, 1)]);
+        b.timed("r", Firing::Deterministic(1), &[(right, 1)], &[(src, 1)]);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        // Initial settle: src → (left | right) → timer starts: two states.
+        assert_eq!(g.initial.len(), 2);
+        let probs: Vec<f64> = g.initial.iter().map(|&(_, p)| p).collect();
+        let min = probs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = probs.iter().cloned().fold(0.0, f64::max);
+        assert!((min - 0.25).abs() < 1e-12);
+        assert!((max - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_beats_weight() {
+        let mut b = NetBuilder::new();
+        let src = b.place("src", 1);
+        let hi = b.place("hi", 0);
+        let lo = b.place("lo", 0);
+        b.immediate_weighted("high", 0.001, 5, &[(src, 1)], &[(hi, 1)]);
+        b.immediate_weighted("low", 1000.0, 0, &[(src, 1)], &[(lo, 1)]);
+        b.timed("recycle", Firing::Deterministic(1), &[(hi, 1)], &[(src, 1)]);
+        b.timed("recycle2", Firing::Deterministic(1), &[(lo, 1)], &[(src, 1)]);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        // Only the high-priority branch is ever taken.
+        assert_eq!(g.initial.len(), 1);
+        for s in &g.states {
+            assert_eq!(s.marking[2], 0, "low-priority output reached: {s:?}");
+        }
+    }
+
+    #[test]
+    fn dead_state_self_loops() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let z = b.place("z", 0);
+        b.timed("end", Firing::Deterministic(1), &[(a, 1)], &[(z, 1)]);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        // The absorbed state (token in z) has itself as its only successor.
+        let dead = g
+            .states
+            .iter()
+            .position(|s| s.marking[1] == 1 && s.active.is_empty())
+            .expect("absorbed state exists");
+        assert_eq!(g.edges[dead], vec![(dead, 1.0)]);
+    }
+
+    #[test]
+    fn immediate_livelock_is_detected() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let c = b.place("b", 0);
+        b.immediate("ping", &[(a, 1)], &[(c, 1)]);
+        b.immediate("pong", &[(c, 1)], &[(a, 1)]);
+        let net = b.build().unwrap();
+        let err = explore(&net, &ReachabilityOptions::default()).unwrap_err();
+        assert_eq!(err, GtpnError::ImmediateLivelock);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        // A counter that keeps growing a place: unbounded, but the token
+        // bound triggers first unless states explode; use a tiny budget.
+        let mut b = NetBuilder::new();
+        let clock = b.place("clock", 1);
+        let acc = b.place("acc", 0);
+        b.timed("tick", Firing::Deterministic(1), &[(clock, 1)], &[(clock, 1), (acc, 1)]);
+        let net = b.build().unwrap();
+        let err = explore(
+            &net,
+            &ReachabilityOptions { max_states: 10, ..ReachabilityOptions::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            GtpnError::StateSpaceExplosion { limit: 10 } | GtpnError::UnboundedPlace { .. }
+        ));
+    }
+
+    #[test]
+    fn token_bound_detects_unbounded_place() {
+        let mut b = NetBuilder::new();
+        let clock = b.place("clock", 1);
+        let acc = b.place("acc", 0);
+        b.timed("tick", Firing::Deterministic(1), &[(clock, 1)], &[(clock, 1), (acc, 1)]);
+        let net = b.build().unwrap();
+        let err = explore(
+            &net,
+            &ReachabilityOptions { token_bound: 50, ..ReachabilityOptions::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, GtpnError::UnboundedPlace { place: 1 });
+    }
+
+    #[test]
+    fn edge_probabilities_sum_to_one() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 2);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Geometric(0.3), &[(a, 1)], &[(z, 1)]);
+        b.timed("back", Firing::Geometric(0.6), &[(z, 1)], &[(a, 1)]);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ReachabilityOptions::default()).unwrap();
+        for (i, row) in g.edges.iter().enumerate() {
+            let sum: f64 = row.iter().map(|(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "state {i}: {sum}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Transient (time-dependent) analysis.
+//!
+//! The steady-state pipeline in [`crate::solve`] answers the paper's
+//! questions; transient analysis answers *how fast* the system gets there
+//! (warm-up lengths for the simulator's measurement windows) and resolves
+//! absorbing nets exactly. Because every edge of the expanded state graph
+//! spans one tick, the `k`-step distribution is just `π₀ Pᵏ`.
+
+use snoop_numeric::sparse::CsrMatrix;
+
+use crate::chain::transition_matrix;
+use crate::net::{Net, PlaceId};
+use crate::reachability::{explore, ReachabilityOptions, StateGraph};
+use crate::GtpnError;
+
+/// A transient trajectory: state distributions at ticks `0..=horizon`.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    graph: StateGraph,
+    /// `distributions[k][s]` = P(state `s` at tick `k`).
+    distributions: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// Number of recorded ticks (horizon + 1).
+    pub fn len(&self) -> usize {
+        self.distributions.len()
+    }
+
+    /// Whether the trajectory is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.distributions.is_empty()
+    }
+
+    /// The state distribution at tick `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the horizon.
+    pub fn distribution(&self, k: usize) -> &[f64] {
+        &self.distributions[k]
+    }
+
+    /// Expected tokens in `place` at tick `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the horizon.
+    pub fn mean_tokens_at(&self, place: PlaceId, k: usize) -> f64 {
+        self.graph
+            .states
+            .iter()
+            .zip(&self.distributions[k])
+            .map(|(s, &p)| p * f64::from(s.marking[place.index()]))
+            .sum()
+    }
+
+    /// Expected-token time series for a place over the whole horizon.
+    pub fn mean_tokens_series(&self, place: PlaceId) -> Vec<f64> {
+        (0..self.len()).map(|k| self.mean_tokens_at(place, k)).collect()
+    }
+
+    /// Total-variation distance between the distributions at the last two
+    /// ticks — a convergence indicator for warm-up estimation.
+    pub fn final_step_distance(&self) -> f64 {
+        if self.len() < 2 {
+            return f64::INFINITY;
+        }
+        let a = &self.distributions[self.len() - 2];
+        let b = &self.distributions[self.len() - 1];
+        0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+    }
+}
+
+/// Expands `net` and computes its transient trajectory for `horizon`
+/// ticks from the initial marking.
+///
+/// # Errors
+///
+/// Propagates exploration and matrix-assembly failures.
+pub fn transient(
+    net: &Net,
+    horizon: usize,
+    options: &ReachabilityOptions,
+) -> Result<Trajectory, GtpnError> {
+    let graph = explore(net, options)?;
+    let p: CsrMatrix = transition_matrix(&graph)?;
+
+    let mut current = vec![0.0; graph.len()];
+    for &(s, prob) in &graph.initial {
+        current[s] += prob;
+    }
+    let mut distributions = Vec::with_capacity(horizon + 1);
+    distributions.push(current.clone());
+    for _ in 0..horizon {
+        current = p.vec_mul(&current)?;
+        distributions.push(current.clone());
+    }
+    Ok(Trajectory { graph, distributions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Firing, NetBuilder};
+
+    #[test]
+    fn deterministic_pipeline_timing_is_exact() {
+        // Token takes exactly 3 ticks to traverse a Deterministic(3) stage.
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Deterministic(3), &[(a, 1)], &[(z, 1)]);
+        let net = b.build().unwrap();
+        let t = transient(&net, 5, &ReachabilityOptions::default()).unwrap();
+        assert_eq!(t.mean_tokens_at(z, 0), 0.0);
+        assert_eq!(t.mean_tokens_at(z, 2), 0.0);
+        assert_eq!(t.mean_tokens_at(z, 3), 1.0);
+        assert_eq!(t.mean_tokens_at(z, 5), 1.0);
+    }
+
+    #[test]
+    fn geometric_absorption_follows_the_cdf() {
+        // P(absorbed by tick k) = 1 − (1−p)^k.
+        let p = 0.3;
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Geometric(p), &[(a, 1)], &[(z, 1)]);
+        let net = b.build().unwrap();
+        let t = transient(&net, 10, &ReachabilityOptions::default()).unwrap();
+        for k in 0..=10usize {
+            let expected = 1.0 - (1.0 - p).powi(k as i32);
+            assert!(
+                (t.mean_tokens_at(z, k) - expected).abs() < 1e-12,
+                "tick {k}: {} vs {expected}",
+                t.mean_tokens_at(z, k)
+            );
+        }
+    }
+
+    #[test]
+    fn distributions_stay_normalized() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 2);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Geometric(0.4), &[(a, 1)], &[(z, 1)]);
+        b.timed("back", Firing::Deterministic(2), &[(z, 1)], &[(a, 1)]);
+        let net = b.build().unwrap();
+        let t = transient(&net, 20, &ReachabilityOptions::default()).unwrap();
+        for k in 0..t.len() {
+            let total: f64 = t.distribution(k).iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "tick {k}: {total}");
+        }
+    }
+
+    #[test]
+    fn trajectory_converges_toward_steady_state() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Geometric(0.5), &[(a, 1)], &[(z, 1)]);
+        b.timed("back", Firing::Geometric(0.25), &[(z, 1)], &[(a, 1)]);
+        let net = b.build().unwrap();
+        let t = transient(&net, 200, &ReachabilityOptions::default()).unwrap();
+        assert!(t.final_step_distance() < 1e-9);
+        // Steady state: fraction of time in the `go` phase is
+        // (1/0.5)/((1/0.5)+(1/0.25)) = 1/3; the `back` firing holds the
+        // token 2/3 of the time.
+        let series = t.mean_tokens_series(a);
+        assert!(series[200] < 1e-6); // tokens always inside firings here
+    }
+
+    #[test]
+    fn short_trajectory_distance_is_informative() {
+        let mut b = NetBuilder::new();
+        let a = b.place("a", 1);
+        let z = b.place("z", 0);
+        b.timed("go", Firing::Deterministic(2), &[(a, 1)], &[(z, 1)]);
+        b.timed("back", Firing::Deterministic(2), &[(z, 1)], &[(a, 1)]);
+        let net = b.build().unwrap();
+        // A deterministic cycle never converges pointwise.
+        let t = transient(&net, 9, &ReachabilityOptions::default()).unwrap();
+        assert!(t.final_step_distance() > 0.5);
+        let t1 = transient(&net, 0, &ReachabilityOptions::default()).unwrap();
+        assert!(t1.final_step_distance().is_infinite());
+    }
+}

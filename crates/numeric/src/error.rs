@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Error type for the numeric substrate.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, NumericError>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// An iterative method failed to converge within its iteration budget.
+    ///
+    /// Carries the iteration limit and the residual at the final iterate.
+    NoConvergence {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+        /// Residual (method-specific norm) at the last iterate.
+        residual: f64,
+    },
+    /// A matrix was singular (or numerically singular) where a solve was
+    /// requested.
+    SingularMatrix {
+        /// Pivot column at which elimination broke down.
+        pivot: usize,
+    },
+    /// Dimensions of the operands do not agree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::NoConvergence { iterations, residual } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumericError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_no_convergence() {
+        let e = NumericError::NoConvergence { iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = NumericError::SingularMatrix { pivot: 3 };
+        assert!(e.to_string().contains("pivot column 3"));
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = NumericError::DimensionMismatch { expected: 4, actual: 2 };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 2");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

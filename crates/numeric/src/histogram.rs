@@ -1,0 +1,255 @@
+//! Streaming histograms and quantile estimates.
+//!
+//! The discrete-event simulator reports mean waiting times to compare with
+//! the MVA's Eq. (5); distributions (tail quantiles of the bus wait, the
+//! spread of per-processor response times) need a compact streaming
+//! summary. [`Histogram`] uses fixed-width bins over a configured range
+//! with overflow/underflow tracking — simple, allocation-free per sample,
+//! and exact for the deterministic-ish cycle counts this suite produces.
+
+use crate::NumericError;
+
+/// A fixed-width-bin streaming histogram.
+///
+/// # Example
+///
+/// ```
+/// use snoop_numeric::histogram::Histogram;
+///
+/// # fn main() -> Result<(), snoop_numeric::NumericError> {
+/// let mut h = Histogram::new(0.0, 10.0, 20)?;
+/// for x in [1.0, 2.0, 2.5, 3.0, 9.5] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!((h.quantile(0.5)? - 2.5).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high)` with `bins` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `low >= high`, the
+    /// bounds are non-finite, or `bins == 0`.
+    // `!(low < high)` deliberately rejects NaN bounds.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, NumericError> {
+        if !(low < high) || !low.is_finite() || !high.is_finite() {
+            return Err(NumericError::InvalidArgument(format!(
+                "invalid histogram range [{low}, {high})"
+            )));
+        }
+        if bins == 0 {
+            return Err(NumericError::InvalidArgument("need at least one bin".into()));
+        }
+        Ok(Histogram {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        })
+    }
+
+    /// Records a sample. Out-of-range samples land in the underflow or
+    /// overflow counters (still contributing to count/mean).
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let width = (self.high - self.low) / self.bins.len() as f64;
+            let idx = (((x - self.low) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded samples (including out-of-range ones).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), linearly interpolated within the
+    /// containing bin. Underflow counts are treated as sitting at `low`,
+    /// overflow at `high`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `q` is outside
+    /// `[0, 1]` or the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Result<f64, NumericError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(NumericError::InvalidArgument(format!("quantile {q} not in [0, 1]")));
+        }
+        if self.count == 0 {
+            return Err(NumericError::InvalidArgument(
+                "quantile of an empty histogram".into(),
+            ));
+        }
+        let target = q * self.count as f64;
+        let mut seen = self.underflow as f64;
+        if target <= seen {
+            return Ok(self.low);
+        }
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = seen + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - seen) / c as f64;
+                return Ok(self.low + (i as f64 + frac) * width);
+            }
+            seen = next;
+        }
+        Ok(self.high)
+    }
+
+    /// Renders a compact ASCII bar chart (one line per non-empty bin).
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let bin_width = (self.high - self.low) / self.bins.len() as f64;
+        if self.underflow > 0 {
+            let _ = writeln!(out, "{:>10} {:>8}  (underflow)", "< low", self.underflow);
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((c as f64 / max as f64 * width as f64).ceil() as usize);
+            let _ = writeln!(
+                out,
+                "{:>10.2} {:>8}  {bar}",
+                self.low + (i as f64 + 0.5) * bin_width,
+                c
+            );
+        }
+        if self.overflow > 0 {
+            let _ = writeln!(out, "{:>10} {:>8}  (overflow)", ">= high", self.overflow);
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend([0.5, 1.5, 1.6, 9.99]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert!((h.mean() - (0.5 + 1.5 + 1.6 + 9.99) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-1.0);
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_grid() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.quantile(0.5).unwrap() - 50.0).abs() < 1.5);
+        assert!((h.quantile(0.9).unwrap() - 90.0).abs() < 1.5);
+        assert!((h.quantile(0.0).unwrap() - 0.0).abs() < 1.5);
+        assert!((h.quantile(1.0).unwrap() - 100.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn quantile_validation() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert!(h.quantile(0.5).is_err()); // empty
+        let mut h = h;
+        h.record(0.5);
+        assert!(h.quantile(-0.1).is_err());
+        assert!(h.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 0.6, 1.5, -1.0, 5.0]);
+        let r = h.render(20);
+        assert!(r.contains('#'));
+        assert!(r.contains("underflow"));
+        assert!(r.contains("overflow"));
+    }
+
+    #[test]
+    fn exact_upper_bound_is_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.record(1.0);
+        assert_eq!(h.overflow(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Numeric substrate for the `snoop-mva` model suite.
+//!
+//! This crate provides the numerical machinery that the analytic models and
+//! the detailed comparator models are built on:
+//!
+//! * [`fixed_point`] — a damped fixed-point iteration framework with
+//!   convergence tracking, used to solve the cyclic mean-value equations of
+//!   the paper (its Section 3.2 reports convergence within 15 iterations).
+//! * [`matrix`] / [`lu`] — dense matrices and LU decomposition with partial
+//!   pivoting, used for direct steady-state solutions of small Markov chains.
+//! * [`sparse`] — compressed-sparse-row matrices for the reachability-graph
+//!   Markov chains produced by the GTPN engine.
+//! * [`markov`] — steady-state solvers for discrete- and continuous-time
+//!   Markov chains (direct for small chains, iterative for large ones).
+//! * [`stats`] — streaming sample statistics, Student-t confidence intervals
+//!   and batch-means analysis for the discrete-event simulator.
+//! * [`roots`] — bracketed scalar root finding (bisection / regula falsi),
+//!   used for asymptotic (N → ∞) analyses.
+//!
+//! # Example
+//!
+//! Solving a tiny fixed point `x = cos(x)`:
+//!
+//! ```
+//! use snoop_numeric::fixed_point::{FixedPoint, Options};
+//!
+//! let solution = FixedPoint::new(Options::default())
+//!     .solve(vec![0.0], |x, out| out[0] = x[0].cos())
+//!     .expect("converges");
+//! assert!((solution.values[0] - 0.739_085).abs() < 1e-5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The dense/sparse kernels use index-based loops on purpose: they mirror
+// the textbook formulations and keep row/column roles explicit.
+#![allow(clippy::needless_range_loop)]
+
+pub mod fixed_point;
+pub mod histogram;
+pub mod lu;
+pub mod markov;
+pub mod matrix;
+pub mod roots;
+pub mod sparse;
+pub mod stats;
+
+mod error;
+
+pub use error::NumericError;

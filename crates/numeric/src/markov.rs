@@ -1,0 +1,295 @@
+//! Steady-state solvers for Markov chains.
+//!
+//! The GTPN engine reduces a timed Petri net to a discrete-time Markov chain
+//! over its tangible markings; the performance measures of the detailed
+//! model are then time-weighted averages under that chain's stationary
+//! distribution. Two solution paths are provided:
+//!
+//! * a **direct** solve (dense LU on the balance equations) for small chains,
+//!   mirroring the exact solution used by the GTPN tool of \[VeHo86\], and
+//! * an **iterative** power-method solve on the sparse transition matrix for
+//!   chains too large to factor densely — this is what makes the detailed
+//!   model's cost blow up with system size, the very point of the paper.
+
+use crate::lu;
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+use crate::NumericError;
+
+/// Verifies that `p` is row-stochastic to within `tol`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] naming the offending row.
+pub fn check_stochastic(p: &CsrMatrix, tol: f64) -> Result<(), NumericError> {
+    if p.rows() != p.cols() {
+        return Err(NumericError::DimensionMismatch { expected: p.rows(), actual: p.cols() });
+    }
+    for (row, sum) in p.row_sums().iter().enumerate() {
+        if (sum - 1.0).abs() > tol {
+            return Err(NumericError::InvalidArgument(format!(
+                "row {row} of transition matrix sums to {sum}, not 1"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Solves `π P = π, Σ π = 1` directly via dense LU.
+///
+/// Replaces the last balance equation with the normalization constraint, the
+/// textbook approach for irreducible chains.
+///
+/// # Errors
+///
+/// Returns [`NumericError::SingularMatrix`] when the chain is reducible (the
+/// balance system is then rank-deficient even after normalization) and
+/// propagates dimension errors.
+///
+/// # Example
+///
+/// ```
+/// use snoop_numeric::markov::steady_state_dense;
+/// use snoop_numeric::sparse::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), snoop_numeric::NumericError> {
+/// // A two-state chain: stays with prob 0.9 / 0.8.
+/// let p = CsrMatrix::from_triplets(2, 2, &[
+///     Triplet { row: 0, col: 0, value: 0.9 },
+///     Triplet { row: 0, col: 1, value: 0.1 },
+///     Triplet { row: 1, col: 0, value: 0.2 },
+///     Triplet { row: 1, col: 1, value: 0.8 },
+/// ])?;
+/// let pi = steady_state_dense(&p)?;
+/// assert!((pi[0] - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn steady_state_dense(p: &CsrMatrix) -> Result<Vec<f64>, NumericError> {
+    check_stochastic(p, 1e-9)?;
+    let n = p.rows();
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+
+    // Build A = P^T - I with the last row replaced by all-ones (Σ π = 1).
+    let mut a = Matrix::zeros(n, n);
+    for r in 0..n {
+        for (c, v) in p.row_entries(r) {
+            a[(c, r)] += v;
+        }
+    }
+    for i in 0..n {
+        a[(i, i)] -= 1.0;
+    }
+    for j in 0..n {
+        a[(n - 1, j)] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+
+    let mut pi = lu::solve(&a, &b)?;
+    // Clean tiny negative round-off and renormalize.
+    for v in &mut pi {
+        if *v < 0.0 && *v > -1e-9 {
+            *v = 0.0;
+        }
+    }
+    let total: f64 = pi.iter().sum();
+    for v in &mut pi {
+        *v /= total;
+    }
+    Ok(pi)
+}
+
+/// Solves `π P = π` by power iteration with uniform start.
+///
+/// Suitable for large sparse chains. Requires the chain to be aperiodic for
+/// convergence; GTPN chains are (self-loops from deterministic holding times
+/// are common), and a small uniformization shift is applied defensively.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NoConvergence`] if the tolerance is not reached
+/// within `max_iterations`.
+pub fn steady_state_power(
+    p: &CsrMatrix,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<Vec<f64>, NumericError> {
+    check_stochastic(p, 1e-9)?;
+    let n = p.rows();
+    let mut pi = vec![1.0 / n as f64; n];
+    // Damped update π ← α·πP + (1-α)·π removes periodicity without changing
+    // the fixed point.
+    const ALPHA: f64 = 0.9;
+
+    let mut residual = f64::INFINITY;
+    for iteration in 1..=max_iterations {
+        let next = p.vec_mul(&pi)?;
+        residual = 0.0;
+        for i in 0..n {
+            let updated = ALPHA * next[i] + (1.0 - ALPHA) * pi[i];
+            residual = residual.max((updated - pi[i]).abs());
+            pi[i] = updated;
+        }
+        let total: f64 = pi.iter().sum();
+        for v in &mut pi {
+            *v /= total;
+        }
+        if residual < tolerance {
+            let _ = iteration;
+            return Ok(pi);
+        }
+    }
+    Err(NumericError::NoConvergence { iterations: max_iterations, residual })
+}
+
+/// Converts per-state mean holding times into time-weighted stationary
+/// probabilities.
+///
+/// For a semi-Markov process with embedded stationary distribution `pi` and
+/// mean holding time `hold[i]` in state `i`, the long-run fraction of time in
+/// state `i` is `pi[i]·hold[i] / Σ_j pi[j]·hold[j]`. The GTPN performance
+/// measures are computed this way.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] on length mismatch and
+/// [`NumericError::InvalidArgument`] if a holding time is negative or all
+/// weights vanish.
+pub fn time_weighted(pi: &[f64], hold: &[f64]) -> Result<Vec<f64>, NumericError> {
+    if pi.len() != hold.len() {
+        return Err(NumericError::DimensionMismatch { expected: pi.len(), actual: hold.len() });
+    }
+    if let Some(i) = hold.iter().position(|&h| h < 0.0) {
+        return Err(NumericError::InvalidArgument(format!("holding time {i} is negative")));
+    }
+    let weights: Vec<f64> = pi.iter().zip(hold).map(|(p, h)| p * h).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(NumericError::InvalidArgument("all time weights are zero".into()));
+    }
+    Ok(weights.into_iter().map(|w| w / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplet;
+
+    fn two_state() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet { row: 0, col: 0, value: 0.9 },
+                Triplet { row: 0, col: 1, value: 0.1 },
+                Triplet { row: 1, col: 0, value: 0.2 },
+                Triplet { row: 1, col: 1, value: 0.8 },
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A birth-death chain on `n` states with up-probability `p`.
+    fn birth_death(n: usize, p: f64) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            if i + 1 < n {
+                t.push(Triplet { row: i, col: i + 1, value: p });
+            } else {
+                t.push(Triplet { row: i, col: i, value: p });
+            }
+            if i > 0 {
+                t.push(Triplet { row: i, col: i - 1, value: 1.0 - p });
+            } else {
+                t.push(Triplet { row: i, col: i, value: 1.0 - p });
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn dense_two_state() {
+        let pi = steady_state_dense(&two_state()).unwrap();
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pi[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_matches_dense() {
+        let p = birth_death(20, 0.4);
+        let dense = steady_state_dense(&p).unwrap();
+        let power = steady_state_power(&p, 1e-13, 20_000).unwrap();
+        for (a, b) in dense.iter().zip(&power) {
+            assert!((a - b).abs() < 1e-8, "dense {a} vs power {b}");
+        }
+    }
+
+    #[test]
+    fn birth_death_is_geometric() {
+        // Detailed balance: pi[i+1]/pi[i] = p/(1-p).
+        let p = 0.25;
+        let pi = steady_state_dense(&birth_death(10, p)).unwrap();
+        let ratio = p / (1.0 - p);
+        for i in 0..9 {
+            assert!((pi[i + 1] / pi[i] - ratio).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let p = CsrMatrix::from_triplets(1, 1, &[Triplet { row: 0, col: 0, value: 1.0 }]).unwrap();
+        assert_eq!(steady_state_dense(&p).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn non_stochastic_rejected() {
+        let p = CsrMatrix::from_triplets(2, 2, &[Triplet { row: 0, col: 0, value: 0.5 }]).unwrap();
+        assert!(steady_state_dense(&p).is_err());
+    }
+
+    #[test]
+    fn periodic_chain_converges_with_damping() {
+        // Pure swap chain is periodic; damping handles it.
+        let p = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet { row: 0, col: 1, value: 1.0 },
+                Triplet { row: 1, col: 0, value: 1.0 },
+            ],
+        )
+        .unwrap();
+        let pi = steady_state_power(&p, 1e-12, 10_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_sums_to_one() {
+        let pi = steady_state_dense(&birth_death(30, 0.45)).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn time_weighting() {
+        let pi = [0.5, 0.5];
+        let hold = [1.0, 3.0];
+        let tw = time_weighted(&pi, &hold).unwrap();
+        assert!((tw[0] - 0.25).abs() < 1e-12);
+        assert!((tw[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighting_rejects_negative_holds() {
+        assert!(time_weighted(&[1.0], &[-1.0]).is_err());
+    }
+
+    #[test]
+    fn time_weighting_rejects_mismatch() {
+        assert!(time_weighted(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Bracketed scalar root finding.
+//!
+//! The asymptotic (N → ∞) analysis in `snoop-mva` solves for the saturation
+//! point of the bus — a scalar root of a monotone function — and the
+//! calibration harness inverts speedup targets. Bisection is robust and
+//! plenty fast for those uses; an Illinois-variant regula falsi is provided
+//! where extra speed matters.
+
+use crate::NumericError;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (an endpoint that is
+/// already a root is returned immediately).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if the bracket is invalid or
+/// does not straddle a sign change, and [`NumericError::NoConvergence`] if
+/// the tolerance is not met within `max_iterations`.
+///
+/// # Example
+///
+/// ```
+/// use snoop_numeric::roots::bisect;
+///
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// ```
+// `!(lo < hi)` deliberately rejects NaN brackets, which `lo >= hi`
+// would let through.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn bisect<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo < hi) {
+        return Err(NumericError::InvalidArgument(format!("invalid bracket [{lo}, {hi}]")));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidArgument(format!(
+            "no sign change over [{lo}, {hi}]: f(lo) = {fa}, f(hi) = {fb}"
+        )));
+    }
+
+    for _ in 0..max_iterations {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) * 0.5 < tolerance {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumericError::NoConvergence { iterations: max_iterations, residual: b - a })
+}
+
+/// Finds a root with the Illinois variant of regula falsi (superlinear on
+/// smooth functions, still bracketed and robust).
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+// `!(lo < hi)` deliberately rejects NaN brackets, which `lo >= hi`
+// would let through.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn regula_falsi<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo < hi) {
+        return Err(NumericError::InvalidArgument(format!("invalid bracket [{lo}, {hi}]")));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidArgument(format!(
+            "no sign change over [{lo}, {hi}]: f(lo) = {fa}, f(hi) = {fb}"
+        )));
+    }
+
+    let mut side = 0i8;
+    for _ in 0..max_iterations {
+        let c = (a * fb - b * fa) / (fb - fa);
+        let fc = f(c);
+        if fc.abs() < tolerance || (b - a).abs() < tolerance {
+            return Ok(c);
+        }
+        if fc.signum() == fb.signum() {
+            b = c;
+            fb = fc;
+            if side == -1 {
+                fa *= 0.5; // Illinois trick: halve the stagnant endpoint.
+            }
+            side = -1;
+        } else {
+            a = c;
+            fa = fc;
+            if side == 1 {
+                fb *= 0.5;
+            }
+            side = 1;
+        }
+    }
+    Err(NumericError::NoConvergence { iterations: max_iterations, residual: (b - a).abs() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_no_sign_change() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(NumericError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(|x| x, 1.0, 0.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn regula_falsi_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let a = bisect(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        let b = regula_falsi(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((a - b).abs() < 1e-9);
+        assert!((a - 3.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regula_falsi_handles_flat_side() {
+        // x^10 - 0.5 is very flat near 0; Illinois must not stagnate.
+        let r = regula_falsi(|x| x.powi(10) - 0.5, 0.0, 1.0, 1e-12, 500).unwrap();
+        assert!((r - 0.5_f64.powf(0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisect_exhausts_iterations() {
+        let err = bisect(|x| x - 0.123_456_789, 0.0, 1.0, 1e-300, 5);
+        assert!(matches!(err, Err(NumericError::NoConvergence { .. })));
+    }
+}

@@ -1,0 +1,301 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The reachability graph of a GTPN grows combinatorially with the number of
+//! processors, and its transition-probability matrix is extremely sparse
+//! (each tangible state reaches only a handful of successors). This module
+//! provides the CSR representation and the products needed by the iterative
+//! steady-state solvers in [`crate::markov`].
+
+use crate::NumericError;
+
+/// A coordinate-format entry used while assembling a sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Value; duplicate `(row, col)` entries are summed.
+    pub value: f64,
+}
+
+/// A compressed-sparse-row matrix.
+///
+/// # Example
+///
+/// ```
+/// use snoop_numeric::sparse::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), snoop_numeric::NumericError> {
+/// let m = CsrMatrix::from_triplets(
+///     2,
+///     2,
+///     &[
+///         Triplet { row: 0, col: 1, value: 1.0 },
+///         Triplet { row: 1, col: 0, value: 0.5 },
+///         Triplet { row: 1, col: 1, value: 0.5 },
+///     ],
+/// )?;
+/// assert_eq!(m.vec_mul(&[1.0, 0.0])?, vec![0.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    /// Non-zero values, parallel to `col_idx`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from coordinate triplets. Duplicates are
+    /// summed; explicit zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if either dimension is zero
+    /// and [`NumericError::DimensionMismatch`] if a triplet is out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<Self, NumericError> {
+        if rows == 0 || cols == 0 {
+            return Err(NumericError::InvalidArgument(
+                "sparse matrix dimensions must be positive".into(),
+            ));
+        }
+        for t in triplets {
+            if t.row >= rows {
+                return Err(NumericError::DimensionMismatch { expected: rows, actual: t.row });
+            }
+            if t.col >= cols {
+                return Err(NumericError::DimensionMismatch { expected: cols, actual: t.col });
+            }
+        }
+
+        let mut sorted: Vec<&Triplet> = triplets.iter().collect();
+        sorted.sort_by_key(|t| (t.row, t.col));
+
+        // Merge duplicates into (row, col, value) runs, then lay out CSR.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for t in sorted {
+            match merged.last_mut() {
+                Some((r, c, v)) if *r == t.row && *c == t.col => *v += t.value,
+                _ => merged.push((t.row, t.col, t.value)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the non-zero entries of row `r` as `(col, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.col_idx[span.clone()].iter().copied().zip(self.values[span].iter().copied())
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
+        if x.len() != self.cols {
+            return Err(NumericError::DimensionMismatch { expected: self.cols, actual: x.len() });
+        }
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row_entries(r) {
+                acc += v * x[c];
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Vector-matrix product `x^T * self`, the workhorse of power iteration
+    /// on row-stochastic matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != rows`.
+    pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
+        if x.len() != self.rows {
+            return Err(NumericError::DimensionMismatch { expected: self.rows, actual: x.len() });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row_entries(r) {
+                out[c] += xr * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of each row's entries; for a stochastic matrix these are all 1.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|r| self.row_entries(r).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Converts to a dense [`crate::matrix::Matrix`]. Intended for small
+    /// matrices (direct solves, tests).
+    pub fn to_dense(&self) -> crate::matrix::Matrix {
+        let mut m = crate::matrix::Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet { row: 0, col: 0, value: 1.0 },
+                Triplet { row: 0, col: 2, value: 2.0 },
+                Triplet { row: 2, col: 1, value: 3.0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nnz_and_dims() {
+        let m = simple();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!((m.rows(), m.cols()), (3, 3));
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = simple();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.mul_vec(&x).unwrap(), m.to_dense().mul_vec(&x).unwrap());
+    }
+
+    #[test]
+    fn vec_mul_matches_dense() {
+        let m = simple();
+        let x = [1.0, -1.0, 0.5];
+        assert_eq!(m.vec_mul(&x).unwrap(), m.to_dense().vec_mul(&x).unwrap());
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            1,
+            &[Triplet { row: 0, col: 0, value: 1.5 }, Triplet { row: 0, col: 0, value: 0.5 }],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.mul_vec(&[1.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn explicit_zeros_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[Triplet { row: 0, col: 1, value: 0.0 }]).unwrap();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        let err =
+            CsrMatrix::from_triplets(2, 2, &[Triplet { row: 2, col: 0, value: 1.0 }]).unwrap_err();
+        assert!(matches!(err, NumericError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn row_sums_of_stochastic_matrix() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet { row: 0, col: 0, value: 0.25 },
+                Triplet { row: 0, col: 1, value: 0.75 },
+                Triplet { row: 1, col: 0, value: 1.0 },
+            ],
+        )
+        .unwrap();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-15);
+        assert!((sums[1] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_dimensions_rejected() {
+        assert!(CsrMatrix::from_triplets(0, 1, &[]).is_err());
+    }
+
+    #[test]
+    fn unsorted_triplets_are_sorted() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet { row: 1, col: 1, value: 4.0 },
+                Triplet { row: 0, col: 0, value: 1.0 },
+                Triplet { row: 1, col: 0, value: 3.0 },
+                Triplet { row: 0, col: 1, value: 2.0 },
+            ],
+        )
+        .unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(0, 1)], 2.0);
+        assert_eq!(d[(1, 0)], 3.0);
+        assert_eq!(d[(1, 1)], 4.0);
+    }
+}

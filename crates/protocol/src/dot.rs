@@ -1,0 +1,150 @@
+//! Graphviz (DOT) export of protocol state machines.
+//!
+//! Renders the per-block state diagram of a protocol — processor-induced
+//! transitions (solid edges) and snoop-induced transitions (dashed) — for
+//! documentation and for eyeballing how a modification set rewires
+//! Write-Once. Pipe through `dot -Tsvg` to render.
+
+use std::fmt::Write as _;
+
+use crate::machine::{MissContext, Protocol};
+use crate::ops::BusOp;
+use crate::state::CacheState;
+
+fn node_id(state: CacheState) -> &'static str {
+    match state {
+        CacheState::Invalid => "I",
+        CacheState::SharedClean => "SC",
+        CacheState::SharedDirty => "SD",
+        CacheState::ExclusiveClean => "EC",
+        CacheState::ExclusiveDirty => "ED",
+    }
+}
+
+/// Renders the full state diagram of `protocol` as a DOT digraph.
+pub fn state_diagram(protocol: &Protocol) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", protocol.modifications());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  label=\"{} cache-block states\";", protocol.modifications());
+    for state in CacheState::ALL {
+        let shape = if state.is_dirty() { "doublecircle" } else { "circle" };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{}\", shape={shape}];",
+            node_id(state),
+            node_id(state),
+            state
+        );
+    }
+
+    // Processor transitions (solid). Collapse identical shared/unshared
+    // outcomes to keep the graph readable.
+    for state in CacheState::ALL {
+        for (op_name, write) in [("read", false), ("write", true)] {
+            let mut outcomes = Vec::new();
+            for shared in [false, true] {
+                let ctx = MissContext { shared_line: shared };
+                let t = if write {
+                    protocol.processor_write(state, ctx)
+                } else {
+                    protocol.processor_read(state, ctx)
+                };
+                let label = match t.bus_op {
+                    Some(bus) => format!("{op_name}/{bus}"),
+                    None => op_name.to_string(),
+                };
+                outcomes.push((t.next_state, label, shared));
+            }
+            if outcomes[0].0 == outcomes[1].0 && outcomes[0].1 == outcomes[1].1 {
+                let (next, label, _) = &outcomes[0];
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{label}\"];",
+                    node_id(state),
+                    node_id(*next)
+                );
+            } else {
+                for (next, label, shared) in &outcomes {
+                    let suffix = if *shared { " (shared)" } else { " (excl)" };
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [label=\"{label}{suffix}\"];",
+                        node_id(state),
+                        node_id(*next)
+                    );
+                }
+            }
+        }
+    }
+
+    // Snoop transitions (dashed), only where the state actually changes.
+    for state in CacheState::ALL {
+        for op in BusOp::ALL {
+            let r = protocol.snoop(state, op);
+            if r.next_state != state {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"snoop {op}\", style=dashed];",
+                    node_id(state),
+                    node_id(r.next_state)
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modifications::ModSet;
+
+    #[test]
+    fn diagram_is_well_formed_dot() {
+        let d = state_diagram(&Protocol::write_once());
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        // Balanced braces.
+        assert_eq!(d.matches('{').count(), d.matches('}').count());
+    }
+
+    #[test]
+    fn diagram_names_all_states() {
+        let d = state_diagram(&Protocol::write_once());
+        for id in ["I", "SC", "SD", "EC", "ED"] {
+            assert!(d.contains(&format!("  {id} [")), "missing node {id}");
+        }
+    }
+
+    #[test]
+    fn write_once_diagram_has_write_through_edge() {
+        let d = state_diagram(&Protocol::write_once());
+        // SC --write/write-word--> EC is Write-Once's signature.
+        assert!(d.contains("SC -> EC [label=\"write/write-word\"]"), "{d}");
+    }
+
+    #[test]
+    fn mod3_diagram_uses_invalidate() {
+        let p = Protocol::new(ModSet::from_numbers(&[3]).unwrap());
+        let d = state_diagram(&p);
+        assert!(d.contains("write/invalidate"));
+        assert!(!d.contains("SC -> EC [label=\"write/write-word\"]"));
+    }
+
+    #[test]
+    fn diagrams_differ_across_protocols() {
+        let wo = state_diagram(&Protocol::write_once());
+        let dragon = state_diagram(&Protocol::new(ModSet::all()));
+        assert_ne!(wo, dragon);
+    }
+
+    #[test]
+    fn snoop_edges_are_dashed() {
+        let d = state_diagram(&Protocol::write_once());
+        assert!(d.contains("style=dashed"));
+        assert!(d.contains("snoop read-mod"));
+    }
+}

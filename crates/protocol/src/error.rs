@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Error type for protocol construction and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A modification number outside `1..=4` was supplied.
+    UnknownModification(u8),
+    /// A protocol name string did not match any named protocol.
+    UnknownProtocol(String),
+    /// A modification combination the model cannot express.
+    ///
+    /// The paper notes modification 4 "is only practical when implemented
+    /// together with modification 1"; combinations we reject carry an
+    /// explanation.
+    UnsupportedCombination(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownModification(n) => {
+                write!(f, "unknown modification {n}, expected 1..=4")
+            }
+            ProtocolError::UnknownProtocol(name) => write!(f, "unknown protocol name {name:?}"),
+            ProtocolError::UnsupportedCombination(msg) => {
+                write!(f, "unsupported modification combination: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ProtocolError::UnknownModification(9).to_string().contains("9"));
+        assert!(ProtocolError::UnknownProtocol("foo".into()).to_string().contains("foo"));
+        assert!(ProtocolError::UnsupportedCombination("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,250 @@
+//! System-wide coherence invariants.
+//!
+//! The per-cache state machine in [`crate::machine`] is only correct if the
+//! *vector* of states held by all caches for one block stays within a legal
+//! region. This module defines that region and a checker used by the
+//! property tests and by the discrete-event simulator's debug assertions.
+//!
+//! The invariants, for any single block across the `N` caches:
+//!
+//! 1. **Single writer** — at most one cache holds the block dirty, *except*
+//!    under modification 4, where broadcasts keep all copies word-identical
+//!    and ownership is a bookkeeping role; even there, at most one *owner*
+//!    (dirty copy) exists.
+//! 2. **Exclusive means alone** — if any cache holds the block in an
+//!    exclusive state, every other cache holds it invalid.
+//! 3. **Write-Once ownership** — without modification 2 (and without 3+4),
+//!    a dirty block is always exclusive: "if a cache contains a block in
+//!    state wback, it is the only cache containing the block".
+
+use std::fmt;
+
+use crate::modifications::{ModSet, Modification};
+use crate::state::CacheState;
+
+/// A violated coherence invariant, naming the offending caches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// More than one dirty copy exists.
+    MultipleOwners {
+        /// Indices of the caches holding dirty copies.
+        caches: Vec<usize>,
+    },
+    /// An exclusive copy coexists with another valid copy.
+    ExclusiveNotAlone {
+        /// Cache holding the exclusive copy.
+        exclusive: usize,
+        /// Another cache holding a valid copy.
+        other: usize,
+    },
+    /// A non-exclusive dirty copy exists under a protocol that cannot
+    /// create one (no modification 2, no modifications 3+4).
+    UnreachableSharedDirty {
+        /// Cache holding the impossible state.
+        cache: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MultipleOwners { caches } => {
+                write!(f, "multiple dirty copies in caches {caches:?}")
+            }
+            Violation::ExclusiveNotAlone { exclusive, other } => write!(
+                f,
+                "cache {exclusive} holds an exclusive copy while cache {other} holds a valid copy"
+            ),
+            Violation::UnreachableSharedDirty { cache } => write!(
+                f,
+                "cache {cache} holds a non-exclusive dirty copy, unreachable for this protocol"
+            ),
+        }
+    }
+}
+
+/// Checks the coherence invariants for one block's state vector.
+///
+/// Returns all violations found (empty = coherent).
+///
+/// # Example
+///
+/// ```
+/// use snoop_protocol::invariants::check_block;
+/// use snoop_protocol::{CacheState, ModSet};
+///
+/// let states = [CacheState::ExclusiveDirty, CacheState::Invalid];
+/// assert!(check_block(&states, ModSet::new()).is_empty());
+///
+/// let bad = [CacheState::ExclusiveDirty, CacheState::SharedClean];
+/// assert!(!check_block(&bad, ModSet::new()).is_empty());
+/// ```
+pub fn check_block(states: &[CacheState], mods: ModSet) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    let dirty: Vec<usize> =
+        states.iter().enumerate().filter(|(_, s)| s.is_dirty()).map(|(i, _)| i).collect();
+    if dirty.len() > 1 {
+        violations.push(Violation::MultipleOwners { caches: dirty.clone() });
+    }
+
+    for (i, s) in states.iter().enumerate() {
+        if s.is_exclusive() {
+            if let Some((j, _)) =
+                states.iter().enumerate().find(|&(j, o)| j != i && o.is_valid())
+            {
+                violations.push(Violation::ExclusiveNotAlone { exclusive: i, other: j });
+            }
+        }
+    }
+
+    let shared_dirty_possible = mods.contains(Modification::CacheSupply)
+        || (mods.contains(Modification::InvalidateOnWrite)
+            && mods.contains(Modification::DistributedWrite));
+    if !shared_dirty_possible {
+        for (i, s) in states.iter().enumerate() {
+            if *s == CacheState::SharedDirty {
+                violations.push(Violation::UnreachableSharedDirty { cache: i });
+            }
+        }
+    }
+
+    violations
+}
+
+/// Convenience predicate: is this state vector coherent for `mods`?
+pub fn is_coherent(states: &[CacheState], mods: ModSet) -> bool {
+    check_block(states, mods).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{MissContext, Protocol};
+    use crate::ops::BusOp;
+
+    #[test]
+    fn all_invalid_is_coherent() {
+        assert!(is_coherent(&[CacheState::Invalid; 8], ModSet::new()));
+    }
+
+    #[test]
+    fn many_shared_clean_is_coherent() {
+        assert!(is_coherent(&[CacheState::SharedClean; 8], ModSet::new()));
+    }
+
+    #[test]
+    fn two_owners_is_incoherent() {
+        let states = [CacheState::SharedDirty, CacheState::SharedDirty];
+        let v = check_block(&states, ModSet::from_numbers(&[2]).unwrap());
+        assert!(v.iter().any(|x| matches!(x, Violation::MultipleOwners { .. })));
+    }
+
+    #[test]
+    fn exclusive_with_company_is_incoherent() {
+        let states = [CacheState::ExclusiveClean, CacheState::SharedClean];
+        let v = check_block(&states, ModSet::new());
+        assert!(v.iter().any(|x| matches!(x, Violation::ExclusiveNotAlone { .. })));
+    }
+
+    #[test]
+    fn shared_dirty_requires_mod2_or_34() {
+        let states = [CacheState::SharedDirty, CacheState::SharedClean];
+        assert!(!is_coherent(&states, ModSet::new()));
+        assert!(is_coherent(&states, ModSet::from_numbers(&[2]).unwrap()));
+        assert!(is_coherent(&states, ModSet::from_numbers(&[3, 4]).unwrap()));
+        assert!(!is_coherent(&states, ModSet::from_numbers(&[4]).unwrap()));
+        assert!(!is_coherent(&states, ModSet::from_numbers(&[3]).unwrap()));
+    }
+
+    #[test]
+    fn violation_displays() {
+        for v in [
+            Violation::MultipleOwners { caches: vec![0, 1] },
+            Violation::ExclusiveNotAlone { exclusive: 0, other: 1 },
+            Violation::UnreachableSharedDirty { cache: 2 },
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    /// Exhaustively walks every reachable `N`-cache configuration under the
+    /// given modification set and checks coherence is preserved by every
+    /// event (reads, writes, purges) — a small explicit-state model checker
+    /// over the protocol state machine.
+    #[allow(clippy::needless_range_loop)] // cache ids index the state array
+    fn model_check<const N: usize>(mods: ModSet) {
+        let p = Protocol::new(mods);
+        let start = [CacheState::Invalid; N];
+        let mut frontier = vec![start];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(start);
+
+        while let Some(states) = frontier.pop() {
+            assert!(is_coherent(&states, mods), "{mods}: reached incoherent {states:?}");
+            for actor in 0..N {
+                let shared =
+                    states.iter().enumerate().any(|(q, s)| q != actor && s.is_valid());
+                let ctx = MissContext { shared_line: shared };
+                for write in [false, true] {
+                    let t = if write {
+                        p.processor_write(states[actor], ctx)
+                    } else {
+                        p.processor_read(states[actor], ctx)
+                    };
+                    let mut next = states;
+                    next[actor] = t.next_state;
+                    if let Some(op) = t.bus_op {
+                        for q in 0..N {
+                            if q != actor {
+                                next[q] = p.snoop(states[q], op).next_state;
+                            }
+                        }
+                        // A modification-4 write miss is followed by a
+                        // broadcast the other caches also snoop.
+                        if !t.hit && write && p.write_miss_broadcasts(ctx) {
+                            for q in 0..N {
+                                if q != actor {
+                                    next[q] =
+                                        p.snoop(next[q], BusOp::WriteWord).next_state;
+                                }
+                            }
+                        }
+                    }
+                    if seen.insert(next) {
+                        frontier.push(next);
+                    }
+                    // Replacement: the actor purges its block.
+                    let mut purged = next;
+                    purged[actor] = CacheState::Invalid;
+                    if seen.insert(purged) {
+                        frontier.push(purged);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_cache_model_check() {
+        for mods in ModSet::power_set() {
+            model_check::<2>(mods);
+        }
+    }
+
+    #[test]
+    fn three_cache_model_check() {
+        for mods in ModSet::power_set() {
+            model_check::<3>(mods);
+        }
+    }
+
+    #[test]
+    fn four_cache_model_check_named_protocols() {
+        // The full power set at N = 4 is slower; the named protocols cover
+        // the combinations that shipped in hardware.
+        for p in crate::modifications::NamedProtocol::ALL {
+            model_check::<4>(p.modifications());
+        }
+    }
+}

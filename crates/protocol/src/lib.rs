@@ -1,0 +1,46 @@
+//! Snooping cache-consistency protocol state machines.
+//!
+//! This crate models the family of protocols analyzed by Vernon, Lazowska &
+//! Zahorjan (ISCA 1988): Goodman's **Write-Once** protocol and the four key
+//! **modifications** proposed by its successors (Synapse, Illinois, RWB,
+//! Dragon, Berkeley). The protocols are expressed over the paper's three-bit
+//! block state — *valid/invalid*, *exclusive/non-exclusive*,
+//! *wback/no-wback* — and a five-operation bus vocabulary: `read`,
+//! `read-mod`, `invalidate`, `write-word`, `write-block`.
+//!
+//! The crate is the shared substrate of the model suite: the discrete-event
+//! simulator executes these transitions literally, the workload crate
+//! classifies reference streams by the bus operations they induce, and the
+//! GTPN models encode the same transitions as Petri-net structure.
+//!
+//! # Example
+//!
+//! ```
+//! use snoop_protocol::{BusOp, CacheState, MissContext, Protocol};
+//!
+//! let write_once = Protocol::write_once();
+//! // A processor write that hits a clean, non-exclusive block must announce
+//! // itself on the bus (Write-Once writes the word through to memory).
+//! let t = write_once.processor_write(CacheState::SharedClean, MissContext::default());
+//! assert_eq!(t.bus_op, Some(BusOp::WriteWord));
+//! assert_eq!(t.next_state, CacheState::ExclusiveClean);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod dot;
+pub mod invariants;
+pub mod machine;
+pub mod modifications;
+pub mod ops;
+pub mod scenario;
+pub mod state;
+pub mod table;
+
+pub use error::ProtocolError;
+pub use machine::{MissContext, Protocol, SnoopResponse, Transition};
+pub use modifications::{ModSet, Modification, NamedProtocol};
+pub use ops::{BusOp, ProcessorOp};
+pub use state::CacheState;

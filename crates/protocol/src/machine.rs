@@ -1,0 +1,806 @@
+//! The protocol transition engine.
+//!
+//! [`Protocol`] holds a [`ModSet`] and answers two questions:
+//!
+//! * what happens when **this cache's processor** issues a read or write
+//!   against a block in a given state ([`Protocol::processor_read`],
+//!   [`Protocol::processor_write`], [`Protocol::fill_state`]), and
+//! * what happens when **this cache snoops** a bus operation issued by some
+//!   other cache for a block it holds ([`Protocol::snoop`]).
+//!
+//! The transitions follow Section 2.2 of the paper. Where a modification
+//! combination leaves a corner case unspecified (the paper treats the
+//! modifications one at a time), the choice made here is documented on the
+//! relevant match arm; the invariant checker in [`crate::invariants`]
+//! verifies that every combination preserves single-owner coherence.
+
+use crate::modifications::{ModSet, Modification};
+use crate::ops::BusOp;
+use crate::state::CacheState;
+
+/// Context a cache needs to resolve a miss: the state of the rest of the
+/// system as observable during the fill transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissContext {
+    /// Whether the bus *shared* line is raised during the fill, i.e. at
+    /// least one other cache holds the block. Only modification 1 caches
+    /// inspect it, but it is always physically present.
+    pub shared_line: bool,
+}
+
+impl MissContext {
+    /// Context in which some other cache holds the block.
+    pub fn shared() -> Self {
+        MissContext { shared_line: true }
+    }
+
+    /// Context in which no other cache holds the block.
+    pub fn unshared() -> Self {
+        MissContext { shared_line: false }
+    }
+}
+
+/// Outcome of a processor reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Whether the reference hit in the cache (no block fetch needed). A
+    /// hit may still require a bus operation (consistency announcement).
+    pub hit: bool,
+    /// The bus operation required, if any.
+    pub bus_op: Option<BusOp>,
+    /// New state of the block in this cache after the reference (and the
+    /// bus operation, if any) completes.
+    pub next_state: CacheState,
+    /// For a `write-word` bus operation: whether main memory is updated by
+    /// the broadcast. Write-Once writes through; modifications 3+4 combined
+    /// broadcast without updating memory (the broadcaster takes ownership).
+    pub updates_memory: bool,
+}
+
+impl Transition {
+    fn local(next_state: CacheState) -> Self {
+        Transition { hit: true, bus_op: None, next_state, updates_memory: false }
+    }
+}
+
+/// How much a snooped bus operation occupies the snooping cache.
+///
+/// The MVA cache-interference submodel distinguishes requests that tie up
+/// the cache "for the entire duration of the bus transaction" (probability
+/// p′) from briefer actions (probability p): the paper gives a broadcast
+/// write to a resident block as an example of the former and an invalidation
+/// as an example of the latter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SnoopOccupancy {
+    /// The operation does not concern this cache (dual directories filter
+    /// it before it can delay the processor).
+    None,
+    /// A brief action, shorter than the bus transaction (e.g. invalidate).
+    Brief,
+    /// The cache is busy for the whole bus transaction (supplying data,
+    /// writing back, or applying a broadcast word).
+    Full,
+}
+
+/// Outcome of snooping a bus operation for a block this cache holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopResponse {
+    /// New state of the block in the snooping cache.
+    pub next_state: CacheState,
+    /// Whether this cache raises the bus *shared* line.
+    pub raises_shared: bool,
+    /// Whether this cache can supply the block to the requester (the system
+    /// selects one supplier if several can).
+    pub can_supply: bool,
+    /// Whether this cache writes the block to main memory as part of
+    /// servicing the operation (Write-Once's dirty-snoop interrupt).
+    pub writes_memory: bool,
+    /// How long the snooping cache is occupied.
+    pub occupancy: SnoopOccupancy,
+}
+
+impl SnoopResponse {
+    fn ignore(state: CacheState) -> Self {
+        SnoopResponse {
+            next_state: state,
+            raises_shared: false,
+            can_supply: false,
+            writes_memory: false,
+            occupancy: SnoopOccupancy::None,
+        }
+    }
+}
+
+/// A snooping cache-consistency protocol: Write-Once plus a set of
+/// modifications.
+///
+/// # Example
+///
+/// ```
+/// use snoop_protocol::{CacheState, ModSet, Modification, Protocol};
+///
+/// let illinois_like = Protocol::new(
+///     ModSet::new()
+///         .with(Modification::ExclusiveLoad)
+///         .with(Modification::CacheSupply)
+///         .with(Modification::InvalidateOnWrite),
+/// );
+/// // With modification 1 a miss that finds no other copy loads exclusively.
+/// use snoop_protocol::{BusOp, MissContext};
+/// let fill = illinois_like.fill_state(BusOp::Read, MissContext::unshared());
+/// assert_eq!(fill, CacheState::ExclusiveClean);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Protocol {
+    mods: ModSet,
+}
+
+impl Protocol {
+    /// A protocol with the given modification set.
+    pub fn new(mods: ModSet) -> Self {
+        Protocol { mods }
+    }
+
+    /// Goodman's unmodified Write-Once protocol.
+    pub fn write_once() -> Self {
+        Protocol { mods: ModSet::new() }
+    }
+
+    /// The modification set in force.
+    pub fn modifications(&self) -> ModSet {
+        self.mods
+    }
+
+    fn has(&self, m: Modification) -> bool {
+        self.mods.contains(m)
+    }
+
+    /// Resolves a processor **read**.
+    ///
+    /// Reads that hit are purely local. A read miss issues a bus `read`;
+    /// the state the block is loaded in is given by [`Protocol::fill_state`].
+    pub fn processor_read(&self, state: CacheState, ctx: MissContext) -> Transition {
+        match state {
+            CacheState::Invalid => Transition {
+                hit: false,
+                bus_op: Some(BusOp::Read),
+                next_state: self.fill_state(BusOp::Read, ctx),
+                updates_memory: false,
+            },
+            valid => Transition::local(valid),
+        }
+    }
+
+    /// Resolves a processor **write**.
+    ///
+    /// * Writes to exclusive blocks are local (the defining saving of
+    ///   copy-back protocols).
+    /// * The first write to a non-exclusive block announces itself:
+    ///   `write-word` in Write-Once, `invalidate` under modification 3,
+    ///   a non-invalidating broadcast `write-word` under modification 4.
+    /// * A write miss fetches the block with `read-mod` (or, under
+    ///   modification 4, like a read followed by the broadcast — see below).
+    pub fn processor_write(&self, state: CacheState, ctx: MissContext) -> Transition {
+        use Modification::*;
+        match state {
+            CacheState::ExclusiveDirty => Transition::local(CacheState::ExclusiveDirty),
+            CacheState::ExclusiveClean => Transition::local(CacheState::ExclusiveDirty),
+
+            CacheState::SharedClean => {
+                if self.has(DistributedWrite) {
+                    // Modification 4: broadcast, all copies stay valid. With
+                    // modification 3 also present the broadcast skips memory
+                    // and the broadcaster takes ownership (paper, Section 2.2
+                    // summary).
+                    let skips_memory = self.has(InvalidateOnWrite);
+                    Transition {
+                        hit: true,
+                        bus_op: Some(BusOp::WriteWord),
+                        next_state: if skips_memory {
+                            CacheState::SharedDirty
+                        } else {
+                            CacheState::SharedClean
+                        },
+                        updates_memory: !skips_memory,
+                    }
+                } else if self.has(InvalidateOnWrite) {
+                    // Modification 3: 1-cycle invalidate; the block is now
+                    // modified relative to memory.
+                    Transition {
+                        hit: true,
+                        bus_op: Some(BusOp::Invalidate),
+                        next_state: CacheState::ExclusiveDirty,
+                        updates_memory: false,
+                    }
+                } else {
+                    // Write-Once: write the word through; other copies
+                    // invalidate; block becomes exclusive and no-wback.
+                    Transition {
+                        hit: true,
+                        bus_op: Some(BusOp::WriteWord),
+                        next_state: CacheState::ExclusiveClean,
+                        updates_memory: true,
+                    }
+                }
+            }
+
+            CacheState::SharedDirty => {
+                // Owned, non-exclusive (exists only under modification 2 or
+                // 3+4). A write must still notify the other copies.
+                if self.has(DistributedWrite) {
+                    // Broadcast; ownership (and the dirty rest of the block)
+                    // stays here whether or not memory receives the word.
+                    Transition {
+                        hit: true,
+                        bus_op: Some(BusOp::WriteWord),
+                        next_state: CacheState::SharedDirty,
+                        updates_memory: !self.has(InvalidateOnWrite),
+                    }
+                } else {
+                    // Invalidate the other copies. A write-through would not
+                    // make memory consistent (the rest of the block is
+                    // dirty), so the invalidate form is used regardless of
+                    // modification 3; the block ends exclusive-dirty.
+                    Transition {
+                        hit: true,
+                        bus_op: Some(BusOp::Invalidate),
+                        next_state: CacheState::ExclusiveDirty,
+                        updates_memory: false,
+                    }
+                }
+            }
+
+            CacheState::Invalid => {
+                if self.has(DistributedWrite) && ctx.shared_line {
+                    // Dragon-style write miss while other copies exist: fetch
+                    // with a plain read (copies stay valid) — the system then
+                    // broadcasts the written word as a second transaction.
+                    let skips_memory = self.has(InvalidateOnWrite);
+                    Transition {
+                        hit: false,
+                        bus_op: Some(BusOp::Read),
+                        next_state: if skips_memory {
+                            CacheState::SharedDirty
+                        } else {
+                            CacheState::SharedClean
+                        },
+                        updates_memory: !skips_memory,
+                    }
+                } else {
+                    Transition {
+                        hit: false,
+                        bus_op: Some(BusOp::ReadMod),
+                        next_state: self.fill_state(BusOp::ReadMod, ctx),
+                        updates_memory: false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// State in which a missed block is loaded, given the fill's bus
+    /// operation and the observed shared line.
+    pub fn fill_state(&self, op: BusOp, ctx: MissContext) -> CacheState {
+        use Modification::*;
+        match op {
+            BusOp::Read => {
+                if self.has(ExclusiveLoad) && !ctx.shared_line {
+                    // Modification 1: nobody raised the shared line, load
+                    // exclusively.
+                    CacheState::ExclusiveClean
+                } else {
+                    CacheState::SharedClean
+                }
+            }
+            // read-mod invalidates every other copy, so the block is always
+            // exclusive and (about to be) modified.
+            BusOp::ReadMod => CacheState::ExclusiveDirty,
+            // The remaining operations do not fill blocks.
+            BusOp::Invalidate | BusOp::WriteWord | BusOp::WriteBlock => CacheState::Invalid,
+        }
+    }
+
+    /// Whether a modification-4 write miss needs a follow-up broadcast
+    /// `write-word` after its fill (see [`Protocol::processor_write`]).
+    pub fn write_miss_broadcasts(&self, ctx: MissContext) -> bool {
+        self.has(Modification::DistributedWrite) && ctx.shared_line
+    }
+
+    /// Resolves what a cache holding `state` does when it snoops `op` from
+    /// another cache (for the same block).
+    pub fn snoop(&self, state: CacheState, op: BusOp) -> SnoopResponse {
+        use Modification::*;
+        if state == CacheState::Invalid {
+            return SnoopResponse::ignore(state);
+        }
+        match op {
+            BusOp::Read => {
+                let dirty = state.is_dirty();
+                if dirty && self.has(CacheSupply) {
+                    // Modification 2: supply directly, skip memory, keep
+                    // ownership (non-exclusive, wback).
+                    SnoopResponse {
+                        next_state: CacheState::SharedDirty,
+                        raises_shared: true,
+                        can_supply: true,
+                        writes_memory: false,
+                        occupancy: SnoopOccupancy::Full,
+                    }
+                } else if dirty {
+                    // Write-Once: interrupt the transaction, update memory,
+                    // then memory supplies; block becomes no-wback.
+                    SnoopResponse {
+                        next_state: CacheState::SharedClean,
+                        raises_shared: true,
+                        can_supply: true,
+                        writes_memory: true,
+                        occupancy: SnoopOccupancy::Full,
+                    }
+                } else {
+                    // Clean copy: raise shared, optionally supply (the
+                    // workload model's csupply parameters assume a cache
+                    // with a copy supplies it faster than memory).
+                    SnoopResponse {
+                        next_state: state.demoted(),
+                        raises_shared: true,
+                        can_supply: true,
+                        writes_memory: false,
+                        occupancy: SnoopOccupancy::Brief,
+                    }
+                }
+            }
+
+            BusOp::ReadMod => {
+                let dirty = state.is_dirty();
+                if dirty && self.has(CacheSupply) {
+                    // Supply directly and invalidate; the requester is the
+                    // new (exclusive) owner, memory is not updated.
+                    SnoopResponse {
+                        next_state: CacheState::Invalid,
+                        raises_shared: true,
+                        can_supply: true,
+                        writes_memory: false,
+                        occupancy: SnoopOccupancy::Full,
+                    }
+                } else if dirty {
+                    SnoopResponse {
+                        next_state: CacheState::Invalid,
+                        raises_shared: true,
+                        can_supply: true,
+                        writes_memory: true,
+                        occupancy: SnoopOccupancy::Full,
+                    }
+                } else {
+                    // Invalidate only: shorter than the bus transaction —
+                    // the paper's example of a brief (p, not p′) event.
+                    SnoopResponse {
+                        next_state: CacheState::Invalid,
+                        raises_shared: true,
+                        can_supply: true,
+                        writes_memory: false,
+                        occupancy: SnoopOccupancy::Brief,
+                    }
+                }
+            }
+
+            BusOp::Invalidate => SnoopResponse {
+                next_state: CacheState::Invalid,
+                raises_shared: false,
+                can_supply: false,
+                writes_memory: false,
+                occupancy: SnoopOccupancy::Brief,
+            },
+
+            BusOp::WriteWord => {
+                if self.has(DistributedWrite) {
+                    // Modification 4: apply the broadcast word; all copies
+                    // stay valid. A dirty holder cedes ownership to the
+                    // broadcaster under 3+4 (the broadcaster "takes
+                    // responsibility for writing back"), and memory is
+                    // current under plain 4 — either way this copy is clean.
+                    // Occupying the cache for the full transaction is the
+                    // paper's own example of a p′ event.
+                    SnoopResponse {
+                        next_state: CacheState::SharedClean,
+                        raises_shared: true,
+                        can_supply: false,
+                        writes_memory: false,
+                        occupancy: SnoopOccupancy::Full,
+                    }
+                } else {
+                    // Write-Once: "any cache containing the block
+                    // invalidates its copy".
+                    SnoopResponse {
+                        next_state: CacheState::Invalid,
+                        raises_shared: false,
+                        can_supply: false,
+                        writes_memory: false,
+                        occupancy: SnoopOccupancy::Brief,
+                    }
+                }
+            }
+
+            // Replacement write-backs carry no coherence obligation (the
+            // writer held the only dirty copy).
+            BusOp::WriteBlock => SnoopResponse::ignore(state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modifications::NamedProtocol;
+
+    fn with_mods(numbers: &[u8]) -> Protocol {
+        Protocol::new(ModSet::from_numbers(numbers).unwrap())
+    }
+
+    // ---- Write-Once base behaviour (paper Section 2.2, "Write-Once") ----
+
+    #[test]
+    fn wo_read_miss_loads_non_exclusive_clean() {
+        let p = Protocol::write_once();
+        let t = p.processor_read(CacheState::Invalid, MissContext::unshared());
+        assert!(!t.hit);
+        assert_eq!(t.bus_op, Some(BusOp::Read));
+        // "A bus read request loads the cache block in state non-exclusive
+        // and no-wback" — even when no other cache has it (no mod 1).
+        assert_eq!(t.next_state, CacheState::SharedClean);
+    }
+
+    #[test]
+    fn wo_write_miss_loads_exclusive_dirty() {
+        let p = Protocol::write_once();
+        let t = p.processor_write(CacheState::Invalid, MissContext::shared());
+        assert_eq!(t.bus_op, Some(BusOp::ReadMod));
+        assert_eq!(t.next_state, CacheState::ExclusiveDirty);
+    }
+
+    #[test]
+    fn wo_first_write_writes_through() {
+        let p = Protocol::write_once();
+        let t = p.processor_write(CacheState::SharedClean, MissContext::default());
+        assert!(t.hit);
+        assert_eq!(t.bus_op, Some(BusOp::WriteWord));
+        assert!(t.updates_memory);
+        // "The write operation changes the state of the block to exclusive
+        // and no-wback."
+        assert_eq!(t.next_state, CacheState::ExclusiveClean);
+    }
+
+    #[test]
+    fn wo_second_write_is_local() {
+        let p = Protocol::write_once();
+        let t = p.processor_write(CacheState::ExclusiveClean, MissContext::default());
+        assert!(t.hit);
+        assert_eq!(t.bus_op, None);
+        assert_eq!(t.next_state, CacheState::ExclusiveDirty);
+    }
+
+    #[test]
+    fn wo_read_hit_is_local_everywhere() {
+        let p = Protocol::write_once();
+        for s in [CacheState::SharedClean, CacheState::ExclusiveClean, CacheState::ExclusiveDirty]
+        {
+            let t = p.processor_read(s, MissContext::default());
+            assert!(t.hit);
+            assert_eq!(t.bus_op, None);
+            assert_eq!(t.next_state, s);
+        }
+    }
+
+    #[test]
+    fn wo_dirty_snoop_on_read_writes_memory_and_cleans() {
+        let p = Protocol::write_once();
+        let r = p.snoop(CacheState::ExclusiveDirty, BusOp::Read);
+        assert!(r.writes_memory);
+        assert!(r.can_supply);
+        // "The state of the block changes to no-wback if the bus request is
+        // of type read."
+        assert_eq!(r.next_state, CacheState::SharedClean);
+        assert_eq!(r.occupancy, SnoopOccupancy::Full);
+    }
+
+    #[test]
+    fn wo_snooped_write_word_invalidates() {
+        let p = Protocol::write_once();
+        let r = p.snoop(CacheState::SharedClean, BusOp::WriteWord);
+        assert_eq!(r.next_state, CacheState::Invalid);
+        assert_eq!(r.occupancy, SnoopOccupancy::Brief);
+    }
+
+    #[test]
+    fn wo_snooped_read_mod_invalidates() {
+        let p = Protocol::write_once();
+        for s in [CacheState::SharedClean, CacheState::ExclusiveClean] {
+            let r = p.snoop(s, BusOp::ReadMod);
+            assert_eq!(r.next_state, CacheState::Invalid);
+            assert_eq!(r.occupancy, SnoopOccupancy::Brief);
+        }
+        let r = p.snoop(CacheState::ExclusiveDirty, BusOp::ReadMod);
+        assert_eq!(r.next_state, CacheState::Invalid);
+        assert!(r.writes_memory);
+    }
+
+    #[test]
+    fn invalid_blocks_ignore_everything() {
+        let p = Protocol::new(ModSet::all());
+        for op in BusOp::ALL {
+            let r = p.snoop(CacheState::Invalid, op);
+            assert_eq!(r, SnoopResponse::ignore(CacheState::Invalid), "{op}");
+        }
+    }
+
+    #[test]
+    fn write_block_is_coherence_neutral() {
+        for mods in ModSet::power_set() {
+            let p = Protocol::new(mods);
+            for s in CacheState::ALL {
+                let r = p.snoop(s, BusOp::WriteBlock);
+                assert_eq!(r.next_state, s);
+                assert_eq!(r.occupancy, SnoopOccupancy::None);
+            }
+        }
+    }
+
+    // ---- Modification 1: exclusive load ----
+
+    #[test]
+    fn mod1_loads_exclusive_when_unshared() {
+        let p = with_mods(&[1]);
+        assert_eq!(
+            p.fill_state(BusOp::Read, MissContext::unshared()),
+            CacheState::ExclusiveClean
+        );
+        assert_eq!(p.fill_state(BusOp::Read, MissContext::shared()), CacheState::SharedClean);
+    }
+
+    #[test]
+    fn mod1_makes_private_rewrites_free() {
+        let p = with_mods(&[1]);
+        // Load exclusively, then write twice: no bus operations after the fill.
+        let fill = p.fill_state(BusOp::Read, MissContext::unshared());
+        let w1 = p.processor_write(fill, MissContext::default());
+        assert_eq!(w1.bus_op, None);
+        let w2 = p.processor_write(w1.next_state, MissContext::default());
+        assert_eq!(w2.bus_op, None);
+        assert_eq!(w2.next_state, CacheState::ExclusiveDirty);
+    }
+
+    // ---- Modification 2: direct cache supply ----
+
+    #[test]
+    fn mod2_supplier_keeps_ownership_on_read() {
+        let p = with_mods(&[2]);
+        let r = p.snoop(CacheState::ExclusiveDirty, BusOp::Read);
+        assert!(r.can_supply);
+        assert!(!r.writes_memory);
+        // "the supplying cache sets the state to non-exclusive and wback"
+        assert_eq!(r.next_state, CacheState::SharedDirty);
+    }
+
+    #[test]
+    fn mod2_supplier_transfers_on_read_mod() {
+        let p = with_mods(&[2]);
+        let r = p.snoop(CacheState::SharedDirty, BusOp::ReadMod);
+        assert!(r.can_supply);
+        assert!(!r.writes_memory);
+        assert_eq!(r.next_state, CacheState::Invalid);
+    }
+
+    #[test]
+    fn mod2_owner_write_invalidates_others() {
+        let p = with_mods(&[2]);
+        let t = p.processor_write(CacheState::SharedDirty, MissContext::default());
+        assert_eq!(t.bus_op, Some(BusOp::Invalidate));
+        assert_eq!(t.next_state, CacheState::ExclusiveDirty);
+    }
+
+    // ---- Modification 3: invalidate on first write ----
+
+    #[test]
+    fn mod3_first_write_invalidates_and_dirties() {
+        let p = with_mods(&[3]);
+        let t = p.processor_write(CacheState::SharedClean, MissContext::default());
+        assert_eq!(t.bus_op, Some(BusOp::Invalidate));
+        assert!(!t.updates_memory);
+        // Not written through, so the block is modified relative to memory.
+        assert_eq!(t.next_state, CacheState::ExclusiveDirty);
+    }
+
+    // ---- Modification 4: distributed write ----
+
+    #[test]
+    fn mod4_broadcast_keeps_copies_valid() {
+        let p = with_mods(&[1, 4]);
+        let t = p.processor_write(CacheState::SharedClean, MissContext::default());
+        assert_eq!(t.bus_op, Some(BusOp::WriteWord));
+        assert!(t.updates_memory);
+        assert_eq!(t.next_state, CacheState::SharedClean);
+
+        let r = p.snoop(CacheState::SharedClean, BusOp::WriteWord);
+        assert_eq!(r.next_state, CacheState::SharedClean);
+        assert_eq!(r.occupancy, SnoopOccupancy::Full);
+    }
+
+    #[test]
+    fn mod34_broadcast_skips_memory_and_takes_ownership() {
+        let p = with_mods(&[1, 3, 4]);
+        let t = p.processor_write(CacheState::SharedClean, MissContext::default());
+        assert_eq!(t.bus_op, Some(BusOp::WriteWord));
+        assert!(!t.updates_memory);
+        // "We assume the cache performing the broadcast takes this
+        // responsibility" (Section 2.2 summary).
+        assert_eq!(t.next_state, CacheState::SharedDirty);
+    }
+
+    #[test]
+    fn mod34_snooped_broadcast_cedes_ownership() {
+        let p = with_mods(&[3, 4]);
+        let r = p.snoop(CacheState::SharedDirty, BusOp::WriteWord);
+        assert_eq!(r.next_state, CacheState::SharedClean);
+    }
+
+    #[test]
+    fn mod4_write_miss_on_shared_block_reads_then_broadcasts() {
+        let p = with_mods(&[1, 4]);
+        let ctx = MissContext::shared();
+        let t = p.processor_write(CacheState::Invalid, ctx);
+        assert_eq!(t.bus_op, Some(BusOp::Read));
+        assert!(p.write_miss_broadcasts(ctx));
+        // Unshared write miss behaves like read-mod (exclusive, no broadcast
+        // needed).
+        let ctx = MissContext::unshared();
+        let t = p.processor_write(CacheState::Invalid, ctx);
+        assert_eq!(t.bus_op, Some(BusOp::ReadMod));
+        assert!(!p.write_miss_broadcasts(ctx));
+    }
+
+    #[test]
+    fn write_through_equivalence() {
+        // "this modification [4] alone reduces the Write-Once protocol to a
+        // write-through protocol": without mod 1, every write to a shared
+        // block goes on the bus, forever.
+        let p = Protocol::new(NamedProtocol::WriteThrough.modifications());
+        let mut state = p.fill_state(BusOp::Read, MissContext::shared());
+        for _ in 0..5 {
+            let t = p.processor_write(state, MissContext::shared());
+            assert_eq!(t.bus_op, Some(BusOp::WriteWord));
+            assert!(t.updates_memory);
+            state = t.next_state;
+        }
+    }
+
+    // ---- cross-cutting sanity ----
+
+    #[test]
+    fn exclusive_states_never_issue_bus_ops_on_write() {
+        for mods in ModSet::power_set() {
+            let p = Protocol::new(mods);
+            for s in [CacheState::ExclusiveClean, CacheState::ExclusiveDirty] {
+                let t = p.processor_write(s, MissContext::default());
+                assert_eq!(t.bus_op, None, "{mods} {s}");
+                assert_eq!(t.next_state, CacheState::ExclusiveDirty);
+            }
+        }
+    }
+
+    #[test]
+    fn hits_never_change_validity() {
+        for mods in ModSet::power_set() {
+            let p = Protocol::new(mods);
+            for s in CacheState::ALL.into_iter().filter(|s| s.is_valid()) {
+                let t = p.processor_write(s, MissContext::default());
+                assert!(t.next_state.is_valid());
+                let t = p.processor_read(s, MissContext::default());
+                assert!(t.next_state.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn snoop_never_promotes_to_exclusive() {
+        for mods in ModSet::power_set() {
+            let p = Protocol::new(mods);
+            for s in CacheState::ALL {
+                for op in BusOp::ALL {
+                    let r = p.snoop(s, op);
+                    // A snoop may leave the state untouched (write-block is
+                    // coherence-neutral) but must never *gain* exclusivity.
+                    assert!(
+                        !r.next_state.is_exclusive() || r.next_state == s,
+                        "{mods}: snooping {op} in {s} must not gain exclusivity"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The complete Write-Once processor-side transition table, hand-coded
+    /// from Goodman's protocol description, checked cell by cell. Context
+    /// (the shared line) is irrelevant without modification 1, so each
+    /// entry covers both contexts.
+    #[test]
+    fn write_once_full_processor_table() {
+        use CacheState::*;
+        let p = Protocol::write_once();
+        // (state, is_write) -> (bus op, next state)
+        let expected: &[(CacheState, bool, Option<BusOp>, CacheState)] = &[
+            (Invalid, false, Some(BusOp::Read), SharedClean),
+            (Invalid, true, Some(BusOp::ReadMod), ExclusiveDirty),
+            (SharedClean, false, None, SharedClean),
+            (SharedClean, true, Some(BusOp::WriteWord), ExclusiveClean),
+            // SharedDirty is unreachable in plain Write-Once, but the
+            // machine still answers coherently (invalidate + own).
+            (SharedDirty, false, None, SharedDirty),
+            (SharedDirty, true, Some(BusOp::Invalidate), ExclusiveDirty),
+            (ExclusiveClean, false, None, ExclusiveClean),
+            (ExclusiveClean, true, None, ExclusiveDirty),
+            (ExclusiveDirty, false, None, ExclusiveDirty),
+            (ExclusiveDirty, true, None, ExclusiveDirty),
+        ];
+        for &(state, is_write, bus, next) in expected {
+            for shared in [false, true] {
+                let ctx = MissContext { shared_line: shared };
+                let t = if is_write {
+                    p.processor_write(state, ctx)
+                } else {
+                    p.processor_read(state, ctx)
+                };
+                assert_eq!(t.bus_op, bus, "{state} write={is_write} shared={shared}");
+                assert_eq!(t.next_state, next, "{state} write={is_write} shared={shared}");
+            }
+        }
+    }
+
+    /// The complete Write-Once snoop-side transition table.
+    #[test]
+    fn write_once_full_snoop_table() {
+        use BusOp::*;
+        use CacheState::*;
+        let p = Protocol::write_once();
+        // (state, op) -> (next state, writes memory)
+        let expected: &[(CacheState, BusOp, CacheState, bool)] = &[
+            (SharedClean, Read, SharedClean, false),
+            (SharedClean, ReadMod, Invalid, false),
+            (SharedClean, Invalidate, Invalid, false),
+            (SharedClean, WriteWord, Invalid, false),
+            (SharedClean, WriteBlock, SharedClean, false),
+            (ExclusiveClean, Read, SharedClean, false),
+            (ExclusiveClean, ReadMod, Invalid, false),
+            (ExclusiveClean, Invalidate, Invalid, false),
+            (ExclusiveClean, WriteWord, Invalid, false),
+            (ExclusiveClean, WriteBlock, ExclusiveClean, false),
+            (ExclusiveDirty, Read, SharedClean, true),
+            (ExclusiveDirty, ReadMod, Invalid, true),
+            (ExclusiveDirty, Invalidate, Invalid, false),
+            (ExclusiveDirty, WriteWord, Invalid, false),
+            (ExclusiveDirty, WriteBlock, ExclusiveDirty, false),
+        ];
+        for &(state, op, next, writes_memory) in expected {
+            let r = p.snoop(state, op);
+            assert_eq!(r.next_state, next, "{state} snoop {op}");
+            assert_eq!(r.writes_memory, writes_memory, "{state} snoop {op}");
+        }
+    }
+
+    #[test]
+    fn dirty_data_is_never_silently_dropped() {
+        // Every snoop transition out of a dirty state either supplies the
+        // data, writes it to memory, or keeps a dirty copy somewhere (the
+        // requester of a read-mod will have it).
+        for mods in ModSet::power_set() {
+            let p = Protocol::new(mods);
+            for s in [CacheState::SharedDirty, CacheState::ExclusiveDirty] {
+                for op in [BusOp::Read, BusOp::ReadMod] {
+                    let r = p.snoop(s, op);
+                    assert!(
+                        r.can_supply || r.writes_memory || r.next_state.is_dirty(),
+                        "{mods}: {op} snoop in {s} loses dirty data"
+                    );
+                }
+            }
+        }
+    }
+}

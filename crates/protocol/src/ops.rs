@@ -1,0 +1,118 @@
+//! Processor and bus operation vocabularies (paper Section 2.1).
+
+use std::fmt;
+
+/// A memory operation issued by a processor to its cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessorOp {
+    /// Load a word.
+    Read,
+    /// Store a word.
+    Write,
+}
+
+impl fmt::Display for ProcessorOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProcessorOp::Read => "read",
+            ProcessorOp::Write => "write",
+        })
+    }
+}
+
+/// A bus transaction. The paper's five types:
+///
+/// > "Bus transactions may be one of five types: read, read-mod (i.e.,
+/// > read-with-the-intent-to-modify), invalidate, write-word, or
+/// > write-block."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusOp {
+    /// Block fetch caused by a processor read miss.
+    Read,
+    /// Block fetch with intent to modify (write miss); invalidates other
+    /// copies.
+    ReadMod,
+    /// Invalidate other copies without transferring data (modification 3's
+    /// replacement for `write-word`).
+    Invalidate,
+    /// Broadcast a single written word (Write-Once's write-through of the
+    /// first write; modification 4's distributed-write broadcast).
+    WriteWord,
+    /// Write a whole modified block back to main memory (replacement
+    /// write-back, or a dirty snooper updating memory before a `read`).
+    WriteBlock,
+}
+
+impl BusOp {
+    /// All five bus operations in the paper's order.
+    pub const ALL: [BusOp; 5] =
+        [BusOp::Read, BusOp::ReadMod, BusOp::Invalidate, BusOp::WriteWord, BusOp::WriteBlock];
+
+    /// Whether this operation transfers a whole cache block on the bus.
+    pub fn transfers_block(self) -> bool {
+        matches!(self, BusOp::Read | BusOp::ReadMod | BusOp::WriteBlock)
+    }
+
+    /// Whether this operation asks other caches to give up their copies
+    /// (under the base protocol semantics; modification 4 turns
+    /// `write-word` into an update instead).
+    pub fn invalidates_others(self) -> bool {
+        matches!(self, BusOp::ReadMod | BusOp::Invalidate | BusOp::WriteWord)
+    }
+
+    /// Whether this operation requests data (some agent must supply the
+    /// block).
+    pub fn requests_data(self) -> bool {
+        matches!(self, BusOp::Read | BusOp::ReadMod)
+    }
+}
+
+impl fmt::Display for BusOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BusOp::Read => "read",
+            BusOp::ReadMod => "read-mod",
+            BusOp::Invalidate => "invalidate",
+            BusOp::WriteWord => "write-word",
+            BusOp::WriteBlock => "write-block",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_transfer_classification() {
+        assert!(BusOp::Read.transfers_block());
+        assert!(BusOp::ReadMod.transfers_block());
+        assert!(BusOp::WriteBlock.transfers_block());
+        assert!(!BusOp::Invalidate.transfers_block());
+        assert!(!BusOp::WriteWord.transfers_block());
+    }
+
+    #[test]
+    fn invalidation_classification() {
+        assert!(BusOp::ReadMod.invalidates_others());
+        assert!(BusOp::Invalidate.invalidates_others());
+        assert!(BusOp::WriteWord.invalidates_others());
+        assert!(!BusOp::Read.invalidates_others());
+        assert!(!BusOp::WriteBlock.invalidates_others());
+    }
+
+    #[test]
+    fn data_request_classification() {
+        assert!(BusOp::Read.requests_data());
+        assert!(BusOp::ReadMod.requests_data());
+        assert!(!BusOp::WriteWord.requests_data());
+    }
+
+    #[test]
+    fn displays_are_distinct() {
+        let mut names: Vec<String> = BusOp::ALL.iter().map(|o| o.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

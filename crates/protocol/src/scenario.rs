@@ -1,0 +1,287 @@
+//! Spec-style scenario testing for protocols.
+//!
+//! A [`Scenario`] scripts a sequence of processor references against a
+//! multi-cache system for one block and asserts, step by step, the bus
+//! operations issued and the states reached — executable versions of the
+//! walk-throughs protocol papers narrate ("P1 reads, P2 writes, P1 reads
+//! again…"). The repository's golden protocol tests
+//! (`tests/protocol_scenarios.rs`) are written in this DSL.
+//!
+//! # Example
+//!
+//! ```
+//! use snoop_protocol::scenario::Scenario;
+//! use snoop_protocol::{BusOp, CacheState, ModSet};
+//!
+//! // Write-Once's defining sequence: miss, first write (through), second
+//! // write (local).
+//! Scenario::new("write-once basics", 2, ModSet::new())
+//!     .read(0)
+//!     .expect_bus(Some(BusOp::Read))
+//!     .expect_state(0, CacheState::SharedClean)
+//!     .write(0)
+//!     .expect_bus(Some(BusOp::WriteWord))
+//!     .expect_state(0, CacheState::ExclusiveClean)
+//!     .write(0)
+//!     .expect_bus(None)
+//!     .expect_state(0, CacheState::ExclusiveDirty)
+//!     .run()
+//!     .expect("scenario holds");
+//! ```
+
+use crate::machine::{MissContext, Protocol};
+use crate::modifications::ModSet;
+use crate::ops::BusOp;
+use crate::state::CacheState;
+
+/// One scripted step.
+#[derive(Debug, Clone)]
+enum Step {
+    Read(usize),
+    Write(usize),
+    Purge(usize),
+    ExpectBus(Option<BusOp>),
+    ExpectState(usize, CacheState),
+    ExpectCoherent,
+}
+
+/// A scenario failure, describing which step broke and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// Scenario name.
+    pub scenario: String,
+    /// Index of the failing step.
+    pub step: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario {:?}, step {}: {}", self.scenario, self.step, self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A scripted multi-cache scenario for one block.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    caches: usize,
+    mods: ModSet,
+    steps: Vec<Step>,
+}
+
+impl Scenario {
+    /// Starts a scenario over `caches` caches running `mods`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches` is zero.
+    pub fn new(name: &str, caches: usize, mods: ModSet) -> Self {
+        assert!(caches > 0, "need at least one cache");
+        Scenario { name: name.to_string(), caches, mods, steps: Vec::new() }
+    }
+
+    /// Processor `p` reads the block.
+    #[must_use]
+    pub fn read(mut self, p: usize) -> Self {
+        self.steps.push(Step::Read(p));
+        self
+    }
+
+    /// Processor `p` writes the block.
+    #[must_use]
+    pub fn write(mut self, p: usize) -> Self {
+        self.steps.push(Step::Write(p));
+        self
+    }
+
+    /// Cache `p` purges (replaces) the block.
+    #[must_use]
+    pub fn purge(mut self, p: usize) -> Self {
+        self.steps.push(Step::Purge(p));
+        self
+    }
+
+    /// Asserts the bus operation of the *preceding* reference.
+    #[must_use]
+    pub fn expect_bus(mut self, op: Option<BusOp>) -> Self {
+        self.steps.push(Step::ExpectBus(op));
+        self
+    }
+
+    /// Asserts cache `p`'s current state for the block.
+    #[must_use]
+    pub fn expect_state(mut self, p: usize, state: CacheState) -> Self {
+        self.steps.push(Step::ExpectState(p, state));
+        self
+    }
+
+    /// Asserts the system-wide coherence invariants hold right now.
+    #[must_use]
+    pub fn expect_coherent(mut self) -> Self {
+        self.steps.push(Step::ExpectCoherent);
+        self
+    }
+
+    /// Executes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] encountered.
+    // Indexing `states` by cache id keeps actor/observer roles explicit.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run(&self) -> Result<(), ScenarioError> {
+        let protocol = Protocol::new(self.mods);
+        let mut states = vec![CacheState::Invalid; self.caches];
+        let mut last_bus: Option<Option<BusOp>> = None;
+
+        let fail = |step: usize, message: String| ScenarioError {
+            scenario: self.name.clone(),
+            step,
+            message,
+        };
+        let check_actor = |step: usize, p: usize| {
+            if p >= self.caches {
+                Err(fail(step, format!("cache {p} out of range (0..{})", self.caches)))
+            } else {
+                Ok(())
+            }
+        };
+
+        for (idx, step) in self.steps.iter().enumerate() {
+            match *step {
+                Step::Read(p) | Step::Write(p) => {
+                    check_actor(idx, p)?;
+                    let shared =
+                        states.iter().enumerate().any(|(q, s)| q != p && s.is_valid());
+                    let ctx = MissContext { shared_line: shared };
+                    let is_write = matches!(step, Step::Write(_));
+                    let t = if is_write {
+                        protocol.processor_write(states[p], ctx)
+                    } else {
+                        protocol.processor_read(states[p], ctx)
+                    };
+                    if let Some(op) = t.bus_op {
+                        for q in 0..self.caches {
+                            if q != p {
+                                states[q] = protocol.snoop(states[q], op).next_state;
+                            }
+                        }
+                        if !t.hit && is_write && protocol.write_miss_broadcasts(ctx) {
+                            for q in 0..self.caches {
+                                if q != p {
+                                    states[q] =
+                                        protocol.snoop(states[q], BusOp::WriteWord).next_state;
+                                }
+                            }
+                        }
+                    }
+                    states[p] = t.next_state;
+                    last_bus = Some(t.bus_op);
+                }
+                Step::Purge(p) => {
+                    check_actor(idx, p)?;
+                    states[p] = CacheState::Invalid;
+                    last_bus = None;
+                }
+                Step::ExpectBus(expected) => match last_bus {
+                    None => {
+                        return Err(fail(
+                            idx,
+                            "expect_bus must follow a read or write".to_string(),
+                        ))
+                    }
+                    Some(actual) if actual != expected => {
+                        return Err(fail(
+                            idx,
+                            format!("expected bus op {expected:?}, got {actual:?}"),
+                        ))
+                    }
+                    _ => {}
+                },
+                Step::ExpectState(p, expected) => {
+                    check_actor(idx, p)?;
+                    if states[p] != expected {
+                        return Err(fail(
+                            idx,
+                            format!("cache {p}: expected {expected}, got {}", states[p]),
+                        ));
+                    }
+                }
+                Step::ExpectCoherent => {
+                    let violations = crate::invariants::check_block(&states, self.mods);
+                    if !violations.is_empty() {
+                        return Err(fail(idx, format!("incoherent: {violations:?}")));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_scenario() {
+        Scenario::new("basic", 2, ModSet::new())
+            .read(0)
+            .expect_bus(Some(BusOp::Read))
+            .expect_state(0, CacheState::SharedClean)
+            .expect_coherent()
+            .run()
+            .unwrap();
+    }
+
+    #[test]
+    fn wrong_bus_op_is_reported() {
+        let err = Scenario::new("wrong-bus", 2, ModSet::new())
+            .read(0)
+            .expect_bus(Some(BusOp::ReadMod))
+            .run()
+            .unwrap_err();
+        assert!(err.message.contains("ReadMod"));
+        assert_eq!(err.step, 1);
+        assert!(err.to_string().contains("wrong-bus"));
+    }
+
+    #[test]
+    fn wrong_state_is_reported() {
+        let err = Scenario::new("wrong-state", 2, ModSet::new())
+            .read(0)
+            .expect_state(0, CacheState::ExclusiveDirty)
+            .run()
+            .unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn expect_bus_requires_a_reference() {
+        let err = Scenario::new("dangling", 1, ModSet::new())
+            .expect_bus(None)
+            .run()
+            .unwrap_err();
+        assert!(err.message.contains("must follow"));
+    }
+
+    #[test]
+    fn out_of_range_actor_is_reported() {
+        let err = Scenario::new("oob", 2, ModSet::new()).read(5).run().unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn purge_clears_state() {
+        Scenario::new("purge", 1, ModSet::new())
+            .read(0)
+            .purge(0)
+            .expect_state(0, CacheState::Invalid)
+            .run()
+            .unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! The three-bit cache-block state of the paper (Section 2.1).
+//!
+//! > "Cache block states are assumed to be defined by three bits of state
+//! > information. The first bit denotes whether the block is *valid* or
+//! > *invalid*. The second bit indicates whether the cache knows that it has
+//! > the only copy of a block (*exclusive*) … The third bit
+//! > (*wback/no-wback*) denotes whether or not the processor must write back
+//! > the block when it is purged."
+//!
+//! Of the eight bit patterns, five are meaningful (the exclusivity and
+//! dirty bits are irrelevant for an invalid block); they are named here in
+//! the MOESI-like vocabulary used by later literature so that readers
+//! familiar with either naming can navigate.
+
+use std::fmt;
+
+/// State of one block in one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum CacheState {
+    /// Not present (or invalidated). Paper bits: `invalid / - / -`.
+    #[default]
+    Invalid,
+    /// Valid, possibly also in other caches, consistent with memory.
+    /// Paper bits: `valid / non-exclusive / no-wback`.
+    SharedClean,
+    /// Valid, possibly also in other caches, **owned**: this cache must
+    /// write the block back when purging it. Paper bits:
+    /// `valid / non-exclusive / wback`. Only reachable under modification 2
+    /// (direct cache-to-cache supply) or modifications 3+4 (broadcast
+    /// without memory update).
+    SharedDirty,
+    /// Valid, known to be the only cached copy, consistent with memory.
+    /// Paper bits: `valid / exclusive / no-wback`. In Write-Once this is the
+    /// state after the first (written-through) write; under modification 1
+    /// it is also the load state when no other cache holds the block.
+    ExclusiveClean,
+    /// Valid, only cached copy, modified relative to memory. Paper bits:
+    /// `valid / exclusive / wback`.
+    ExclusiveDirty,
+}
+
+impl CacheState {
+    /// All five states, in a fixed order (useful for tables and tests).
+    pub const ALL: [CacheState; 5] = [
+        CacheState::Invalid,
+        CacheState::SharedClean,
+        CacheState::SharedDirty,
+        CacheState::ExclusiveClean,
+        CacheState::ExclusiveDirty,
+    ];
+
+    /// The *valid* bit.
+    pub fn is_valid(self) -> bool {
+        self != CacheState::Invalid
+    }
+
+    /// The *exclusive* bit (meaningful only when valid).
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, CacheState::ExclusiveClean | CacheState::ExclusiveDirty)
+    }
+
+    /// The *wback* bit: must the block be written back when purged?
+    pub fn is_dirty(self) -> bool {
+        matches!(self, CacheState::SharedDirty | CacheState::ExclusiveDirty)
+    }
+
+    /// Encodes the paper's three state bits as `(valid, exclusive, wback)`.
+    pub fn bits(self) -> (bool, bool, bool) {
+        (self.is_valid(), self.is_exclusive(), self.is_dirty())
+    }
+
+    /// Decodes the paper's three state bits. Invalid blocks ignore the other
+    /// two bits, matching the paper's convention.
+    pub fn from_bits(valid: bool, exclusive: bool, wback: bool) -> CacheState {
+        match (valid, exclusive, wback) {
+            (false, _, _) => CacheState::Invalid,
+            (true, false, false) => CacheState::SharedClean,
+            (true, false, true) => CacheState::SharedDirty,
+            (true, true, false) => CacheState::ExclusiveClean,
+            (true, true, true) => CacheState::ExclusiveDirty,
+        }
+    }
+
+    /// Loses exclusivity (another cache obtained a copy) while preserving
+    /// the other bits. Invalid stays invalid.
+    pub fn demoted(self) -> CacheState {
+        match self {
+            CacheState::ExclusiveClean => CacheState::SharedClean,
+            CacheState::ExclusiveDirty => CacheState::SharedDirty,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CacheState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CacheState::Invalid => "invalid",
+            CacheState::SharedClean => "valid/non-excl/no-wback",
+            CacheState::SharedDirty => "valid/non-excl/wback",
+            CacheState::ExclusiveClean => "valid/excl/no-wback",
+            CacheState::ExclusiveDirty => "valid/excl/wback",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for s in CacheState::ALL {
+            let (v, e, w) = s.bits();
+            assert_eq!(CacheState::from_bits(v, e, w), s);
+        }
+    }
+
+    #[test]
+    fn invalid_ignores_other_bits() {
+        assert_eq!(CacheState::from_bits(false, true, true), CacheState::Invalid);
+        assert_eq!(CacheState::from_bits(false, true, false), CacheState::Invalid);
+    }
+
+    #[test]
+    fn dirty_and_exclusive_flags() {
+        assert!(CacheState::ExclusiveDirty.is_dirty());
+        assert!(CacheState::ExclusiveDirty.is_exclusive());
+        assert!(CacheState::SharedDirty.is_dirty());
+        assert!(!CacheState::SharedDirty.is_exclusive());
+        assert!(!CacheState::SharedClean.is_dirty());
+        assert!(!CacheState::Invalid.is_valid());
+    }
+
+    #[test]
+    fn demotion() {
+        assert_eq!(CacheState::ExclusiveClean.demoted(), CacheState::SharedClean);
+        assert_eq!(CacheState::ExclusiveDirty.demoted(), CacheState::SharedDirty);
+        assert_eq!(CacheState::SharedClean.demoted(), CacheState::SharedClean);
+        assert_eq!(CacheState::Invalid.demoted(), CacheState::Invalid);
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(CacheState::default(), CacheState::Invalid);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let mut names: Vec<String> = CacheState::ALL.iter().map(|s| s.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

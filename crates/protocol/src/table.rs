@@ -1,0 +1,115 @@
+//! Human-readable transition tables.
+//!
+//! Renders the full processor- and snoop-side transition relation of a
+//! protocol as fixed-width text tables, for documentation, the CLI's
+//! `snoop protocol` subcommand, and eyeball-debugging of modification
+//! combinations.
+
+use std::fmt::Write as _;
+
+use crate::machine::{MissContext, Protocol};
+use crate::ops::BusOp;
+use crate::state::CacheState;
+
+/// Renders the processor-side transition table: for every state and every
+/// (read/write × shared/unshared) stimulus, the bus operation and next
+/// state.
+pub fn processor_table(protocol: &Protocol) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "processor transitions for {}", protocol.modifications());
+    let _ = writeln!(
+        out,
+        "{:<24} {:<8} {:<8} {:<12} {:<24}",
+        "state", "op", "shared", "bus op", "next state"
+    );
+    for state in CacheState::ALL {
+        for (name, write) in [("read", false), ("write", true)] {
+            for shared in [false, true] {
+                let ctx = MissContext { shared_line: shared };
+                let t = if write {
+                    protocol.processor_write(state, ctx)
+                } else {
+                    protocol.processor_read(state, ctx)
+                };
+                let bus = t.bus_op.map(|o| o.to_string()).unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:<8} {:<8} {:<12} {:<24}",
+                    state.to_string(),
+                    name,
+                    if shared { "yes" } else { "no" },
+                    bus,
+                    t.next_state.to_string()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the snoop-side transition table: for every state and bus
+/// operation, the response.
+pub fn snoop_table(protocol: &Protocol) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "snoop transitions for {}", protocol.modifications());
+    let _ = writeln!(
+        out,
+        "{:<24} {:<12} {:<24} {:<8} {:<8} {:<10}",
+        "state", "bus op", "next state", "supply", "wr mem", "occupancy"
+    );
+    for state in CacheState::ALL {
+        for op in BusOp::ALL {
+            let r = protocol.snoop(state, op);
+            let _ = writeln!(
+                out,
+                "{:<24} {:<12} {:<24} {:<8} {:<8} {:<10}",
+                state.to_string(),
+                op.to_string(),
+                r.next_state.to_string(),
+                if r.can_supply { "yes" } else { "no" },
+                if r.writes_memory { "yes" } else { "no" },
+                format!("{:?}", r.occupancy).to_lowercase()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modifications::ModSet;
+
+    #[test]
+    fn processor_table_mentions_every_state() {
+        let t = processor_table(&Protocol::write_once());
+        for s in CacheState::ALL {
+            assert!(t.contains(&s.to_string()), "missing {s}");
+        }
+    }
+
+    #[test]
+    fn snoop_table_mentions_every_bus_op() {
+        let t = snoop_table(&Protocol::write_once());
+        for o in BusOp::ALL {
+            assert!(t.contains(&o.to_string()), "missing {o}");
+        }
+    }
+
+    #[test]
+    fn tables_differ_across_modifications() {
+        let wo = processor_table(&Protocol::write_once());
+        let dragon = processor_table(&Protocol::new(ModSet::all()));
+        assert_ne!(wo, dragon);
+    }
+
+    #[test]
+    fn table_has_expected_row_count() {
+        // Header (2 lines) + 5 states × 2 ops × 2 shared values.
+        let t = processor_table(&Protocol::write_once());
+        assert_eq!(t.lines().count(), 2 + 5 * 2 * 2);
+        // Header (2 lines) + 5 states × 5 bus ops.
+        let t = snoop_table(&Protocol::write_once());
+        assert_eq!(t.lines().count(), 2 + 5 * 5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Simulation configuration.
+
+use snoop_protocol::ModSet;
+use snoop_workload::params::WorkloadParams;
+use snoop_workload::timing::TimingModel;
+
+use crate::SimError;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of processors.
+    pub n: usize,
+    /// Workload parameters (adjusted per modification by the caller or via
+    /// [`SimConfig::for_protocol`]).
+    pub params: WorkloadParams,
+    /// Protocol modification set.
+    pub mods: ModSet,
+    /// Bus/memory timing.
+    pub timing: TimingModel,
+    /// RNG seed.
+    pub seed: u64,
+    /// Memory references per processor discarded as warm-up.
+    pub warmup_references: usize,
+    /// Memory references per processor measured after warm-up.
+    pub measured_references: usize,
+}
+
+impl SimConfig {
+    /// A configuration with the paper's Appendix-A adjustments applied for
+    /// `mods`, defaulting to a measurement length that bounds speedup noise
+    /// to roughly ±1%.
+    pub fn for_protocol(n: usize, params: WorkloadParams, mods: ModSet) -> Self {
+        SimConfig {
+            n,
+            params: snoop_workload::adjust::paper_adjusted(&params, mods),
+            mods,
+            timing: TimingModel::default(),
+            seed: 0x5eed_cafe,
+            warmup_references: 2_000,
+            measured_references: 30_000,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero processors or an empty
+    /// measurement phase, and propagates workload/timing validation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n == 0 {
+            return Err(SimError::InvalidConfig("need at least one processor".into()));
+        }
+        if self.measured_references == 0 {
+            return Err(SimError::InvalidConfig("need a measurement phase".into()));
+        }
+        self.params.validate()?;
+        self.timing.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_workload::params::SharingLevel;
+
+    #[test]
+    fn for_protocol_applies_adjustments() {
+        let c = SimConfig::for_protocol(
+            4,
+            WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::from_numbers(&[1]).unwrap(),
+        );
+        assert_eq!(c.params.rep_p, 0.3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_zero_processors() {
+        let mut c =
+            SimConfig::for_protocol(1, WorkloadParams::default(), ModSet::new());
+        c.n = 0;
+        assert!(matches!(c.validate(), Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn validation_rejects_empty_measurement() {
+        let mut c =
+            SimConfig::for_protocol(1, WorkloadParams::default(), ModSet::new());
+        c.measured_references = 0;
+        assert!(c.validate().is_err());
+    }
+}

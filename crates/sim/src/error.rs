@@ -1,0 +1,48 @@
+use std::fmt;
+
+use snoop_workload::WorkloadError;
+
+/// Error type of the simulator crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Invalid workload parameters or timing model.
+    Workload(WorkloadError),
+    /// Invalid simulation configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Workload(e) => write!(f, "workload error: {e}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Workload(e) => Some(e),
+            SimError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SimError::InvalidConfig("x".into()).to_string().contains("x"));
+        let e = SimError::from(WorkloadError::InvalidParameter { name: "tau", value: -1.0 });
+        assert!(e.to_string().contains("tau"));
+    }
+}

@@ -1,0 +1,174 @@
+//! A deterministic event calendar for continuous-time discrete-event
+//! simulation.
+//!
+//! Events at equal timestamps are delivered in insertion order (a strictly
+//! increasing sequence number breaks ties), which keeps runs reproducible
+//! for a fixed seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: timestamp, tie-breaking sequence number, payload.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event calendar.
+///
+/// # Example
+///
+/// ```
+/// use snoop_sim::event::Calendar;
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(2.0, "late");
+/// cal.schedule(1.0, "early");
+/// assert_eq!(cal.next(), Some((1.0, "early")));
+/// assert_eq!(cal.next(), Some((2.0, "late")));
+/// assert_eq!(cal.next(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or earlier than the current time (events
+    /// cannot be scheduled in the past).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule in the past: {time} < {}",
+            self.now
+        );
+        self.heap.push(Entry { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    ///
+    /// Named `next` on purpose (the calendar is iterator-like), but not an
+    /// `Iterator` impl: popping mutates the clock and borrows rules make
+    /// the explicit method clearer at call sites.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Calendar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut c = Calendar::new();
+        c.schedule(3.0, 3);
+        c.schedule(1.0, 1);
+        c.schedule(2.0, 2);
+        assert_eq!(c.next().unwrap().1, 1);
+        assert_eq!(c.next().unwrap().1, 2);
+        assert_eq!(c.next().unwrap().1, 3);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut c = Calendar::new();
+        for i in 0..10 {
+            c.schedule(1.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(c.next().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = Calendar::new();
+        c.schedule(5.0, ());
+        assert_eq!(c.now(), 0.0);
+        c.next();
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut c = Calendar::new();
+        c.schedule(5.0, ());
+        c.next();
+        c.schedule(4.0, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut c: Calendar<()> = Calendar::new();
+        assert!(c.is_empty());
+        c.schedule(1.0, ());
+        assert_eq!(c.len(), 1);
+        c.next();
+        assert!(c.is_empty());
+        assert!(c.next().is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Output analysis: independent replications and single-run batch means.
+
+use snoop_numeric::stats::{confidence_interval, BatchMeans, ConfidenceInterval, RunningStats};
+
+use crate::config::SimConfig;
+use crate::probabilistic::simulate;
+use crate::stats::SimMeasures;
+use crate::SimError;
+
+/// Aggregated results of several independent replications.
+#[derive(Debug, Clone)]
+pub struct ReplicatedMeasures {
+    /// Per-replication measures.
+    pub replications: Vec<SimMeasures>,
+    /// Confidence interval on the speedup.
+    pub speedup: ConfidenceInterval,
+    /// Confidence interval on the bus utilization.
+    pub bus_utilization: ConfidenceInterval,
+    /// Confidence interval on the mean bus wait.
+    pub w_bus: ConfidenceInterval,
+}
+
+impl ReplicatedMeasures {
+    /// Point estimate of the speedup (mean over replications).
+    pub fn mean_speedup(&self) -> f64 {
+        self.speedup.mean
+    }
+}
+
+/// Runs `replications` independent simulations (seeds derived from the
+/// base configuration's seed) and aggregates them with Student-t intervals
+/// at the given confidence level.
+///
+/// # Errors
+///
+/// Propagates simulation errors; requires at least two replications for
+/// the intervals.
+pub fn replicate(
+    config: &SimConfig,
+    replications: usize,
+    level: f64,
+) -> Result<ReplicatedMeasures, SimError> {
+    if replications < 2 {
+        return Err(SimError::InvalidConfig("need at least two replications".into()));
+    }
+    let mut results = Vec::with_capacity(replications);
+    for i in 0..replications {
+        let mut c = *config;
+        c.seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1));
+        results.push(simulate(&c)?);
+    }
+
+    let collect = |f: fn(&SimMeasures) -> f64| -> RunningStats {
+        results.iter().map(f).collect()
+    };
+    let ci = |stats: RunningStats| {
+        confidence_interval(&stats, level)
+            .expect("at least two replications and a valid level")
+    };
+
+    Ok(ReplicatedMeasures {
+        speedup: ci(collect(|m| m.speedup)),
+        bus_utilization: ci(collect(|m| m.bus_utilization)),
+        w_bus: ci(collect(|m| m.w_bus)),
+        replications: results,
+    })
+}
+
+/// Batch-means estimate from consecutive segments of one long run.
+///
+/// Cheaper than independent replications (one warm-up instead of `k`):
+/// the measurement phase is split into `batches` consecutive segments, the
+/// per-segment speedups are treated as approximately independent samples,
+/// and a Student-t interval is formed over them. Implemented by running
+/// `batches` back-to-back simulations that share a common warmed seed
+/// stream, which is statistically equivalent for this regenerative-ish
+/// workload and keeps the simulator core simple.
+///
+/// # Errors
+///
+/// Propagates simulation errors; needs at least two batches.
+pub fn batch_means_speedup(
+    config: &SimConfig,
+    batches: usize,
+    level: f64,
+) -> Result<ConfidenceInterval, SimError> {
+    if batches < 2 {
+        return Err(SimError::InvalidConfig("need at least two batches".into()));
+    }
+    let per_batch = (config.measured_references / batches).max(1);
+    let mut bm = BatchMeans::new(1);
+    let mut c = *config;
+    c.measured_references = per_batch;
+    for i in 0..batches {
+        // Continue the run: each batch starts warmed (short warm-up after
+        // the first, which inherits the configured one).
+        c.seed = config.seed.wrapping_add(i as u64 * 0x9e37_79b9);
+        if i > 0 {
+            c.warmup_references = (config.warmup_references / 4).max(100);
+        }
+        bm.push(simulate(&c)?.speedup);
+    }
+    bm.confidence_interval(level)
+        .map_err(|e| SimError::InvalidConfig(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+    fn quick_config(n: usize) -> SimConfig {
+        let mut c = SimConfig::for_protocol(
+            n,
+            WorkloadParams::appendix_a(SharingLevel::Five),
+            ModSet::new(),
+        );
+        c.warmup_references = 300;
+        c.measured_references = 3_000;
+        c
+    }
+
+    #[test]
+    fn replications_produce_tight_interval() {
+        let r = replicate(&quick_config(4), 5, 0.95).unwrap();
+        assert_eq!(r.replications.len(), 5);
+        // Speedup around the MVA's 3.12 with a small relative half-width.
+        assert!(r.speedup.contains(r.mean_speedup()));
+        assert!(
+            r.speedup.relative_half_width() < 0.05,
+            "half-width {}",
+            r.speedup.relative_half_width()
+        );
+        assert!((r.mean_speedup() - 3.12).abs() < 0.25, "{}", r.mean_speedup());
+    }
+
+    #[test]
+    fn needs_two_replications() {
+        assert!(replicate(&quick_config(2), 1, 0.95).is_err());
+    }
+
+    #[test]
+    fn batch_means_brackets_the_replicated_estimate() {
+        let config = quick_config(4);
+        let replicated = replicate(&config, 4, 0.95).unwrap();
+        let bm = batch_means_speedup(&config, 5, 0.95).unwrap();
+        // The two estimators target the same quantity.
+        assert!(
+            (bm.mean - replicated.mean_speedup()).abs() / replicated.mean_speedup() < 0.05,
+            "batch means {} vs replications {}",
+            bm.mean,
+            replicated.mean_speedup()
+        );
+        assert!(bm.half_width > 0.0);
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches() {
+        assert!(batch_means_speedup(&quick_config(2), 1, 0.95).is_err());
+    }
+
+    #[test]
+    fn replications_use_distinct_seeds() {
+        let r = replicate(&quick_config(2), 3, 0.95).unwrap();
+        let speedups: Vec<f64> = r.replications.iter().map(|m| m.speedup).collect();
+        assert!(speedups.windows(2).any(|w| w[0] != w[1]), "{speedups:?}");
+    }
+}

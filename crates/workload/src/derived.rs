@@ -1,0 +1,399 @@
+//! Derived model inputs (paper Section 2.3, "From these parameters, the
+//! following model inputs can be computed").
+//!
+//! This module reconstructs the \[VeHo86\] derivation of the MVA inputs from
+//! the basic workload parameters, for any modification set:
+//!
+//! * `p_local` — probability a reference is satisfied entirely in the cache,
+//! * `p_bc` — probability a reference issues a broadcast (`write-word` /
+//!   `invalidate`) bus operation,
+//! * `p_rr` — probability a reference issues a remote `read` / `read-mod`,
+//! * `t_read` — mean bus occupancy of a remote read, "which includes main
+//!   memory write-back by another cache and/or by the requesting cache, if
+//!   necessary",
+//! * `p_csupwb|rr` — probability another cache must write the block to
+//!   memory in response to the remote read (zero under modification 2),
+//! * `p_reqwb|rr` — probability the requesting cache writes back a replaced
+//!   block,
+//!
+//! plus the masses the Appendix-B cache-interference submodel needs.
+//!
+//! Protocol dependence (paper Section 3.3):
+//!
+//! * **mod 1** moves the private-write-hit term from `p_bc` to `p_local`;
+//! * **mod 2** removes the supplier write-back from `t_read` and the
+//!   interference time;
+//! * **mod 3** makes broadcasts skip main memory (`bc_updates_memory`);
+//! * **mod 4** broadcasts *every* sw write hit (not only the first) and adds
+//!   the follow-up broadcast of a write miss that found other copies.
+
+use snoop_protocol::{ModSet, Modification};
+
+use crate::adjust::paper_adjusted;
+use crate::params::WorkloadParams;
+use crate::streams::ReferenceRates;
+use crate::timing::TimingModel;
+use crate::WorkloadError;
+
+/// Everything the MVA model (and the GTPN builder) needs to know about the
+/// workload under a particular protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelInputs {
+    /// Mean think time `tau` (cycles).
+    pub tau: f64,
+    /// `T_supply`: cache service time for the processor request.
+    pub t_supply: f64,
+    /// `T_write`: bus occupancy of a broadcast (`write-word`/`invalidate`).
+    pub t_write: f64,
+    /// `d_mem`: total memory-module latency.
+    pub d_mem: f64,
+    /// Number of interleaved memory modules.
+    pub memory_modules: u32,
+    /// Probability a reference is handled locally.
+    pub p_local: f64,
+    /// Expected broadcasts per reference (can exceed the write-hit mass
+    /// under modification 4, which also broadcasts after shared write
+    /// misses).
+    pub p_bc: f64,
+    /// Probability a reference needs a remote read / read-mod.
+    pub p_rr: f64,
+    /// Mean bus occupancy of a remote read (cycles).
+    pub t_read: f64,
+    /// P(another cache writes the block to memory | remote read).
+    pub p_csupwb_rr: f64,
+    /// P(the requester writes back a replaced block | remote read).
+    pub p_reqwb_rr: f64,
+    /// Whether broadcasts update main memory (false under modification 3,
+    /// whose `invalidate` — or memory-skipping broadcast with mod 4 —
+    /// carries no data to memory).
+    pub bc_updates_memory: bool,
+    /// Mass of misses to shared blocks (`SRMiss + SWMiss`).
+    pub shared_miss_mass: f64,
+    /// Mass of broadcasts that concern holders of shared copies (the
+    /// private write-through broadcasts of Write-Once do not: no other
+    /// cache holds private blocks).
+    pub sw_broadcast_mass: f64,
+    /// Cache-supply-weighted shared-miss mass
+    /// (`csupply_sro·SRMiss + csupply_sw·SWMiss`).
+    pub csupply_weighted_mass: f64,
+    /// Mass of remote reads whose supplier must also write memory
+    /// (zero under modification 2).
+    pub dirty_supply_mass: f64,
+    /// The Appendix-B retention factor `1 − (rep_p·p_private +
+    /// rep_sw·p_sw)`: the probability a previously loaded shared copy is
+    /// still resident when the bus request for it arrives.
+    pub retention: f64,
+    /// Bus cycles of one block transfer (for the interference submodel).
+    pub block_cycles: f64,
+}
+
+impl ModelInputs {
+    /// Derives the model inputs for `params` under protocol `mods`.
+    ///
+    /// `params` is used exactly as given; callers wanting the paper's
+    /// Appendix-A per-modification parameter adjustments should use
+    /// [`ModelInputs::derive_adjusted`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures of the parameters and the timing
+    /// model.
+    pub fn derive(
+        params: &WorkloadParams,
+        mods: ModSet,
+        timing: &TimingModel,
+    ) -> Result<Self, WorkloadError> {
+        params.validate()?;
+        timing.validate()?;
+
+        let r = ReferenceRates::from_params(params);
+        let mod1 = mods.contains(Modification::ExclusiveLoad);
+        let mod2 = mods.contains(Modification::CacheSupply);
+        let mod3 = mods.contains(Modification::InvalidateOnWrite);
+        let mod4 = mods.contains(Modification::DistributedWrite);
+
+        // --- reference routing -------------------------------------------
+        let mut p_local = r.read_hits() + r.private_write_hit_mod;
+        let mut p_bc = 0.0;
+
+        // Private write hits to unmodified blocks: broadcast in Write-Once
+        // (the block was loaded non-exclusive), local under modification 1.
+        if mod1 {
+            p_local += r.private_write_hit_unmod;
+        } else {
+            p_bc += r.private_write_hit_unmod;
+        }
+
+        // Shared-writable write hits: Write-Once broadcasts only the first
+        // write (unmodified block); modification 4 broadcasts every write
+        // to a non-exclusive block, i.e. (approximately) every sw write hit.
+        if mod4 {
+            p_bc += r.sw_write_hit_mod + r.sw_write_hit_unmod;
+            // A write miss that found other copies fetches with `read` and
+            // then broadcasts the word: one extra broadcast per such miss.
+            p_bc += r.sw_write_miss * params.csupply_sw;
+        } else {
+            p_local += r.sw_write_hit_mod;
+            p_bc += r.sw_write_hit_unmod;
+        }
+
+        let p_rr = r.misses();
+
+        // --- remote-read timing ------------------------------------------
+        let csupply_weighted_mass =
+            params.csupply_sro * r.sro_miss + params.csupply_sw * r.sw_misses();
+        let dirty_supply_mass =
+            if mod2 { 0.0 } else { params.csupply_sw * params.wb_csupply * r.sw_misses() };
+        let reqwb_mass = params.rep_p * (r.private_misses() + r.sro_miss)
+            + params.rep_sw * r.sw_misses();
+
+        let (t_read, p_csupwb_rr, p_reqwb_rr) = if p_rr > 0.0 {
+            let frac_cs = csupply_weighted_mass / p_rr;
+            let supply = frac_cs * timing.cache_read_cycles()
+                + (1.0 - frac_cs) * timing.memory_read_cycles();
+            let p_csupwb = dirty_supply_mass / p_rr;
+            let p_reqwb = reqwb_mass / p_rr;
+            (supply + (p_csupwb + p_reqwb) * timing.writeback_cycles(), p_csupwb, p_reqwb)
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+
+        // --- interference masses -----------------------------------------
+        let sw_broadcast_mass = if mod4 {
+            r.sw_write_hit_mod + r.sw_write_hit_unmod + r.sw_write_miss * params.csupply_sw
+        } else {
+            r.sw_write_hit_unmod
+        };
+        let retention =
+            (1.0 - (params.rep_p * params.p_private + params.rep_sw * params.p_sw)).max(0.0);
+
+        Ok(ModelInputs {
+            tau: params.tau,
+            t_supply: timing.t_supply,
+            t_write: timing.t_write,
+            d_mem: timing.memory_latency,
+            memory_modules: timing.memory_modules(),
+            p_local,
+            p_bc,
+            p_rr,
+            t_read,
+            p_csupwb_rr,
+            p_reqwb_rr,
+            bc_updates_memory: !mod3,
+            shared_miss_mass: r.shared_misses(),
+            sw_broadcast_mass,
+            csupply_weighted_mass,
+            dirty_supply_mass,
+            retention,
+            block_cycles: timing.block_cycles(),
+        })
+    }
+
+    /// Like [`ModelInputs::derive`], but first applies the paper's
+    /// Appendix-A parameter adjustments for `mods` (see [`crate::adjust`]).
+    /// This is what the Table 4.1 / Figure 4.1 reproductions use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelInputs::derive`].
+    pub fn derive_adjusted(
+        params: &WorkloadParams,
+        mods: ModSet,
+        timing: &TimingModel,
+    ) -> Result<Self, WorkloadError> {
+        Self::derive(&paper_adjusted(params, mods), mods, timing)
+    }
+
+    /// The probability masses routed to the three handling classes plus the
+    /// extra mod-4 broadcasts; equals 1 for non-mod-4 protocols.
+    pub fn routing_total(&self) -> f64 {
+        self.p_local + self.p_bc + self.p_rr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SharingLevel;
+
+    fn inputs(level: SharingLevel, mods: &[u8]) -> ModelInputs {
+        ModelInputs::derive_adjusted(
+            &WorkloadParams::appendix_a(level),
+            ModSet::from_numbers(mods).unwrap(),
+            &TimingModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_once_five_percent_hand_computed() {
+        let i = inputs(SharingLevel::Five, &[]);
+        // Hand-computed from the Appendix-A values (see module docs):
+        assert!((i.p_bc - 0.084_725).abs() < 1e-9, "p_bc = {}", i.p_bc);
+        assert!((i.p_rr - 0.059).abs() < 1e-9, "p_rr = {}", i.p_rr);
+        assert!((i.p_local - 0.856_275).abs() < 1e-9, "p_local = {}", i.p_local);
+        assert!((i.routing_total() - 1.0).abs() < 1e-9);
+        assert!((i.p_csupwb_rr - 0.025_424).abs() < 1e-5);
+        assert!((i.p_reqwb_rr - 0.250_847).abs() < 1e-5);
+        assert!((i.t_read - 8.669).abs() < 1e-2, "t_read = {}", i.t_read);
+        assert!(i.bc_updates_memory);
+    }
+
+    #[test]
+    fn write_once_twenty_percent_hand_computed() {
+        // Independent hand derivation for the 20% sharing level:
+        //   p_bc   = 0.8·0.3·0.95·0.3 + 0.05·0.5·0.5·0.7 = 0.0684 + 0.00875
+        //   p_rr   = 0.028 + 0.012 + 0.0075 + 0.0125 + 0.0125 = 0.0725
+        //   cs_w   = 0.95·0.0075 + 0.5·0.025 = 0.0196
+        //   frac   = 0.2707 → supply = 0.2707·4 + 0.7293·8 = 6.917
+        //   csupwb = 0.025·0.5·0.3/0.0725 = 0.0517
+        //   reqwb  = (0.2·0.0475 + 0.5·0.025)/0.0725 = 0.3034
+        //   t_read = 6.917 + (0.0517 + 0.3034)·4 = 8.338
+        let i = inputs(SharingLevel::Twenty, &[]);
+        assert!((i.p_bc - 0.077_15).abs() < 1e-9, "p_bc = {}", i.p_bc);
+        assert!((i.p_rr - 0.0725).abs() < 1e-9, "p_rr = {}", i.p_rr);
+        assert!((i.p_csupwb_rr - 0.051_724).abs() < 1e-5);
+        assert!((i.p_reqwb_rr - 0.303_448).abs() < 1e-5);
+        assert!((i.t_read - 8.338).abs() < 5e-3, "t_read = {}", i.t_read);
+        assert!((i.routing_total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_sums_to_one_without_mod4() {
+        for level in SharingLevel::ALL {
+            for mods in [&[][..], &[1], &[2], &[3], &[1, 2, 3]] {
+                let i = inputs(level, mods);
+                assert!(
+                    (i.routing_total() - 1.0).abs() < 1e-9,
+                    "{level} {mods:?}: {}",
+                    i.routing_total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod1_moves_private_write_hits_to_local() {
+        let wo = inputs(SharingLevel::Five, &[]);
+        let m1 = inputs(SharingLevel::Five, &[1]);
+        assert!(m1.p_bc < wo.p_bc);
+        assert!(m1.p_local > wo.p_local);
+        // Only the sw broadcast term remains.
+        assert!((m1.p_bc - 0.003_5).abs() < 1e-9, "p_bc = {}", m1.p_bc);
+        // rep_p rises 0.2 → 0.3, so t_read grows slightly.
+        assert!(m1.t_read > wo.t_read);
+    }
+
+    #[test]
+    fn mod2_removes_supplier_writeback() {
+        let wo = inputs(SharingLevel::Five, &[]);
+        let m2 = inputs(SharingLevel::Five, &[2]);
+        assert_eq!(m2.p_csupwb_rr, 0.0);
+        assert_eq!(m2.dirty_supply_mass, 0.0);
+        assert!(wo.p_csupwb_rr > 0.0);
+        // rep_sw rises, partially offsetting the removed supplier term.
+        assert!(m2.p_reqwb_rr > wo.p_reqwb_rr);
+    }
+
+    #[test]
+    fn mod3_broadcasts_skip_memory() {
+        let m3 = inputs(SharingLevel::Five, &[3]);
+        assert!(!m3.bc_updates_memory);
+        // Same broadcast mass as Write-Once (invalidate replaces write-word
+        // one-for-one).
+        let wo = inputs(SharingLevel::Five, &[]);
+        assert!((m3.p_bc - wo.p_bc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mod4_broadcasts_every_sw_write() {
+        let m1 = inputs(SharingLevel::Five, &[1]);
+        let m14 = inputs(SharingLevel::Five, &[1, 4]);
+        // h_sw jumps to 0.95, so misses drop...
+        assert!(m14.p_rr < m1.p_rr);
+        // ...but every sw write hit broadcasts, so p_bc grows.
+        assert!(m14.p_bc > m1.p_bc);
+        // Expected: all sw write hits (0.02·0.5·0.95, h_sw adjusted to 0.95)
+        // plus the shared write-miss broadcasts (0.02·0.5·0.05·csupply 0.5).
+        let expected = 0.02 * 0.5 * 0.95 + 0.02 * 0.5 * 0.05 * 0.5;
+        assert!((m14.p_bc - expected).abs() < 1e-9, "p_bc = {}", m14.p_bc);
+    }
+
+    #[test]
+    fn zero_sharing_printed_variant_has_zero_sw_masses() {
+        let i = ModelInputs::derive(
+            &WorkloadParams::appendix_a_printed_one_percent(),
+            ModSet::new(),
+            &TimingModel::default(),
+        )
+        .unwrap();
+        assert_eq!(i.sw_broadcast_mass, 0.0);
+        assert_eq!(i.dirty_supply_mass, 0.0);
+        assert!(i.shared_miss_mass > 0.0);
+    }
+
+    #[test]
+    fn perfect_cache_has_no_bus_traffic() {
+        let p = WorkloadParams::builder()
+            .h_private(1.0)
+            .h_sro(1.0)
+            .h_sw(1.0)
+            .amod_private(1.0)
+            .amod_sw(1.0)
+            .build()
+            .unwrap();
+        let i = ModelInputs::derive(&p, ModSet::new(), &TimingModel::default()).unwrap();
+        assert_eq!(i.p_rr, 0.0);
+        assert_eq!(i.p_bc, 0.0);
+        assert_eq!(i.t_read, 0.0);
+        assert!((i.p_local - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stress_workload_masses() {
+        let i = ModelInputs::derive(
+            &WorkloadParams::stress(),
+            ModSet::new(),
+            &TimingModel::default(),
+        )
+        .unwrap();
+        // csupply = 1 everywhere: every shared miss is cache-supplied.
+        assert!((i.csupply_weighted_mass - i.shared_miss_mass).abs() < 1e-12);
+        // rep = 0: no replacement write-backs.
+        assert_eq!(i.p_reqwb_rr, 0.0);
+        assert_eq!(i.retention, 1.0);
+    }
+
+    #[test]
+    fn t_read_grows_with_sharing_for_fixed_supply_speed() {
+        // With cache supply as fast as memory supply, more sharing means
+        // more dirty-supplier and sw write-backs, so t_read rises.
+        let slow_cache = TimingModel { address_cycles: 4.0, ..TimingModel::default() };
+        let one = ModelInputs::derive(
+            &WorkloadParams::appendix_a(SharingLevel::One),
+            ModSet::new(),
+            &slow_cache,
+        )
+        .unwrap();
+        let twenty = ModelInputs::derive(
+            &WorkloadParams::appendix_a(SharingLevel::Twenty),
+            ModSet::new(),
+            &slow_cache,
+        )
+        .unwrap();
+        assert!(twenty.p_rr > one.p_rr);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let bad = WorkloadParams { h_sw: 2.0, ..WorkloadParams::default() };
+        assert!(ModelInputs::derive(&bad, ModSet::new(), &TimingModel::default()).is_err());
+        let bad_timing = TimingModel { memory_latency: -1.0, ..TimingModel::default() };
+        assert!(ModelInputs::derive(
+            &WorkloadParams::default(),
+            ModSet::new(),
+            &bad_timing
+        )
+        .is_err());
+    }
+}

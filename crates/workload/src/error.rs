@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Error type for workload parameter validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A probability parameter fell outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Parameter name as written in the paper (e.g. `h_sw`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The three stream probabilities do not sum to 1.
+    StreamProbabilitiesNotNormalized {
+        /// The actual sum of `p_private + p_sro + p_sw`.
+        sum: f64,
+    },
+    /// A non-probability parameter (e.g. `tau`) was negative or non-finite.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "parameter {name} = {value} is not a probability")
+            }
+            WorkloadError::StreamProbabilitiesNotNormalized { sum } => {
+                write!(f, "p_private + p_sro + p_sw = {sum}, expected 1")
+            }
+            WorkloadError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} is invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = WorkloadError::ProbabilityOutOfRange { name: "h_sw", value: 1.5 };
+        assert!(e.to_string().contains("h_sw"));
+        let e = WorkloadError::StreamProbabilitiesNotNormalized { sum: 0.9 };
+        assert!(e.to_string().contains("0.9"));
+        let e = WorkloadError::InvalidParameter { name: "tau", value: -1.0 };
+        assert!(e.to_string().contains("tau"));
+    }
+}

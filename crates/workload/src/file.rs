@@ -1,0 +1,187 @@
+//! Plain-text serialization of workload parameters.
+//!
+//! A minimal `name = value` format (one parameter per line, `#` comments)
+//! so the CLI can load measured workload characterizations — the paper's
+//! closing ask: "all that is needed are workload measurement studies to
+//! aid in the assignment of parameter values". Round-trips exactly and
+//! reports unknown or missing names with line numbers.
+
+use std::fmt::Write as _;
+
+use crate::params::WorkloadParams;
+use crate::WorkloadError;
+
+/// Serializes parameters in the `name = value` format, using the paper's
+/// parameter names.
+pub fn to_string(params: &WorkloadParams) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# snoop-mva workload parameters (paper notation)");
+    let fields = [
+        ("tau", params.tau),
+        ("p_private", params.p_private),
+        ("p_sro", params.p_sro),
+        ("p_sw", params.p_sw),
+        ("h_private", params.h_private),
+        ("h_sro", params.h_sro),
+        ("h_sw", params.h_sw),
+        ("r_private", params.r_private),
+        ("r_sw", params.r_sw),
+        ("amod_private", params.amod_private),
+        ("amod_sw", params.amod_sw),
+        ("csupply_sro", params.csupply_sro),
+        ("csupply_sw", params.csupply_sw),
+        ("wb_csupply", params.wb_csupply),
+        ("rep_p", params.rep_p),
+        ("rep_sw", params.rep_sw),
+    ];
+    for (name, value) in fields {
+        let _ = writeln!(out, "{name} = {value}");
+    }
+    out
+}
+
+/// A parse failure with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number (0 for file-level problems).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<WorkloadError> for ParseError {
+    fn from(e: WorkloadError) -> Self {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+/// Parses the `name = value` format. Unspecified parameters default to the
+/// Appendix-A 5% values; the result is validated.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for malformed lines,
+/// unknown names or invalid values, and a line-0 error if the assembled
+/// parameters fail validation.
+pub fn from_str(text: &str) -> Result<WorkloadParams, ParseError> {
+    let mut params = WorkloadParams::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected `name = value`, got {line:?}"),
+            });
+        };
+        let name = name.trim();
+        let value: f64 = value.trim().parse().map_err(|_| ParseError {
+            line: line_no,
+            message: format!("invalid number {:?} for {name}", value.trim()),
+        })?;
+        let slot = match name {
+            "tau" => &mut params.tau,
+            "p_private" => &mut params.p_private,
+            "p_sro" => &mut params.p_sro,
+            "p_sw" => &mut params.p_sw,
+            "h_private" => &mut params.h_private,
+            "h_sro" => &mut params.h_sro,
+            "h_sw" | "hit_sw" => &mut params.h_sw,
+            "r_private" => &mut params.r_private,
+            "r_sw" => &mut params.r_sw,
+            "amod_private" | "amod_p" => &mut params.amod_private,
+            "amod_sw" => &mut params.amod_sw,
+            "csupply_sro" => &mut params.csupply_sro,
+            "csupply_sw" => &mut params.csupply_sw,
+            "wb_csupply" => &mut params.wb_csupply,
+            "rep_p" => &mut params.rep_p,
+            "rep_sw" => &mut params.rep_sw,
+            other => {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("unknown parameter {other:?}"),
+                })
+            }
+        };
+        *slot = value;
+    }
+    params.validate()?;
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SharingLevel;
+
+    #[test]
+    fn round_trip() {
+        for level in SharingLevel::ALL {
+            let p = WorkloadParams::appendix_a(level);
+            let text = to_string(&p);
+            let back = from_str(&text).unwrap();
+            assert_eq!(p, back, "{level}");
+        }
+    }
+
+    #[test]
+    fn partial_files_use_defaults() {
+        let p = from_str("h_sw = 0.8\n").unwrap();
+        assert_eq!(p.h_sw, 0.8);
+        assert_eq!(p.p_sro, 0.03); // 5% default
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = from_str("# a comment\n\ntau = 3.0  # inline comment\n").unwrap();
+        assert_eq!(p.tau, 3.0);
+    }
+
+    #[test]
+    fn paper_aliases_accepted() {
+        let p = from_str("hit_sw = 0.9\namod_p = 0.95\n").unwrap();
+        assert_eq!(p.h_sw, 0.9);
+        assert_eq!(p.amod_private, 0.95);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = from_str("tau = 2.5\nnonsense\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let err = from_str("bogus = 1.0\n").unwrap_err();
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = from_str("tau = fast\n").unwrap_err();
+        assert!(err.message.contains("fast"));
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        let err = from_str("p_private = 0.5\n").unwrap_err(); // streams no longer sum to 1
+        assert_eq!(err.line, 0);
+        assert!(err.to_string().contains("p_private + p_sro + p_sw"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Size-dependent sharing (the \[GrMi87\] refinement).
+//!
+//! The paper flags its workload model's main approximation itself
+//! (Section 2.3): "our probabilistic treatment of the shared data
+//! reference stream treats the relationship between system size and
+//! *actual* sharing of data more approximately than the workload models
+//! in \[ArBa86\] and \[GrMi87\]. The workload submodel … should be improved to
+//! treat the shared references more similarly to the model in \[GrMi87\]."
+//!
+//! This module implements that improvement: instead of a fixed `csupply`
+//! probability, each *individual* other cache holds a given shared block
+//! with residency probability `q`, independently, so the chance that at
+//! least one of the `N − 1` other caches can supply it is
+//!
+//! `csupply(N) = 1 − (1 − q)^(N − 1)` —
+//!
+//! growing with system size exactly as the trace-driven simulator measures
+//! (`csupply_sw` ≈ 0.30 at N = 2 rising to ≈ 0.85 at N = 8 for the default
+//! trace). The residency `q` can be calibrated so the refinement *anchors*
+//! at the Appendix-A values at a reference size, keeping the paper's
+//! operating points unchanged while extrapolating honestly.
+
+use crate::params::WorkloadParams;
+use crate::WorkloadError;
+
+/// Per-cache residency probabilities for the two shared streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeDependentSharing {
+    /// Probability an individual other cache holds a given sro block.
+    pub residency_sro: f64,
+    /// Probability an individual other cache holds a given sw block.
+    pub residency_sw: f64,
+}
+
+impl SizeDependentSharing {
+    /// Validates the residencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ProbabilityOutOfRange`] for values outside
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        for (name, value) in
+            [("residency_sro", self.residency_sro), ("residency_sw", self.residency_sw)]
+        {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(WorkloadError::ProbabilityOutOfRange { name, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// `csupply` at system size `n` for residency `q`:
+    /// `1 − (1 − q)^(n−1)`.
+    pub fn csupply(residency: f64, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        1.0 - (1.0 - residency).powi((n - 1) as i32)
+    }
+
+    /// Residency `q` that reproduces a target `csupply` at a reference
+    /// system size: the inverse of [`SizeDependentSharing::csupply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if the target is not a
+    /// probability or the reference size is below 2.
+    pub fn residency_for(target_csupply: f64, reference_n: usize) -> Result<f64, WorkloadError> {
+        if !(0.0..=1.0).contains(&target_csupply) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "target_csupply",
+                value: target_csupply,
+            });
+        }
+        if reference_n < 2 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "reference_n",
+                value: reference_n as f64,
+            });
+        }
+        Ok(1.0 - (1.0 - target_csupply).powf(1.0 / (reference_n - 1) as f64))
+    }
+
+    /// Calibrates both residencies so that `params`' Appendix-A `csupply`
+    /// values are reproduced exactly at `reference_n` (the paper's GTPN
+    /// comparison range suggests 10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SizeDependentSharing::residency_for`].
+    pub fn anchored(params: &WorkloadParams, reference_n: usize) -> Result<Self, WorkloadError> {
+        Ok(SizeDependentSharing {
+            residency_sro: Self::residency_for(params.csupply_sro, reference_n)?,
+            residency_sw: Self::residency_for(params.csupply_sw, reference_n)?,
+        })
+    }
+
+    /// Returns `params` with `csupply_sro`/`csupply_sw` evaluated at
+    /// system size `n`.
+    pub fn at_size(&self, params: &WorkloadParams, n: usize) -> WorkloadParams {
+        WorkloadParams {
+            csupply_sro: Self::csupply(self.residency_sro, n),
+            csupply_sw: Self::csupply(self.residency_sw, n),
+            ..*params
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{SharingLevel, WorkloadParams};
+
+    #[test]
+    fn csupply_limits() {
+        assert_eq!(SizeDependentSharing::csupply(0.3, 1), 0.0);
+        assert!((SizeDependentSharing::csupply(0.3, 2) - 0.3).abs() < 1e-12);
+        // Grows monotonically toward 1.
+        let mut last = 0.0;
+        for n in 2..50 {
+            let c = SizeDependentSharing::csupply(0.3, n);
+            assert!(c > last);
+            last = c;
+        }
+        assert!(last > 0.99);
+        assert_eq!(SizeDependentSharing::csupply(0.0, 10), 0.0);
+        assert_eq!(SizeDependentSharing::csupply(1.0, 2), 1.0);
+    }
+
+    #[test]
+    fn residency_inverts_csupply() {
+        for target in [0.1, 0.5, 0.95] {
+            for n in [2usize, 5, 10, 20] {
+                let q = SizeDependentSharing::residency_for(target, n).unwrap();
+                let back = SizeDependentSharing::csupply(q, n);
+                assert!((back - target).abs() < 1e-12, "target {target} n {n}: {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn anchoring_reproduces_appendix_a_at_reference() {
+        let params = WorkloadParams::appendix_a(SharingLevel::Five);
+        let refinement = SizeDependentSharing::anchored(&params, 10).unwrap();
+        let at_ref = refinement.at_size(&params, 10);
+        assert!((at_ref.csupply_sro - params.csupply_sro).abs() < 1e-12);
+        assert!((at_ref.csupply_sw - params.csupply_sw).abs() < 1e-12);
+        // Below the anchor less sharing, above it more.
+        let at_2 = refinement.at_size(&params, 2);
+        let at_50 = refinement.at_size(&params, 50);
+        assert!(at_2.csupply_sw < params.csupply_sw);
+        assert!(at_50.csupply_sw > params.csupply_sw);
+        at_2.validate().unwrap();
+        at_50.validate().unwrap();
+    }
+
+    #[test]
+    fn growth_matches_trace_measurements_qualitatively() {
+        // The trace-driven simulator measures csupply_sw ≈ 0.30 at N = 2
+        // and ≈ 0.85 at N = 8 (see EXPERIMENTS.md). A single residency
+        // value reproduces that curve shape.
+        let q = SizeDependentSharing::residency_for(0.30, 2).unwrap();
+        let predicted_8 = SizeDependentSharing::csupply(q, 8);
+        assert!(
+            predicted_8 > 0.7 && predicted_8 < 0.98,
+            "predicted csupply at N=8: {predicted_8}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(SizeDependentSharing::residency_for(1.5, 10).is_err());
+        assert!(SizeDependentSharing::residency_for(0.5, 1).is_err());
+        assert!(SizeDependentSharing { residency_sro: -0.1, residency_sw: 0.5 }
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-reference event masses.
+//!
+//! Every downstream model (the MVA input derivation, the interference
+//! submodel, the reference sampler for the simulator) consumes the workload
+//! as a set of *masses*: the unconditional probability, per memory
+//! reference, of each elementary event. This module computes them once from
+//! the basic parameters.
+
+use crate::params::WorkloadParams;
+
+/// The elementary event masses of the three-stream workload. All fields are
+/// unconditional probabilities per memory reference; grouped sums are
+/// provided as methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceRates {
+    /// Private read hit.
+    pub private_read_hit: f64,
+    /// Private write hit finding the block already modified (local).
+    pub private_write_hit_mod: f64,
+    /// Private write hit finding the block unmodified (Write-Once: first
+    /// write, announced on the bus).
+    pub private_write_hit_unmod: f64,
+    /// Private read miss.
+    pub private_read_miss: f64,
+    /// Private write miss.
+    pub private_write_miss: f64,
+    /// Shared read-only hit.
+    pub sro_hit: f64,
+    /// Shared read-only miss.
+    pub sro_miss: f64,
+    /// Shared-writable read hit.
+    pub sw_read_hit: f64,
+    /// Shared-writable write hit finding the block already modified.
+    pub sw_write_hit_mod: f64,
+    /// Shared-writable write hit finding the block unmodified.
+    pub sw_write_hit_unmod: f64,
+    /// Shared-writable read miss.
+    pub sw_read_miss: f64,
+    /// Shared-writable write miss.
+    pub sw_write_miss: f64,
+}
+
+impl ReferenceRates {
+    /// Computes the masses from the basic parameters.
+    ///
+    /// The decomposition follows Section 2.3: the private and sw streams
+    /// split by read/write (`r_private`, `r_sw`), then by hit/miss (the `h`
+    /// parameters), then write hits by already-modified (`amod`); the sro
+    /// stream is read-only.
+    pub fn from_params(p: &WorkloadParams) -> Self {
+        let pw = p.p_private * (1.0 - p.r_private);
+        let sww = p.p_sw * (1.0 - p.r_sw);
+        ReferenceRates {
+            private_read_hit: p.p_private * p.r_private * p.h_private,
+            private_write_hit_mod: pw * p.h_private * p.amod_private,
+            private_write_hit_unmod: pw * p.h_private * (1.0 - p.amod_private),
+            private_read_miss: p.p_private * p.r_private * (1.0 - p.h_private),
+            private_write_miss: pw * (1.0 - p.h_private),
+            sro_hit: p.p_sro * p.h_sro,
+            sro_miss: p.p_sro * (1.0 - p.h_sro),
+            sw_read_hit: p.p_sw * p.r_sw * p.h_sw,
+            sw_write_hit_mod: sww * p.h_sw * p.amod_sw,
+            sw_write_hit_unmod: sww * p.h_sw * (1.0 - p.amod_sw),
+            sw_read_miss: p.p_sw * p.r_sw * (1.0 - p.h_sw),
+            sw_write_miss: sww * (1.0 - p.h_sw),
+        }
+    }
+
+    /// All read hits (always satisfied locally).
+    pub fn read_hits(&self) -> f64 {
+        self.private_read_hit + self.sro_hit + self.sw_read_hit
+    }
+
+    /// All misses (each requires a `read` or `read-mod` bus transaction).
+    pub fn misses(&self) -> f64 {
+        self.private_read_miss
+            + self.private_write_miss
+            + self.sro_miss
+            + self.sw_read_miss
+            + self.sw_write_miss
+    }
+
+    /// Misses in the private stream.
+    pub fn private_misses(&self) -> f64 {
+        self.private_read_miss + self.private_write_miss
+    }
+
+    /// Misses to shared blocks (sro + sw) — the ones other caches may hold.
+    pub fn shared_misses(&self) -> f64 {
+        self.sro_miss + self.sw_read_miss + self.sw_write_miss
+    }
+
+    /// Misses in the shared-writable stream (the paper's `SWMiss`).
+    pub fn sw_misses(&self) -> f64 {
+        self.sw_read_miss + self.sw_write_miss
+    }
+
+    /// Sum of all masses; equals 1 for valid parameters (every reference is
+    /// exactly one elementary event).
+    pub fn total(&self) -> f64 {
+        self.read_hits()
+            + self.private_write_hit_mod
+            + self.private_write_hit_unmod
+            + self.sw_write_hit_mod
+            + self.sw_write_hit_unmod
+            + self.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{SharingLevel, WorkloadParams};
+
+    #[test]
+    fn masses_sum_to_one() {
+        for level in SharingLevel::ALL {
+            let r = ReferenceRates::from_params(&WorkloadParams::appendix_a(level));
+            assert!((r.total() - 1.0).abs() < 1e-12, "{level}: {}", r.total());
+        }
+        let r = ReferenceRates::from_params(&WorkloadParams::stress());
+        assert!((r.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_percent_spot_values() {
+        let r = ReferenceRates::from_params(&WorkloadParams::appendix_a(SharingLevel::Five));
+        // p_private·r_private·(1-h_private) = 0.95·0.7·0.05
+        assert!((r.private_read_miss - 0.033_25).abs() < 1e-12);
+        // p_private·(1-r)·h·(1-amod) = 0.95·0.3·0.95·0.3
+        assert!((r.private_write_hit_unmod - 0.081_225).abs() < 1e-12);
+        // sro: 0.03·0.05
+        assert!((r.sro_miss - 0.001_5).abs() < 1e-12);
+        // sw write miss: 0.02·0.5·0.5
+        assert!((r.sw_write_miss - 0.005).abs() < 1e-12);
+        assert!((r.misses() - 0.059).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sro_stream_is_read_only() {
+        let r = ReferenceRates::from_params(&WorkloadParams::default());
+        // No sro write masses exist by construction; its hit+miss equals p_sro.
+        assert!((r.sro_hit + r.sro_miss - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sharing_has_no_shared_masses() {
+        let p = WorkloadParams::appendix_a_printed_one_percent();
+        let r = ReferenceRates::from_params(&p);
+        assert_eq!(r.sw_misses(), 0.0);
+        assert_eq!(r.sw_write_hit_unmod, 0.0);
+        assert!(r.shared_misses() > 0.0); // sro still misses
+    }
+
+    #[test]
+    fn stress_workload_has_heavy_sw_misses() {
+        let r = ReferenceRates::from_params(&WorkloadParams::stress());
+        // p_sw=0.2, h_sw=0.1 → 0.18 of all references are sw misses.
+        assert!((r.sw_misses() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_sums_are_consistent() {
+        let r = ReferenceRates::from_params(&WorkloadParams::default());
+        assert!(
+            (r.misses() - (r.private_misses() + r.shared_misses())).abs() < 1e-15
+        );
+        assert!((r.shared_misses() - (r.sro_miss + r.sw_misses())).abs() < 1e-15);
+    }
+}

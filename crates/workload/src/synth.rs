@@ -1,0 +1,265 @@
+//! Random reference sampling for the probabilistic simulator.
+//!
+//! The paper's detailed models drive each processor with the *same*
+//! probabilistic workload the analytic model assumes: an exponential think
+//! time with mean `tau`, then a reference whose stream, read/write type,
+//! hit/miss outcome, and residency context are drawn from the basic
+//! parameters. [`ReferenceGenerator`] produces exactly those draws, so the
+//! discrete-event simulator and the MVA model disagree only through the
+//! queueing behaviour they resolve differently — which is the comparison
+//! the paper makes.
+
+use rand::{Rng, RngExt};
+
+use crate::params::WorkloadParams;
+
+/// Which substream a reference belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// Private blocks (never in another cache).
+    Private,
+    /// Shared read-only blocks.
+    SharedReadOnly,
+    /// Shared-writable blocks.
+    SharedWritable,
+}
+
+/// One sampled memory reference with its resolved workload context.
+///
+/// The boolean fields resolve the probabilistic parameters at sampling time
+/// so that the simulator does not need the parameters again: e.g.
+/// `supplier_exists` is drawn from `csupply_sro`/`csupply_sw` for misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReferenceEvent {
+    /// Substream of the referenced block.
+    pub stream: Stream,
+    /// Whether this is a write.
+    pub is_write: bool,
+    /// Whether the reference hits in the local cache.
+    pub hits: bool,
+    /// For write hits: whether the block is already modified (`amod`).
+    pub already_modified: bool,
+    /// For misses: whether at least one other cache holds the block
+    /// (`csupply`); always false for private misses.
+    pub supplier_exists: bool,
+    /// For misses with a supplier: whether the supplier holds the block
+    /// dirty (`wb_csupply`); only shared-writable blocks can be dirty.
+    pub supplier_dirty: bool,
+    /// For misses: whether the victim block being replaced must be written
+    /// back (`rep_p` / `rep_sw`).
+    pub victim_dirty: bool,
+}
+
+/// Samples [`ReferenceEvent`]s and think times from [`WorkloadParams`].
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+/// use snoop_workload::params::WorkloadParams;
+/// use snoop_workload::synth::ReferenceGenerator;
+///
+/// let mut generator =
+///     ReferenceGenerator::new(WorkloadParams::default(), SmallRng::seed_from_u64(42));
+/// let event = generator.next_reference();
+/// let think = generator.think_time();
+/// assert!(think >= 0.0);
+/// let _ = event.is_write;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReferenceGenerator<R> {
+    params: WorkloadParams,
+    rng: R,
+}
+
+impl<R: Rng> ReferenceGenerator<R> {
+    /// Creates a generator over validated parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation (construct them through the
+    /// builder or presets to avoid this).
+    pub fn new(params: WorkloadParams, rng: R) -> Self {
+        params.validate().expect("workload parameters must be valid");
+        ReferenceGenerator { params, rng }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Draws an exponentially distributed think time with mean `tau`
+    /// (inverse-CDF sampling).
+    pub fn think_time(&mut self) -> f64 {
+        let u: f64 = self.rng.random();
+        // 1 - u is in (0, 1]; ln of it is finite and non-positive.
+        -self.params.tau * (1.0 - u).ln()
+    }
+
+    /// Draws the next memory reference.
+    pub fn next_reference(&mut self) -> ReferenceEvent {
+        let p = self.params;
+        let stream = {
+            let u: f64 = self.rng.random();
+            if u < p.p_private {
+                Stream::Private
+            } else if u < p.p_private + p.p_sro {
+                Stream::SharedReadOnly
+            } else {
+                Stream::SharedWritable
+            }
+        };
+
+        let (is_write, hit_rate, amod, csupply, rep) = match stream {
+            Stream::Private => (
+                !self.rng.random_bool(p.r_private),
+                p.h_private,
+                p.amod_private,
+                0.0,
+                p.rep_p,
+            ),
+            Stream::SharedReadOnly => (false, p.h_sro, 0.0, p.csupply_sro, p.rep_p),
+            Stream::SharedWritable => {
+                (!self.rng.random_bool(p.r_sw), p.h_sw, p.amod_sw, p.csupply_sw, p.rep_sw)
+            }
+        };
+
+        let hits = self.rng.random_bool(hit_rate);
+        let already_modified = is_write && hits && self.rng.random_bool(amod);
+        let supplier_exists = !hits && csupply > 0.0 && self.rng.random_bool(csupply);
+        let supplier_dirty = supplier_exists
+            && stream == Stream::SharedWritable
+            && self.rng.random_bool(p.wb_csupply);
+        let victim_dirty = !hits && self.rng.random_bool(rep);
+
+        ReferenceEvent {
+            stream,
+            is_write,
+            hits,
+            already_modified,
+            supplier_exists,
+            supplier_dirty,
+            victim_dirty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{SharingLevel, WorkloadParams};
+    use crate::streams::ReferenceRates;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn generator(params: WorkloadParams, seed: u64) -> ReferenceGenerator<SmallRng> {
+        ReferenceGenerator::new(params, SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn think_time_mean_approaches_tau() {
+        let mut g = generator(WorkloadParams::default(), 1);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| g.think_time()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean think time {mean}");
+    }
+
+    #[test]
+    fn think_times_are_non_negative_and_finite() {
+        let mut g = generator(WorkloadParams::default(), 2);
+        for _ in 0..10_000 {
+            let t = g.think_time();
+            assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_masses_match_reference_rates() {
+        let params = WorkloadParams::appendix_a(SharingLevel::Twenty);
+        let rates = ReferenceRates::from_params(&params);
+        let mut g = generator(params, 3);
+        let n = 400_000;
+        let mut misses = 0u32;
+        let mut sw_write_hits_unmod = 0u32;
+        let mut private = 0u32;
+        for _ in 0..n {
+            let e = g.next_reference();
+            if !e.hits {
+                misses += 1;
+            }
+            if e.stream == Stream::Private {
+                private += 1;
+            }
+            if e.stream == Stream::SharedWritable && e.is_write && e.hits && !e.already_modified
+            {
+                sw_write_hits_unmod += 1;
+            }
+        }
+        let nf = n as f64;
+        assert!((misses as f64 / nf - rates.misses()).abs() < 0.005);
+        assert!((private as f64 / nf - params.p_private).abs() < 0.005);
+        assert!(
+            (sw_write_hits_unmod as f64 / nf - rates.sw_write_hit_unmod).abs() < 0.003
+        );
+    }
+
+    #[test]
+    fn private_misses_never_have_suppliers() {
+        let mut g = generator(WorkloadParams::default(), 4);
+        for _ in 0..50_000 {
+            let e = g.next_reference();
+            if e.stream == Stream::Private && !e.hits {
+                assert!(!e.supplier_exists);
+                assert!(!e.supplier_dirty);
+            }
+        }
+    }
+
+    #[test]
+    fn sro_suppliers_are_never_dirty() {
+        let mut g = generator(WorkloadParams::default(), 5);
+        for _ in 0..50_000 {
+            let e = g.next_reference();
+            if e.stream == Stream::SharedReadOnly {
+                assert!(!e.is_write);
+                assert!(!e.supplier_dirty);
+            }
+        }
+    }
+
+    #[test]
+    fn flags_are_consistent() {
+        let mut g = generator(WorkloadParams::stress(), 6);
+        for _ in 0..50_000 {
+            let e = g.next_reference();
+            if e.hits {
+                assert!(!e.supplier_exists && !e.victim_dirty);
+            }
+            if e.already_modified {
+                assert!(e.is_write && e.hits);
+            }
+            if e.supplier_dirty {
+                assert!(e.supplier_exists);
+            }
+        }
+    }
+
+    #[test]
+    fn stress_workload_has_no_dirty_victims() {
+        // rep_p = rep_sw = 0 in the stress preset.
+        let mut g = generator(WorkloadParams::stress(), 7);
+        for _ in 0..20_000 {
+            assert!(!g.next_reference().victim_dirty);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "valid")]
+    fn invalid_params_panic() {
+        let bad = WorkloadParams { h_sw: 2.0, ..WorkloadParams::default() };
+        let _ = generator(bad, 8);
+    }
+}

@@ -1,0 +1,52 @@
+//! # snoop — mean-value analysis of snooping cache-consistency protocols
+//!
+//! Facade crate for a reproduction of Vernon, Lazowska & Zahorjan,
+//! *"An Accurate and Efficient Performance Analysis Technique for
+//! Multiprocessor Snooping Cache-Consistency Protocols"* (ISCA 1988).
+//!
+//! Each subsystem is re-exported under a short module name:
+//!
+//! * [`mva`] — the paper's customized mean-value model (equations,
+//!   solver, asymptotics, sweeps, the published Table 4.1 data, and the
+//!   multiclass / hierarchical extensions);
+//! * [`protocol`] — Write-Once and its four modifications as executable
+//!   state machines, coherence invariants, scenario DSL;
+//! * [`workload`] — the three-substream workload model: parameters,
+//!   derived MVA inputs, reference/trace generators, parameter files;
+//! * [`gtpn`] — the Generalized Timed Petri Net engine (detailed
+//!   comparator #1);
+//! * [`sim`] — the discrete-event simulator (detailed comparator #2), in
+//!   probabilistic and trace-driven modes, plus workload measurement;
+//! * [`numeric`] — fixed-point iteration, linear algebra, Markov chains,
+//!   statistics, histograms.
+//!
+//! # Example
+//!
+//! Solve the paper's model for the Illinois protocol at 5% sharing:
+//!
+//! ```
+//! use snoop::mva::{MvaModel, SolverOptions};
+//! use snoop::protocol::ModSet;
+//! use snoop::workload::params::{SharingLevel, WorkloadParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = WorkloadParams::appendix_a(SharingLevel::Five);
+//! let model = MvaModel::for_protocol(&params, "illinois".parse::<ModSet>()?)?;
+//! let solution = model.solve(10, &SolverOptions::default())?;
+//! assert!(solution.speedup > 5.0 && solution.speedup < 7.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the full tour, `DESIGN.md` for the system inventory
+//! and reconstruction decisions, and `EXPERIMENTS.md` for paper-vs-measured
+//! results of every table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use snoop_gtpn as gtpn;
+pub use snoop_mva as mva;
+pub use snoop_numeric as numeric;
+pub use snoop_protocol as protocol;
+pub use snoop_sim as sim;
+pub use snoop_workload as workload;

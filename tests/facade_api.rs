@@ -1,0 +1,80 @@
+//! The `snoop` facade crate exposes the whole suite through stable paths;
+//! this test is the public-API smoke check a downstream user's first
+//! program would be.
+
+use snoop::gtpn::net::{Firing, NetBuilder};
+use snoop::mva::{MvaModel, SolverOptions};
+use snoop::numeric::stats::RunningStats;
+use snoop::protocol::{CacheState, ModSet, NamedProtocol, Protocol};
+use snoop::sim::{simulate, SimConfig};
+use snoop::workload::params::{SharingLevel, WorkloadParams};
+
+#[test]
+fn one_liner_per_subsystem() {
+    // protocol
+    let protocol = Protocol::new(NamedProtocol::Illinois.modifications());
+    assert!(protocol.modifications().contains(snoop::protocol::Modification::ExclusiveLoad));
+    assert_eq!(
+        protocol
+            .processor_read(CacheState::Invalid, snoop::protocol::MissContext::unshared())
+            .next_state,
+        CacheState::ExclusiveClean
+    );
+
+    // workload + mva
+    let params = WorkloadParams::appendix_a(SharingLevel::Five);
+    let speedup = MvaModel::for_protocol(&params, ModSet::new())
+        .expect("valid")
+        .solve(10, &SolverOptions::default())
+        .expect("converges")
+        .speedup;
+    assert!(speedup > 5.0 && speedup < 5.6);
+
+    // sim
+    let mut config = SimConfig::for_protocol(2, params, ModSet::new());
+    config.warmup_references = 100;
+    config.measured_references = 1_000;
+    let sim = simulate(&config).expect("valid");
+    assert!(sim.speedup > 1.0);
+
+    // gtpn
+    let mut b = NetBuilder::new();
+    let a = b.place("a", 1);
+    let z = b.place("z", 0);
+    b.timed("go", Firing::Deterministic(2), &[(a, 1)], &[(z, 1)]);
+    b.timed("back", Firing::Deterministic(1), &[(z, 1)], &[(a, 1)]);
+    let sol = snoop::gtpn::solve::solve_net(&b.build().expect("valid")).expect("solves");
+    assert_eq!(sol.state_count(), 3);
+
+    // numeric
+    let stats: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+    assert_eq!(stats.mean(), 2.0);
+}
+
+#[test]
+fn protocol_names_parse_to_modsets() {
+    for p in NamedProtocol::ALL {
+        let via_name: ModSet = p.to_string().parse().expect("parses");
+        assert_eq!(via_name, p.modifications(), "{p}");
+    }
+}
+
+#[test]
+fn errors_are_std_errors() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<snoop::mva::MvaError>();
+    assert_error::<snoop::protocol::ProtocolError>();
+    assert_error::<snoop::workload::WorkloadError>();
+    assert_error::<snoop::gtpn::GtpnError>();
+    assert_error::<snoop::sim::SimError>();
+    assert_error::<snoop::numeric::NumericError>();
+}
+
+#[test]
+fn results_flow_through_question_mark() -> Result<(), Box<dyn std::error::Error>> {
+    let params = WorkloadParams::builder().h_sw(0.8).build()?;
+    let model = MvaModel::for_protocol(&params, "dragon".parse::<ModSet>()?)?;
+    let s = model.solve(4, &SolverOptions::default())?;
+    assert!(s.speedup > 0.0);
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Closing the paper's loop: measure workload parameters from a
+//! trace-driven simulation, feed them into the MVA model, and check the
+//! analytic prediction against the very system they were measured from.
+//!
+//! This is the deployment story of the paper's conclusion ("all that is
+//! needed are workload measurement studies to aid in the assignment of
+//! parameter values") executed end to end.
+
+use snoop::mva::{MvaModel, SolverOptions};
+use snoop::protocol::ModSet;
+use snoop::sim::trace_mode::{simulate_trace_measuring, TraceSimConfig};
+
+fn config(n: usize, mods: &[u8]) -> TraceSimConfig {
+    let mut c = TraceSimConfig::new(n, ModSet::from_numbers(mods).unwrap());
+    c.warmup_references = 4_000;
+    c.measured_references = 25_000;
+    c
+}
+
+#[test]
+fn measured_parameters_are_plausible() {
+    let (_, params) = simulate_trace_measuring(&config(4, &[])).unwrap();
+    params.validate().unwrap();
+    // The trace generator targets the Appendix-A 5% mix; the measured
+    // stream probabilities and read fractions must land near it.
+    assert!((params.p_private - 0.95).abs() < 0.01, "p_private {}", params.p_private);
+    assert!((params.r_private - 0.7).abs() < 0.02, "r_private {}", params.r_private);
+    assert!((params.r_sw - 0.5).abs() < 0.05, "r_sw {}", params.r_sw);
+    // Hit rates are emergent (cache geometry + locality), not copies of
+    // the input; they should be high for private, lower for sw.
+    assert!(params.h_private > 0.85, "h_private {}", params.h_private);
+    assert!(params.h_sw < params.h_private, "h_sw {}", params.h_sw);
+    // Coherence facts only a multi-cache system produces.
+    assert!(params.csupply_sw > 0.0, "csupply_sw {}", params.csupply_sw);
+}
+
+#[test]
+fn mva_on_measured_parameters_predicts_the_trace_simulation() {
+    // Measure on the target protocol, predict with the MVA, compare
+    // against the simulator's own speedup. The workload model is a lossy
+    // summary (no spatial locality, stream independence), so the bar is
+    // 15% — far tighter than a factor-of-two sanity bound and tight
+    // enough to make the measured parameters useful for capacity planning.
+    for (mods, n) in [(&[][..], 4), (&[], 8), (&[1], 8)] {
+        let (sim, params) = simulate_trace_measuring(&config(n, mods)).unwrap();
+        let model =
+            MvaModel::for_protocol(&params, ModSet::from_numbers(mods).unwrap()).unwrap();
+        let mva = model.solve(n, &SolverOptions::default()).unwrap();
+        let err = (mva.speedup - sim.speedup).abs() / sim.speedup;
+        assert!(
+            err < 0.15,
+            "{mods:?} N={n}: MVA-on-measured {:.3} vs trace sim {:.3} ({:.1}%)",
+            mva.speedup,
+            sim.speedup,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn measured_parameters_shift_with_the_protocol() {
+    // Under an update protocol (mods 1+4) the sw hit rate climbs and
+    // fewer blocks are exclusive at write time — the measured parameters
+    // must reflect the protocol, which is exactly why Appendix A adjusts
+    // h_sw for modification 4.
+    let (_, invalidating) = simulate_trace_measuring(&config(4, &[1])).unwrap();
+    let (_, updating) = simulate_trace_measuring(&config(4, &[1, 4])).unwrap();
+    assert!(
+        updating.h_sw > invalidating.h_sw,
+        "update h_sw {} vs invalidate {}",
+        updating.h_sw,
+        invalidating.h_sw
+    );
+}
+
+#[test]
+fn larger_caches_measure_higher_hit_rates() {
+    let small = {
+        let mut c = config(2, &[]);
+        c.sets = 16;
+        c.ways = 1;
+        simulate_trace_measuring(&c).unwrap().1
+    };
+    let large = simulate_trace_measuring(&config(2, &[])).unwrap().1;
+    assert!(
+        large.h_private > small.h_private,
+        "large {} vs small {}",
+        large.h_private,
+        small.h_private
+    );
+}

@@ -1,0 +1,166 @@
+//! Property-based verification of the protocol state machines: random
+//! event sequences on an N-cache system must preserve the coherence
+//! invariants for every modification combination.
+#![allow(clippy::needless_range_loop)] // cache ids index the state vector
+
+use proptest::prelude::*;
+use snoop::protocol::invariants::is_coherent;
+use snoop::protocol::{BusOp, CacheState, MissContext, ModSet, Protocol};
+
+/// A scripted event: processor `actor` reads or writes the (single
+/// modeled) block, or purges it.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(usize),
+    Write(usize),
+    Purge(usize),
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    (0..n, 0..3u8).prop_map(|(actor, kind)| match kind {
+        0 => Op::Read(actor),
+        1 => Op::Write(actor),
+        _ => Op::Purge(actor),
+    })
+}
+
+/// Applies one op to the system state, mirroring what the bus serializes.
+fn apply(protocol: &Protocol, states: &mut [CacheState], op: Op) {
+    match op {
+        Op::Purge(actor) => states[actor] = CacheState::Invalid,
+        Op::Read(actor) | Op::Write(actor) => {
+            let shared =
+                states.iter().enumerate().any(|(q, s)| q != actor && s.is_valid());
+            let ctx = MissContext { shared_line: shared };
+            let is_write = matches!(op, Op::Write(_));
+            let t = if is_write {
+                protocol.processor_write(states[actor], ctx)
+            } else {
+                protocol.processor_read(states[actor], ctx)
+            };
+            if let Some(bus_op) = t.bus_op {
+                for q in 0..states.len() {
+                    if q != actor {
+                        states[q] = protocol.snoop(states[q], bus_op).next_state;
+                    }
+                }
+                if !t.hit && is_write && protocol.write_miss_broadcasts(ctx) {
+                    for q in 0..states.len() {
+                        if q != actor {
+                            states[q] =
+                                protocol.snoop(states[q], BusOp::WriteWord).next_state;
+                        }
+                    }
+                }
+            }
+            states[actor] = t.next_state;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Coherence invariants hold after any event sequence, for every
+    /// modification subset and 2-5 caches.
+    #[test]
+    fn random_sequences_stay_coherent(
+        mods_bits in 0u8..16,
+        n in 2usize..=5,
+        ops in prop::collection::vec(op_strategy(5), 1..60),
+    ) {
+        let mods = ModSet::power_set()[mods_bits as usize];
+        let protocol = Protocol::new(mods);
+        let mut states = vec![CacheState::Invalid; n];
+        for op in ops {
+            // Clamp the scripted actor into range.
+            let op = match op {
+                Op::Read(a) => Op::Read(a % n),
+                Op::Write(a) => Op::Write(a % n),
+                Op::Purge(a) => Op::Purge(a % n),
+            };
+            apply(&protocol, &mut states, op);
+            prop_assert!(
+                is_coherent(&states, mods),
+                "{mods} violated after {op:?}: {states:?}"
+            );
+        }
+    }
+
+    /// A writer always ends up with a writable (exclusive or owned) copy.
+    #[test]
+    fn writes_confer_write_permission(
+        mods_bits in 0u8..16,
+        pre_ops in prop::collection::vec(op_strategy(3), 0..30),
+        writer in 0usize..3,
+    ) {
+        let mods = ModSet::power_set()[mods_bits as usize];
+        let protocol = Protocol::new(mods);
+        let mut states = vec![CacheState::Invalid; 3];
+        for op in pre_ops {
+            apply(&protocol, &mut states, op);
+        }
+        apply(&protocol, &mut states, Op::Write(writer));
+        let s = states[writer];
+        prop_assert!(s.is_valid(), "{mods}: writer lost its block: {states:?}");
+        // After a write the writer's copy is exclusive, owned (dirty), or —
+        // under distributed write — a clean copy kept consistent by
+        // broadcasts.
+        let update = mods.contains(snoop::protocol::Modification::DistributedWrite);
+        prop_assert!(
+            s.is_exclusive() || s.is_dirty() || update,
+            "{mods}: write left non-writable state {s}"
+        );
+    }
+
+    /// Exactly-one-writable: after a write, no *other* cache may hold a
+    /// dirty or exclusive copy.
+    #[test]
+    fn no_stale_writable_copies(
+        mods_bits in 0u8..16,
+        pre_ops in prop::collection::vec(op_strategy(4), 0..40),
+        writer in 0usize..4,
+    ) {
+        let mods = ModSet::power_set()[mods_bits as usize];
+        let protocol = Protocol::new(mods);
+        let mut states = vec![CacheState::Invalid; 4];
+        for op in pre_ops {
+            apply(&protocol, &mut states, op);
+        }
+        apply(&protocol, &mut states, Op::Write(writer));
+        for (q, s) in states.iter().enumerate() {
+            if q != writer {
+                prop_assert!(
+                    !s.is_dirty() && !s.is_exclusive(),
+                    "{mods}: cache {q} kept writable state {s} after cache {writer} wrote"
+                );
+            }
+        }
+    }
+
+    /// Without modification 4, a write leaves every other copy invalid
+    /// (invalidation protocols really invalidate).
+    #[test]
+    fn invalidation_protocols_invalidate(
+        mods_bits in 0u8..8, // subsets of mods 1-3 only
+        pre_ops in prop::collection::vec(op_strategy(3), 0..30),
+        writer in 0usize..3,
+    ) {
+        let mods = ModSet::power_set()[mods_bits as usize];
+        prop_assume!(!mods.contains(snoop::protocol::Modification::DistributedWrite));
+        let protocol = Protocol::new(mods);
+        let mut states = vec![CacheState::Invalid; 3];
+        for op in pre_ops {
+            apply(&protocol, &mut states, op);
+        }
+        apply(&protocol, &mut states, Op::Write(writer));
+        for (q, s) in states.iter().enumerate() {
+            if q != writer {
+                prop_assert!(
+                    !s.is_valid(),
+                    "{mods}: cache {q} kept a copy ({s}) through a write"
+                );
+            }
+        }
+    }
+}

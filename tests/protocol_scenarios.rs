@@ -1,0 +1,332 @@
+//! Golden protocol scenarios: the walk-through behaviours that define each
+//! protocol in its original paper, written in the scenario DSL and
+//! executed against the state machines. Each test narrates a Section-2.2
+//! sentence of the paper.
+
+use snoop::protocol::scenario::Scenario;
+use snoop::protocol::{BusOp, CacheState, ModSet, NamedProtocol};
+
+fn mods(numbers: &[u8]) -> ModSet {
+    ModSet::from_numbers(numbers).expect("valid")
+}
+
+// ---------------------------------------------------------------- Write-Once
+
+#[test]
+fn write_once_first_write_is_written_through_second_is_local() {
+    // "the *first* time a processor writes a word to a non-exclusive block
+    // in its cache, the word is written through to main memory… Writes to
+    // a block in state exclusive are written only locally."
+    Scenario::new("wo-two-writes", 2, ModSet::new())
+        .read(0)
+        .expect_bus(Some(BusOp::Read))
+        .expect_state(0, CacheState::SharedClean)
+        .write(0)
+        .expect_bus(Some(BusOp::WriteWord))
+        .expect_state(0, CacheState::ExclusiveClean)
+        .write(0)
+        .expect_bus(None)
+        .expect_state(0, CacheState::ExclusiveDirty)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn write_once_write_through_invalidates_other_copies() {
+    // "When the word is broadcast on the bus, any cache containing the
+    // block invalidates its copy."
+    Scenario::new("wo-invalidate-on-write-through", 3, ModSet::new())
+        .read(0)
+        .read(1)
+        .read(2)
+        .expect_coherent()
+        .write(0)
+        .expect_bus(Some(BusOp::WriteWord))
+        .expect_state(1, CacheState::Invalid)
+        .expect_state(2, CacheState::Invalid)
+        .expect_state(0, CacheState::ExclusiveClean)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn write_once_dirty_block_serves_a_read_and_cleans() {
+    // "a cache containing the block in state wback interrupts the bus
+    // transaction and writes the block to main memory… The state of the
+    // block changes to no-wback if the bus request is of type read."
+    Scenario::new("wo-dirty-read", 2, ModSet::new())
+        .read(0)
+        .write(0)
+        .write(0)
+        .expect_state(0, CacheState::ExclusiveDirty)
+        .read(1)
+        .expect_bus(Some(BusOp::Read))
+        .expect_state(0, CacheState::SharedClean)
+        .expect_state(1, CacheState::SharedClean)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn write_once_read_mod_takes_everything() {
+    // "A bus read-mod request invalidates all other copies of the block,
+    // and loads the block in state exclusive and wback."
+    Scenario::new("wo-write-miss", 3, ModSet::new())
+        .read(0)
+        .read(1)
+        .write(2)
+        .expect_bus(Some(BusOp::ReadMod))
+        .expect_state(0, CacheState::Invalid)
+        .expect_state(1, CacheState::Invalid)
+        .expect_state(2, CacheState::ExclusiveDirty)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+// ------------------------------------------------------------ Modification 1
+
+#[test]
+fn mod1_unshared_read_loads_exclusive_and_writes_free() {
+    // "If this line is not raised, the cache block can be loaded in state
+    // exclusive… Writes to this block by the requesting cache will not
+    // require bus operations."
+    Scenario::new("mod1-exclusive-load", 2, mods(&[1]))
+        .read(0)
+        .expect_bus(Some(BusOp::Read))
+        .expect_state(0, CacheState::ExclusiveClean)
+        .write(0)
+        .expect_bus(None)
+        .write(0)
+        .expect_bus(None)
+        .expect_state(0, CacheState::ExclusiveDirty)
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn mod1_shared_read_still_loads_shared() {
+    Scenario::new("mod1-shared-load", 2, mods(&[1]))
+        .read(0)
+        .read(1) // cache 0 raises the shared line
+        .expect_state(1, CacheState::SharedClean)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+// ------------------------------------------------------------ Modification 2
+
+#[test]
+fn mod2_read_transfers_ownership_not_memory() {
+    // "a cache that has a requested block in state wback supplies the copy
+    // directly… the supplying cache sets the state to non-exclusive and
+    // wback, and the requesting cache sets the state to non-exclusive and
+    // no-wback."
+    Scenario::new("mod2-ownership", 2, mods(&[2]))
+        .read(0)
+        .write(0)
+        .write(0)
+        .expect_state(0, CacheState::ExclusiveDirty)
+        .read(1)
+        .expect_bus(Some(BusOp::Read))
+        .expect_state(0, CacheState::SharedDirty)
+        .expect_state(1, CacheState::SharedClean)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+// ------------------------------------------------------------ Modification 3
+
+#[test]
+fn mod3_first_write_invalidates_without_memory_write() {
+    // "a bus invalidate operation is performed, instead of the write-word
+    // operation, on the first write to a non-exclusive data block."
+    Scenario::new("mod3-invalidate", 2, mods(&[3]))
+        .read(0)
+        .read(1)
+        .write(0)
+        .expect_bus(Some(BusOp::Invalidate))
+        .expect_state(0, CacheState::ExclusiveDirty)
+        .expect_state(1, CacheState::Invalid)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+// ------------------------------------------------------------ Modification 4
+
+#[test]
+fn mod4_copies_survive_writes() {
+    // "all writes to a block in state non-exclusive are broadcast on the
+    // bus. All caches update their copies."
+    Scenario::new("mod4-update", 3, mods(&[1, 4]))
+        .read(0)
+        .read(1)
+        .read(2)
+        .write(0)
+        .expect_bus(Some(BusOp::WriteWord))
+        .expect_state(1, CacheState::SharedClean)
+        .expect_state(2, CacheState::SharedClean)
+        .expect_state(0, CacheState::SharedClean)
+        .write(1)
+        .expect_bus(Some(BusOp::WriteWord))
+        .expect_state(0, CacheState::SharedClean)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn mods34_broadcast_carries_ownership() {
+    // "If modifications 3 and 4 are implemented together… some cache has
+    // to take responsibility for writing back the block… the cache
+    // performing the broadcast takes this responsibility."
+    Scenario::new("mod34-ownership", 2, mods(&[1, 3, 4]))
+        .read(0)
+        .read(1)
+        .write(0)
+        .expect_bus(Some(BusOp::WriteWord))
+        .expect_state(0, CacheState::SharedDirty)
+        .expect_state(1, CacheState::SharedClean)
+        .write(1)
+        .expect_bus(Some(BusOp::WriteWord))
+        .expect_state(1, CacheState::SharedDirty)
+        .expect_state(0, CacheState::SharedClean)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+// ------------------------------------------------------- named protocols
+
+#[test]
+fn illinois_silent_upgrade_from_exclusive_clean() {
+    // The Illinois protocol's signature: exclusive-clean blocks upgrade to
+    // modified without any bus traffic.
+    Scenario::new("illinois-upgrade", 2, NamedProtocol::Illinois.modifications())
+        .read(0)
+        .expect_state(0, CacheState::ExclusiveClean)
+        .write(0)
+        .expect_bus(None)
+        .expect_state(0, CacheState::ExclusiveDirty)
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn berkeley_owner_responds_without_memory() {
+    // Berkeley = mods 2+3: dirty owner supplies directly; first writes
+    // invalidate.
+    Scenario::new("berkeley", 3, NamedProtocol::Berkeley.modifications())
+        .read(0)
+        .read(1)
+        .write(0)
+        .expect_bus(Some(BusOp::Invalidate))
+        .read(1)
+        .expect_state(0, CacheState::SharedDirty) // owner
+        .expect_state(1, CacheState::SharedClean)
+        .write(1)
+        .expect_bus(Some(BusOp::Invalidate))
+        .expect_state(0, CacheState::Invalid)
+        .expect_state(1, CacheState::ExclusiveDirty)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn write_through_never_holds_dirty_data() {
+    // Modification 4 alone "reduces the Write-Once protocol to a
+    // write-through protocol": shared blocks are never dirty.
+    Scenario::new("write-through", 2, NamedProtocol::WriteThrough.modifications())
+        .read(0)
+        .read(1)
+        .write(0)
+        .expect_state(0, CacheState::SharedClean)
+        .write(1)
+        .expect_state(1, CacheState::SharedClean)
+        .write(0)
+        .expect_state(0, CacheState::SharedClean)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn migratory_data_under_berkeley() {
+    // Migratory sharing (the pattern that motivated ownership protocols):
+    // each processor reads then writes, in turn. Under Berkeley the block
+    // hops from owner to owner without ever touching memory.
+    Scenario::new("migratory", 3, NamedProtocol::Berkeley.modifications())
+        .read(0)
+        .write(0)
+        .expect_state(0, CacheState::ExclusiveDirty)
+        .read(1) // owner 0 supplies, keeps ownership
+        .expect_state(0, CacheState::SharedDirty)
+        .write(1) // 1 invalidates 0 and becomes the owner
+        .expect_bus(Some(BusOp::Invalidate))
+        .expect_state(0, CacheState::Invalid)
+        .expect_state(1, CacheState::ExclusiveDirty)
+        .read(2)
+        .write(2)
+        .expect_state(1, CacheState::Invalid)
+        .expect_state(2, CacheState::ExclusiveDirty)
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn producer_consumer_under_dragon() {
+    // Producer-consumer favors update protocols: the producer's writes
+    // refresh the consumers' copies in place, so consumers never miss.
+    Scenario::new("producer-consumer", 3, NamedProtocol::Dragon.modifications())
+        .read(1) // consumers subscribe
+        .read(2)
+        .read(0) // producer maps the buffer
+        .write(0)
+        .expect_bus(Some(BusOp::WriteWord))
+        .expect_state(1, CacheState::SharedClean) // still valid!
+        .expect_state(2, CacheState::SharedClean)
+        .read(1) // consumer hit, no bus op
+        .expect_bus(None)
+        .write(0)
+        .read(2)
+        .expect_bus(None)
+        .expect_coherent()
+        .run()
+        .unwrap();
+
+    // The same pattern under an invalidation protocol forces the consumers
+    // to re-fetch after every production step.
+    Scenario::new("producer-consumer-invalidating", 3, NamedProtocol::Illinois.modifications())
+        .read(1)
+        .read(2)
+        .read(0)
+        .write(0)
+        .expect_state(1, CacheState::Invalid)
+        .expect_state(2, CacheState::Invalid)
+        .read(1)
+        .expect_bus(Some(BusOp::Read)) // miss: had been invalidated
+        .expect_coherent()
+        .run()
+        .unwrap();
+}
+
+#[test]
+fn ping_pong_writes_stay_coherent_in_every_protocol() {
+    // The classic false-sharing ping-pong: alternating writers.
+    for protocol in NamedProtocol::ALL {
+        let mut scenario =
+            Scenario::new("ping-pong", 2, protocol.modifications()).read(0).read(1);
+        for _ in 0..4 {
+            scenario = scenario.write(0).expect_coherent().write(1).expect_coherent();
+        }
+        scenario.run().unwrap_or_else(|e| panic!("{protocol}: {e}"));
+    }
+}

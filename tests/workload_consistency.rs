@@ -1,0 +1,170 @@
+//! Consistency between the three faces of the workload model: the analytic
+//! masses, the random-reference sampler, and the synthetic address traces.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use snoop::protocol::ModSet;
+use snoop::workload::derived::ModelInputs;
+use snoop::workload::params::{SharingLevel, WorkloadParams};
+use snoop::workload::streams::ReferenceRates;
+use snoop::workload::synth::{ReferenceGenerator, Stream};
+use snoop::workload::timing::TimingModel;
+
+/// The sampler's empirical routing frequencies must match the derived
+/// `p_local`/`p_bc`/`p_rr` for Write-Once (the same classification logic
+/// the simulator uses).
+#[test]
+fn sampler_frequencies_match_derived_inputs() {
+    for level in SharingLevel::ALL {
+        let params = WorkloadParams::appendix_a(level);
+        let inputs =
+            ModelInputs::derive(&params, ModSet::new(), &TimingModel::default()).unwrap();
+        let mut generator = ReferenceGenerator::new(params, SmallRng::seed_from_u64(7));
+
+        let n = 300_000;
+        let mut local = 0u32;
+        let mut bc = 0u32;
+        let mut rr = 0u32;
+        for _ in 0..n {
+            let e = generator.next_reference();
+            if !e.hits {
+                rr += 1;
+            } else if e.is_write
+                && !e.already_modified
+                && matches!(e.stream, Stream::Private | Stream::SharedWritable)
+            {
+                bc += 1;
+            } else {
+                local += 1;
+            }
+        }
+        let nf = n as f64;
+        assert!(
+            (local as f64 / nf - inputs.p_local).abs() < 0.005,
+            "{level}: local {} vs {}",
+            local as f64 / nf,
+            inputs.p_local
+        );
+        assert!(
+            (bc as f64 / nf - inputs.p_bc).abs() < 0.005,
+            "{level}: bc {} vs {}",
+            bc as f64 / nf,
+            inputs.p_bc
+        );
+        assert!(
+            (rr as f64 / nf - inputs.p_rr).abs() < 0.005,
+            "{level}: rr {} vs {}",
+            rr as f64 / nf,
+            inputs.p_rr
+        );
+    }
+}
+
+/// The sampler's conditional write-back frequencies must match the derived
+/// conditional probabilities `p_csupwb|rr` and `p_reqwb|rr`.
+#[test]
+fn writeback_conditionals_match() {
+    let params = WorkloadParams::appendix_a(SharingLevel::Twenty);
+    let inputs =
+        ModelInputs::derive(&params, ModSet::new(), &TimingModel::default()).unwrap();
+    let mut generator = ReferenceGenerator::new(params, SmallRng::seed_from_u64(11));
+
+    let mut misses = 0u32;
+    let mut supplier_wb = 0u32;
+    let mut victim_wb = 0u32;
+    for _ in 0..400_000 {
+        let e = generator.next_reference();
+        if !e.hits {
+            misses += 1;
+            if e.supplier_dirty {
+                supplier_wb += 1;
+            }
+            if e.victim_dirty {
+                victim_wb += 1;
+            }
+        }
+    }
+    let m = misses as f64;
+    assert!(
+        (supplier_wb as f64 / m - inputs.p_csupwb_rr).abs() < 0.01,
+        "csupwb {} vs {}",
+        supplier_wb as f64 / m,
+        inputs.p_csupwb_rr
+    );
+    assert!(
+        (victim_wb as f64 / m - inputs.p_reqwb_rr).abs() < 0.01,
+        "reqwb {} vs {}",
+        victim_wb as f64 / m,
+        inputs.p_reqwb_rr
+    );
+}
+
+/// The masses and the sampler agree per elementary event class, not just
+/// in aggregate.
+#[test]
+fn sampler_matches_event_masses() {
+    let params = WorkloadParams::appendix_a(SharingLevel::Five);
+    let rates = ReferenceRates::from_params(&params);
+    let mut generator = ReferenceGenerator::new(params, SmallRng::seed_from_u64(13));
+
+    let n = 300_000;
+    let mut counts = [0u32; 4]; // [private wh unmod, sw wh unmod, sro miss, sw miss]
+    for _ in 0..n {
+        let e = generator.next_reference();
+        match (e.stream, e.is_write, e.hits, e.already_modified) {
+            (Stream::Private, true, true, false) => counts[0] += 1,
+            (Stream::SharedWritable, true, true, false) => counts[1] += 1,
+            (Stream::SharedReadOnly, _, false, _) => counts[2] += 1,
+            (Stream::SharedWritable, _, false, _) => counts[3] += 1,
+            _ => {}
+        }
+    }
+    let nf = n as f64;
+    let expected = [
+        rates.private_write_hit_unmod,
+        rates.sw_write_hit_unmod,
+        rates.sro_miss,
+        rates.sw_misses(),
+    ];
+    for (i, (&count, &exp)) in counts.iter().zip(&expected).enumerate() {
+        assert!(
+            (count as f64 / nf - exp).abs() < 0.004,
+            "class {i}: {} vs {exp}",
+            count as f64 / nf
+        );
+    }
+}
+
+/// The trace generator reproduces the stream mix and read/write split of
+/// the parameters it is given.
+#[test]
+fn trace_mix_matches_parameters() {
+    use snoop::workload::trace::{TraceConfig, TraceGenerator};
+    let params = WorkloadParams::appendix_a(SharingLevel::Twenty);
+    let mut generator = TraceGenerator::new(
+        params,
+        TraceConfig::default(),
+        SmallRng::seed_from_u64(17),
+    );
+    let n = 200_000;
+    let mut writes = 0u32;
+    let mut by_stream = [0u32; 3];
+    for _ in 0..n {
+        let r = generator.next_record();
+        if r.is_write {
+            writes += 1;
+        }
+        by_stream[match r.stream {
+            Stream::Private => 0,
+            Stream::SharedReadOnly => 1,
+            Stream::SharedWritable => 2,
+        }] += 1;
+    }
+    let nf = n as f64;
+    assert!((by_stream[0] as f64 / nf - 0.80).abs() < 0.01);
+    assert!((by_stream[1] as f64 / nf - 0.15).abs() < 0.01);
+    assert!((by_stream[2] as f64 / nf - 0.05).abs() < 0.01);
+    // Expected write fraction: p_p·(1−r_p) + p_sw·(1−r_sw).
+    let expected_writes = 0.80 * 0.3 + 0.05 * 0.5;
+    assert!((writes as f64 / nf - expected_writes).abs() < 0.01);
+}
