@@ -8,7 +8,8 @@ use snoop_gtpn::reachability::ReachabilityOptions;
 use snoop_mva::asymptote::asymptotic;
 use snoop_mva::paper::{table_4_1, TABLE_N};
 use snoop_mva::report::{comparison_table, speedup_csv, speedup_table};
-use snoop_mva::sweep::{figure_4_1_family, speedup_series};
+use snoop_mva::resilient::ResilientOptions;
+use snoop_mva::sweep::{figure_4_1_family, resilient_speedup_series, SweepPoint};
 use snoop_mva::{MvaModel, SolverOptions};
 use snoop_protocol::{ModSet, Protocol};
 use snoop_sim::runner::replicate;
@@ -49,6 +50,10 @@ commands:
 protocols: WO, WO+1, WO+1+4, … or write-once, illinois, berkeley, dragon,
 rwb, synapse, write-through.  sharing: 1 | 5 | 20 (percent).
 workload overrides: --params-file FILE (name = value lines, paper names).
+solver flags (solve, sweep): --max-damping-retries K (default 4, 0 = plain
+iteration only) and --solve-deadline-ms MS (wall-clock cap per attempt,
+0 = none); sweep also takes --keep-going (report unsolvable points as
+FAILED rows instead of aborting the sweep).
 ";
 
 /// Dispatches a command line; returns the text to print.
@@ -112,13 +117,30 @@ fn protocol_flag(args: &ParsedArgs) -> Result<ModSet, String> {
     args.flag_str("protocol", "WO").parse::<ModSet>().map_err(|e| e.to_string())
 }
 
+/// Resolves the resilient-solver flags shared by `solve` and `sweep`.
+fn resilient_flags(args: &ParsedArgs) -> Result<ResilientOptions, String> {
+    let max_damping_retries: usize = args.flag_num("max-damping-retries", 4)?;
+    let deadline_ms: u64 = args.flag_num("solve-deadline-ms", 0)?;
+    Ok(ResilientOptions {
+        base: SolverOptions::default(),
+        max_damping_retries,
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+    })
+}
+
 fn cmd_solve(args: &ParsedArgs) -> Result<String, String> {
     let mods = protocol_flag(args)?;
     let n: usize = args.flag_num("n", 10)?;
     let params = workload_flag(args)?;
+    let options = resilient_flags(args)?;
     let model = MvaModel::for_protocol(&params, mods).map_err(|e| e.to_string())?;
-    let solution = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
-    Ok(format!("{mods}\n{solution}\n"))
+    let resilient = model.solve_resilient(n, &options).map_err(|e| e.to_string())?;
+    let mut out = format!("{mods}\n{}\n", resilient.solution);
+    // Only surface the ladder when it actually had to escalate.
+    if resilient.diagnostics.retries() > 0 {
+        let _ = writeln!(out, "solver: {}", resilient.diagnostics);
+    }
+    Ok(out)
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, String> {
@@ -127,30 +149,70 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, String> {
     let max_n: usize = args.flag_num("max-n", 20)?;
     let sizes: Vec<usize> = (1..=max_n).collect();
     let refined = args.switch("refined");
-    let series = if refined {
+    let keep_going = args.switch("keep-going");
+    let mut out = format!(
+        "speedup sweep: {mods} at {sharing} sharing{}\n",
+        if refined { " (size-dependent sharing)" } else { "" }
+    );
+    let _ = writeln!(out, "{:>5} {:>9} {:>8} {:>8}", "N", "speedup", "U_bus", "w_bus");
+    if refined {
         // Size-dependent sharing ([GrMi87] refinement), anchored at N = 10.
-        snoop_mva::sweep::refined_speedup_series(
+        // The derived inputs change with N, so the warm-started resilient
+        // sweep does not apply here.
+        let series = snoop_mva::sweep::refined_speedup_series(
             mods,
             sharing,
             &sizes,
             &SolverOptions::default(),
             10,
         )
-        .map_err(|e| e.to_string())?
-    } else {
-        speedup_series(mods, sharing, &sizes, &SolverOptions::default())
-            .map_err(|e| e.to_string())?
-    };
-    let mut out = format!(
-        "speedup sweep: {mods} at {sharing} sharing{}\n",
-        if refined { " (size-dependent sharing)" } else { "" }
-    );
-    let _ = writeln!(out, "{:>5} {:>9} {:>8} {:>8}", "N", "speedup", "U_bus", "w_bus");
-    for p in &series.points {
+        .map_err(|e| e.to_string())?;
+        for p in &series.points {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>9.3} {:>8.3} {:>8.3}",
+                p.n, p.speedup, p.bus_utilization, p.w_bus
+            );
+        }
+        return Ok(out);
+    }
+
+    // Warm-started escalation-ladder sweep: each N is seeded from the
+    // previous N's converged state.
+    let options = resilient_flags(args)?;
+    let sweep = resilient_speedup_series(mods, sharing, &sizes, &options, true)
+        .map_err(|e| e.to_string())?;
+    if !keep_going {
+        if let Some(SweepPoint::Failed { n, reason }) =
+            sweep.points.iter().find(|p| matches!(p, SweepPoint::Failed { .. }))
+        {
+            return Err(format!(
+                "sweep failed at N={n}: {reason} (pass --keep-going to report \
+                 failed points and continue)"
+            ));
+        }
+    }
+    for p in &sweep.points {
+        match p {
+            SweepPoint::Solved(r) => {
+                let s = &r.solution;
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>9.3} {:>8.3} {:>8.3}",
+                    s.n, s.speedup, s.bus_utilization, s.w_bus
+                );
+            }
+            SweepPoint::Failed { n, reason } => {
+                let _ = writeln!(out, "{n:>5} {:>9} {reason}", "FAILED");
+            }
+        }
+    }
+    if sweep.failures() > 0 {
         let _ = writeln!(
             out,
-            "{:>5} {:>9.3} {:>8.3} {:>8.3}",
-            p.n, p.speedup, p.bus_utilization, p.w_bus
+            "{} of {} points failed; see reasons above",
+            sweep.failures(),
+            sweep.points.len()
         );
     }
     Ok(out)
@@ -661,6 +723,41 @@ mod tests {
             run_tokens(&["sweep", "--max-n", "3", "--sharing", "20", "--refined"]).unwrap();
         assert!(refined.contains("size-dependent"));
         assert_ne!(fixed, refined);
+    }
+
+    #[test]
+    fn solver_flags_accepted_on_solve() {
+        let out = run_tokens(&[
+            "solve",
+            "--protocol",
+            "WO",
+            "--sharing",
+            "5",
+            "--n",
+            "10",
+            "--max-damping-retries",
+            "2",
+            "--solve-deadline-ms",
+            "5000",
+        ])
+        .unwrap();
+        assert!(out.contains("speedup"));
+        // The default workload converges on the first attempt, so no
+        // escalation diagnostics are printed.
+        assert!(!out.contains("solver:"), "{out}");
+    }
+
+    #[test]
+    fn sweep_keep_going_matches_default_when_all_points_solve() {
+        let plain = run_tokens(&["sweep", "--max-n", "5"]).unwrap();
+        let kept = run_tokens(&["sweep", "--max-n", "5", "--keep-going"]).unwrap();
+        assert_eq!(plain, kept);
+        assert!(!kept.contains("FAILED"));
+    }
+
+    #[test]
+    fn bad_solver_flag_value_is_reported() {
+        assert!(run_tokens(&["solve", "--max-damping-retries", "many"]).is_err());
     }
 
     #[test]

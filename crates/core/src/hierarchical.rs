@@ -238,6 +238,7 @@ impl HierarchicalModel {
                 damping,
                 record_history: false,
                 aitken: false,
+                deadline: None,
             });
             match solver.solve(vec![0.0, 0.0, 0.0, r0], step) {
                 Ok(s) => {
@@ -247,9 +248,16 @@ impl HierarchicalModel {
                 Err(e) => last_err = Some(e),
             }
         }
-        let solution = match solution {
-            Some(s) => s,
-            None => return Err(last_err.expect("attempted").into()),
+        let solution = match (solution, last_err) {
+            (Some(s), _) => s,
+            (None, Some(e)) => return Err(e.into()),
+            // Unreachable: the damping ladder always runs at least once.
+            (None, None) => {
+                return Err(snoop_numeric::NumericError::InvalidArgument(
+                    "hierarchical damping ladder made no attempts".into(),
+                )
+                .into())
+            }
         };
 
         let (w_local, w_global, w_mem, r) = (

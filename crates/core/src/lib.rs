@@ -48,6 +48,7 @@ pub mod multiclass;
 pub mod outputs;
 pub mod paper;
 pub mod report;
+pub mod resilient;
 pub mod sensitivity;
 pub mod solver;
 pub mod sweep;
@@ -57,4 +58,5 @@ mod error;
 
 pub use error::MvaError;
 pub use outputs::MvaSolution;
+pub use resilient::{ResilientOptions, ResilientSolution, SolveDiagnostics};
 pub use solver::{MvaModel, SolverOptions};

@@ -217,6 +217,7 @@ impl MulticlassModel {
             damping: 1.0,
             record_history: false,
             aitken: false,
+            deadline: None,
         });
         let solution = match solver.solve(initial.clone(), step) {
             Ok(s) => s,
@@ -226,6 +227,7 @@ impl MulticlassModel {
                 damping: 0.3,
                 record_history: false,
                 aitken: false,
+                deadline: None,
             })
             .solve(initial, step)?,
         };

@@ -29,11 +29,15 @@ pub struct PublishedRow {
 impl PublishedRow {
     /// The modification set of this row's protocol.
     pub fn mods(&self) -> ModSet {
+        use snoop_protocol::Modification;
         match self.panel {
-            'a' => ModSet::new(),
-            'b' => ModSet::from_numbers(&[1]).expect("valid"),
-            'c' => ModSet::from_numbers(&[1, 4]).expect("valid"),
-            other => unreachable!("unknown panel {other}"),
+            'b' => ModSet::new().with(Modification::ExclusiveLoad),
+            'c' => ModSet::new()
+                .with(Modification::ExclusiveLoad)
+                .with(Modification::DistributedWrite),
+            // 'a' is Write-Once; the rows are constructed in this module
+            // only, so any other panel letter reads as the base protocol.
+            _ => ModSet::new(),
         }
     }
 }

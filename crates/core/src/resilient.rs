@@ -1,0 +1,420 @@
+//! The resilient solve pipeline: an escalation ladder around the
+//! mean-value fixed point with full per-attempt diagnostics.
+//!
+//! The paper's claim that the customized MVA equations converge "within 15
+//! iterations" holds for its studied workloads — but the queueing map's
+//! contraction rate approaches 1 near bus saturation (large `N`, slow
+//! memory), where plain successive substitution oscillates or diverges.
+//! [`MvaModel::solve_resilient`] runs a fixed **escalation ladder** of
+//! solve strategies, stopping at the first that converges to a finite
+//! solution:
+//!
+//! 1. **plain** successive substitution (the paper's method);
+//! 2. **Aitken** Δ² acceleration, which collapses the slow geometric tail;
+//! 3. **damping 0.5** under-relaxation, which stabilizes oscillation;
+//! 4. **damping 0.25** for harder oscillation;
+//! 5. **damped restart** — damping 0.125, restarted from the last finite
+//!    iterate of the most recent failed attempt rather than from cold.
+//!
+//! Every attempt is recorded in a [`SolveDiagnostics`] — which strategy
+//! ran, how many iterations it spent, the residual it reached, and how it
+//! failed — so a production caller can see *why* a configuration was
+//! expensive, not just that it was. If the whole ladder fails, the
+//! diagnostics come back inside [`MvaError::SolveExhausted`]; the pipeline
+//! never panics and never returns non-finite values.
+//!
+//! Sweeps build on the same entry point through
+//! [`crate::sweep::resilient_speedup_series`], which warm-starts each
+//! system size from the previous size's converged state and degrades
+//! gracefully on failure instead of aborting the sweep.
+
+use std::fmt;
+use std::time::Duration;
+
+use snoop_numeric::fixed_point::Options;
+use snoop_numeric::NumericError;
+
+use crate::outputs::MvaSolution;
+use crate::solver::{MvaModel, SolverOptions};
+use crate::MvaError;
+
+/// Options for the resilient escalation ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientOptions {
+    /// Base solver options. `base.damping` scales the ladder's damped
+    /// rungs; `base.max_iterations` and `base.tolerance` apply to every
+    /// attempt.
+    pub base: SolverOptions,
+    /// Maximum number of retries after the first (plain) attempt: `0`
+    /// means plain iteration only, `4` (the default) enables the full
+    /// ladder.
+    pub max_damping_retries: usize,
+    /// Wall-clock deadline per attempt. `None` (the default) bounds each
+    /// attempt only by `base.max_iterations`.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ResilientOptions {
+    fn default() -> Self {
+        ResilientOptions {
+            base: SolverOptions::default(),
+            max_damping_retries: 4,
+            deadline: None,
+        }
+    }
+}
+
+/// A solve strategy on the escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Plain successive substitution (the paper's method).
+    Plain,
+    /// Aitken Δ² acceleration every third iterate.
+    Aitken,
+    /// Under-relaxed iteration with the given damping factor, from cold.
+    Damped(f64),
+    /// Under-relaxed iteration with the given damping factor, restarted
+    /// from the last finite iterate of the previous failed attempt.
+    DampedRestart(f64),
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Plain => write!(f, "plain"),
+            Strategy::Aitken => write!(f, "aitken"),
+            Strategy::Damped(d) => write!(f, "damped({d})"),
+            Strategy::DampedRestart(d) => write!(f, "damped-restart({d})"),
+        }
+    }
+}
+
+/// Record of one attempt on the ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// The strategy that ran.
+    pub strategy: Strategy,
+    /// Iterations the attempt spent.
+    pub iterations: usize,
+    /// Relative residual when the attempt ended (below the tolerance on
+    /// success).
+    pub residual: f64,
+    /// `None` on success; the typed failure otherwise.
+    pub error: Option<NumericError>,
+}
+
+/// Diagnostics of a whole resilient solve: every attempt, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveDiagnostics {
+    /// System size that was solved.
+    pub n: usize,
+    /// Every attempt, in ladder order. The last entry is the one that
+    /// converged (when the solve succeeded).
+    pub attempts: Vec<AttemptRecord>,
+    /// Whether the solve was seeded from a previous solution (warm start).
+    pub warm_started: bool,
+}
+
+impl SolveDiagnostics {
+    /// The strategy that produced the returned solution, if any converged.
+    pub fn winning_strategy(&self) -> Option<Strategy> {
+        self.attempts.iter().find(|a| a.error.is_none()).map(|a| a.strategy)
+    }
+
+    /// Number of retries beyond the first attempt.
+    pub fn retries(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+
+    /// Iterations summed over every attempt — the real cost of the solve.
+    pub fn total_iterations(&self) -> usize {
+        self.attempts.iter().map(|a| a.iterations).sum()
+    }
+}
+
+impl fmt::Display for SolveDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={}: {} attempt(s), {} total iterations",
+            self.n,
+            self.attempts.len(),
+            self.total_iterations()
+        )?;
+        for a in &self.attempts {
+            match &a.error {
+                None => write!(f, "; {} converged in {}", a.strategy, a.iterations)?,
+                Some(e) => write!(f, "; {} failed after {} ({e})", a.strategy, a.iterations)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A solution together with the diagnostics of the ladder that produced it.
+///
+/// [`MvaSolution`] itself stays a plain `Copy` record; the diagnostics ride
+/// alongside it here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientSolution {
+    /// The converged solution (all outputs finite).
+    pub solution: MvaSolution,
+    /// How it was obtained.
+    pub diagnostics: SolveDiagnostics,
+}
+
+impl MvaModel {
+    /// Solves the model for `n` processors through the escalation ladder,
+    /// from a cold start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvaError::InvalidSystemSize`] for `n = 0` and
+    /// [`MvaError::SolveExhausted`] — carrying the per-attempt
+    /// diagnostics — when every strategy on the ladder fails. Never
+    /// panics; a returned solution always has finite outputs.
+    pub fn solve_resilient(
+        &self,
+        n: usize,
+        options: &ResilientOptions,
+    ) -> Result<ResilientSolution, MvaError> {
+        self.solve_resilient_seeded(n, None, options)
+    }
+
+    /// Like [`MvaModel::solve_resilient`], warm-started from a previous
+    /// converged state `[w_bus, w_mem, R]` when `seed` is `Some`.
+    ///
+    /// A good seed (the solution of a nearby configuration, e.g. the
+    /// previous `N` of a sweep) typically converges in a handful of
+    /// iterations; a bad seed costs one failed attempt before the ladder
+    /// falls back to cold starts, so warm-starting is always safe.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MvaModel::solve_resilient`].
+    pub fn solve_resilient_seeded(
+        &self,
+        n: usize,
+        seed: Option<[f64; 3]>,
+        options: &ResilientOptions,
+    ) -> Result<ResilientSolution, MvaError> {
+        if n == 0 {
+            return Err(MvaError::InvalidSystemSize(0));
+        }
+        // A seed is only usable if it is finite with a positive R —
+        // otherwise the mean-value map rejects it on the first step.
+        let seed = seed.filter(|s| s.iter().all(|v| v.is_finite()) && s[2] > 0.0);
+        let base_damping = options.base.damping.clamp(f64::MIN_POSITIVE, 1.0);
+        let ladder = [
+            Strategy::Plain,
+            Strategy::Aitken,
+            Strategy::Damped(0.5 * base_damping),
+            Strategy::Damped(0.25 * base_damping),
+            Strategy::DampedRestart(0.125 * base_damping),
+        ];
+
+        let mut diagnostics = SolveDiagnostics {
+            n,
+            attempts: Vec::new(),
+            warm_started: seed.is_some(),
+        };
+        // Restart point harvested from the most recent structured failure.
+        let mut last_finite: Option<Vec<f64>> = None;
+
+        for strategy in ladder.iter().take(1 + options.max_damping_retries) {
+            let (damping, aitken, initial) = match *strategy {
+                Strategy::Plain => (base_damping, false, None),
+                Strategy::Aitken => (base_damping, true, None),
+                Strategy::Damped(d) => (d, false, None),
+                Strategy::DampedRestart(d) => (d, false, last_finite.clone()),
+            };
+            let initial = initial
+                .or_else(|| seed.map(|s| s.to_vec()))
+                .unwrap_or_else(|| self.zero_wait_state());
+            let fp_options = Options {
+                max_iterations: options.base.max_iterations,
+                tolerance: options.base.tolerance,
+                damping,
+                record_history: false,
+                aitken,
+                deadline: options.deadline,
+            };
+
+            match self.run_map(n, initial, &fp_options) {
+                Ok(converged) => {
+                    let solution =
+                        self.package_solution(n, &converged.values, converged.iterations);
+                    let finite = [
+                        solution.r,
+                        solution.speedup,
+                        solution.bus_utilization,
+                        solution.memory_utilization,
+                        solution.w_bus,
+                        solution.w_mem,
+                    ]
+                    .iter()
+                    .all(|v| v.is_finite());
+                    if finite {
+                        diagnostics.attempts.push(AttemptRecord {
+                            strategy: *strategy,
+                            iterations: converged.iterations,
+                            residual: converged.residual,
+                            error: None,
+                        });
+                        return Ok(ResilientSolution { solution, diagnostics });
+                    }
+                    // Converged onto a non-finite packaging (degenerate
+                    // inputs): record it as a failure and escalate.
+                    diagnostics.attempts.push(AttemptRecord {
+                        strategy: *strategy,
+                        iterations: converged.iterations,
+                        residual: converged.residual,
+                        error: Some(NumericError::InvalidArgument(
+                            "converged state packages to non-finite outputs".into(),
+                        )),
+                    });
+                }
+                Err(e) => {
+                    let (iterations, residual) = match &e {
+                        NumericError::Diverged(failure) => {
+                            if failure.last_finite.len() == 3 && failure.last_finite[2] > 0.0 {
+                                last_finite = Some(failure.last_finite.clone());
+                            }
+                            (failure.iterations, failure.residual)
+                        }
+                        NumericError::NoConvergence { iterations, residual } => {
+                            (*iterations, *residual)
+                        }
+                        _ => (0, f64::NAN),
+                    };
+                    diagnostics.attempts.push(AttemptRecord {
+                        strategy: *strategy,
+                        iterations,
+                        residual,
+                        error: Some(e),
+                    });
+                }
+            }
+        }
+
+        Err(MvaError::SolveExhausted(Box::new(diagnostics)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+    fn model(level: SharingLevel) -> MvaModel {
+        MvaModel::for_protocol(&WorkloadParams::appendix_a(level), ModSet::new()).unwrap()
+    }
+
+    #[test]
+    fn plain_strategy_wins_on_easy_workloads() {
+        let r = model(SharingLevel::Five)
+            .solve_resilient(10, &ResilientOptions::default())
+            .unwrap();
+        assert_eq!(r.diagnostics.winning_strategy(), Some(Strategy::Plain));
+        assert_eq!(r.diagnostics.retries(), 0);
+        assert!(!r.diagnostics.warm_started);
+        // Matches the plain solver exactly: same method, same start.
+        let plain = model(SharingLevel::Five)
+            .solve(10, &SolverOptions::default())
+            .unwrap();
+        assert!((r.solution.r - plain.r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_processors() {
+        let err = model(SharingLevel::Five)
+            .solve_resilient(0, &ResilientOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, MvaError::InvalidSystemSize(0)));
+    }
+
+    #[test]
+    fn warm_seed_from_fixed_point_converges_immediately() {
+        let m = model(SharingLevel::Twenty);
+        let cold = m.solve_resilient(20, &ResilientOptions::default()).unwrap();
+        let seed = [cold.solution.w_bus, cold.solution.w_mem, cold.solution.r];
+        let warm = m
+            .solve_resilient_seeded(20, Some(seed), &ResilientOptions::default())
+            .unwrap();
+        assert!(warm.diagnostics.warm_started);
+        assert!(
+            warm.diagnostics.total_iterations() < cold.diagnostics.total_iterations(),
+            "warm {} vs cold {}",
+            warm.diagnostics.total_iterations(),
+            cold.diagnostics.total_iterations()
+        );
+        assert!((warm.solution.r - cold.solution.r).abs() < 1e-6 * cold.solution.r);
+    }
+
+    #[test]
+    fn non_finite_seed_is_ignored() {
+        let m = model(SharingLevel::Five);
+        let r = m
+            .solve_resilient_seeded(
+                10,
+                Some([f64::NAN, 0.0, 1.0]),
+                &ResilientOptions::default(),
+            )
+            .unwrap();
+        // Fell back to a cold start rather than propagating the NaN.
+        assert!(r.solution.r.is_finite());
+        assert!(!r.diagnostics.warm_started);
+    }
+
+    #[test]
+    fn saturation_regime_never_returns_non_finite() {
+        // N ≥ 64 with slow memory: deep saturation, the regime the ladder
+        // exists for.
+        let slow = WorkloadParams::stress();
+        let m = MvaModel::for_protocol(&slow, ModSet::new()).unwrap();
+        for n in [64, 256, 1024] {
+            match m.solve_resilient(n, &ResilientOptions::default()) {
+                Ok(r) => {
+                    assert!(r.solution.r.is_finite(), "N={n}");
+                    assert!(r.solution.speedup.is_finite(), "N={n}");
+                    assert!(r.solution.speedup > 0.0, "N={n}");
+                }
+                Err(MvaError::SolveExhausted(d)) => {
+                    // Clean failure is acceptable; silent garbage is not.
+                    assert_eq!(d.attempts.len(), 5, "N={n}: {d}");
+                }
+                Err(other) => panic!("N={n}: unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_is_bounded_by_max_damping_retries() {
+        // With a tolerance of 0 nothing can converge: every rung must run
+        // and the count must honour the cap.
+        let m = model(SharingLevel::Five);
+        let options = ResilientOptions {
+            base: SolverOptions { max_iterations: 10, tolerance: 0.0, damping: 1.0 },
+            max_damping_retries: 2,
+            deadline: None,
+        };
+        let err = m.solve_resilient(10, &options).unwrap_err();
+        match err {
+            MvaError::SolveExhausted(d) => {
+                assert_eq!(d.attempts.len(), 3, "{d}");
+                assert!(d.attempts.iter().all(|a| a.error.is_some()));
+            }
+            other => panic!("expected exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn diagnostics_display_is_readable() {
+        let m = model(SharingLevel::Five);
+        let r = m.solve_resilient(4, &ResilientOptions::default()).unwrap();
+        let text = r.diagnostics.to_string();
+        assert!(text.contains("N=4"), "{text}");
+        assert!(text.contains("plain converged"), "{text}");
+    }
+}

@@ -112,7 +112,16 @@ impl MvaModel {
     /// [w_bus′, w_mem′, R′]`, evaluating the equations in dependency order.
     fn step(&self, n: usize, interference: &Interference, state: &[f64], out: &mut [f64]) {
         let inputs = &self.inputs;
-        let (w_bus, w_mem, r_prev) = (state[0], state[1], state[2].max(1e-12));
+        let (w_bus, w_mem, r_prev) = (state[0], state[1], state[2]);
+        // A non-positive or non-finite R is a diverged iterate, not a
+        // recoverable state: emit NaN so the fixed-point layer reports a
+        // structured `Diverged` failure instead of the old behaviour of
+        // clamping R to 1e-12 and producing a plausible-looking queue
+        // length from garbage.
+        if !r_prev.is_finite() || r_prev <= 0.0 {
+            out.fill(f64::NAN);
+            return;
+        }
 
         // Response-time components (Eqs. 2–4) from current waiting times.
         let r_bc = eq::r_broadcast(inputs, w_bus, w_mem);
@@ -137,6 +146,66 @@ impl MvaModel {
         out[0] = w_bus_next;
         out[1] = w_mem_next;
         out[2] = r;
+    }
+
+    /// The iteration's cold-start state `[0, 0, R₀]`: zero waiting times
+    /// (Section 3.2) and the zero-wait response time.
+    pub(crate) fn zero_wait_state(&self) -> Vec<f64> {
+        let inputs = &self.inputs;
+        let r0 = eq::response_time(
+            inputs,
+            0.0,
+            eq::r_broadcast(inputs, 0.0, 0.0),
+            eq::r_remote_read(inputs, 0.0),
+        );
+        vec![0.0, 0.0, r0]
+    }
+
+    /// Runs the raw mean-value fixed point from an arbitrary initial state
+    /// with explicit numeric options — the primitive under both
+    /// [`MvaModel::solve`] and the resilient escalation ladder
+    /// (which needs custom damping schedules and warm starts).
+    pub(crate) fn run_map(
+        &self,
+        n: usize,
+        initial: Vec<f64>,
+        options: &Options,
+    ) -> Result<snoop_numeric::fixed_point::Solution, snoop_numeric::NumericError> {
+        let interference = Interference::compute(&self.inputs, n);
+        FixedPoint::new(options.clone())
+            .solve(initial, |x, out| self.step(n, &interference, x, out))
+    }
+
+    /// Recomputes every reported measure from a converged state so the
+    /// outputs are mutually consistent, and packages them.
+    pub(crate) fn package_solution(&self, n: usize, values: &[f64], iterations: usize) -> MvaSolution {
+        let inputs = &self.inputs;
+        let interference = Interference::compute(inputs, n);
+        let (w_bus, w_mem, r_conv) = (values[0], values[1], values[2]);
+        let r_bc = eq::r_broadcast(inputs, w_bus, w_mem);
+        let r_rr = eq::r_remote_read(inputs, w_bus);
+        let q_bus = eq::bus_queue_length(n, r_bc, r_rr, r_conv);
+        let n_int = interference.n_interference(q_bus);
+        let r_local = eq::r_local(inputs, n_int, interference.t_interference);
+        let r = eq::response_time(inputs, r_local, r_bc, r_rr);
+
+        MvaSolution {
+            n,
+            r,
+            speedup: eq::speedup(inputs, n, r),
+            processing_power: eq::processing_power(inputs, n, r),
+            bus_utilization: eq::bus_utilization(inputs, n, w_mem, r),
+            memory_utilization: eq::memory_utilization(inputs, n, r),
+            w_bus,
+            w_mem,
+            q_bus,
+            n_interference: n_int,
+            t_interference: interference.t_interference,
+            r_local,
+            r_broadcast: r_bc,
+            r_remote_read: r_rr,
+            iterations,
+        }
     }
 
     /// Solves the model and returns the full iterate trajectory
@@ -169,6 +238,7 @@ impl MvaModel {
             damping: options.damping,
             record_history: true,
             aitken: false,
+            deadline: None,
         });
         let traced = fixed_point
             .solve(vec![0.0, 0.0, r0], |x, out| self.step(n, &interference, x, out))?;
@@ -189,75 +259,37 @@ impl MvaModel {
         if n == 0 {
             return Err(MvaError::InvalidSystemSize(0));
         }
-        let inputs = self.inputs;
-        let interference = Interference::compute(&inputs, n);
-
-        // Start from zero waiting times (Section 3.2) and the zero-wait
-        // response time.
-        let r0 = eq::response_time(
-            &inputs,
-            0.0,
-            eq::r_broadcast(&inputs, 0.0, 0.0),
-            eq::r_remote_read(&inputs, 0.0),
-        );
         // Plain successive substitution, the paper's method. Near deep
         // saturation (N in the thousands) the undamped map can oscillate;
         // retry with increasing under-relaxation, which preserves the fixed
         // point. Aitken acceleration is deliberately NOT used here: the
         // clamps in Eqs. (5)/(7)/(12) make the map non-smooth and
-        // extrapolation can enter limit cycles.
-        let mut solution = None;
+        // extrapolation can enter limit cycles. (For per-attempt
+        // diagnostics, warm starts and a wider escalation ladder, see
+        // [`MvaModel::solve_resilient`].)
         let mut last_err = None;
         for damping in [options.damping, 0.5 * options.damping, 0.1 * options.damping] {
-            let fixed_point = FixedPoint::new(Options {
+            let fp_options = Options {
                 max_iterations: options.max_iterations,
                 tolerance: options.tolerance,
                 damping,
                 record_history: false,
                 aitken: false,
-            });
-            match fixed_point
-                .solve(vec![0.0, 0.0, r0], |x, out| self.step(n, &interference, x, out))
-            {
-                Ok(s) => {
-                    solution = Some(s);
-                    break;
-                }
+                deadline: None,
+            };
+            match self.run_map(n, self.zero_wait_state(), &fp_options) {
+                Ok(s) => return Ok(self.package_solution(n, &s.values, s.iterations)),
                 Err(e) => last_err = Some(e),
             }
         }
-        let solution = match solution {
-            Some(s) => s,
-            None => return Err(last_err.expect("at least one attempt ran").into()),
-        };
-
-        // Recompute the reported measures once more from the converged
-        // state so every output is mutually consistent.
-        let (w_bus, w_mem, r_conv) = (solution.values[0], solution.values[1], solution.values[2]);
-        let r_bc = eq::r_broadcast(&inputs, w_bus, w_mem);
-        let r_rr = eq::r_remote_read(&inputs, w_bus);
-        let q_bus = eq::bus_queue_length(n, r_bc, r_rr, r_conv);
-        let n_int = interference.n_interference(q_bus);
-        let r_local = eq::r_local(&inputs, n_int, interference.t_interference);
-        let r = eq::response_time(&inputs, r_local, r_bc, r_rr);
-
-        Ok(MvaSolution {
-            n,
-            r,
-            speedup: eq::speedup(&inputs, n, r),
-            processing_power: eq::processing_power(&inputs, n, r),
-            bus_utilization: eq::bus_utilization(&inputs, n, w_mem, r),
-            memory_utilization: eq::memory_utilization(&inputs, n, r),
-            w_bus,
-            w_mem,
-            q_bus,
-            n_interference: n_int,
-            t_interference: interference.t_interference,
-            r_local,
-            r_broadcast: r_bc,
-            r_remote_read: r_rr,
-            iterations: solution.iterations,
-        })
+        Err(last_err
+            .unwrap_or_else(|| {
+                // Unreachable: the ladder above always runs at least once.
+                snoop_numeric::NumericError::InvalidArgument(
+                    "damping retry ladder made no attempts".into(),
+                )
+            })
+            .into())
     }
 }
 

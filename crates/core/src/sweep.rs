@@ -1,9 +1,18 @@
 //! Parameter sweeps: speedup curves over system size, protocols and
 //! sharing levels — the data behind Figure 4.1 and Table 4.1.
+//!
+//! [`resilient_speedup_series`] is the production entry point: each system
+//! size is solved through the escalation ladder of [`crate::resilient`],
+//! **warm-started** from the previous size's converged state (with a cold
+//! retry on failure), and a size that defeats the whole ladder is reported
+//! as [`SweepPoint::Failed`] instead of aborting the sweep.
+
+use std::fmt;
 
 use snoop_protocol::ModSet;
 use snoop_workload::params::{SharingLevel, WorkloadParams};
 
+use crate::resilient::{ResilientOptions, ResilientSolution};
 use crate::solver::{MvaModel, SolverOptions};
 use crate::{MvaError, MvaSolution};
 
@@ -26,6 +35,138 @@ impl SpeedupSeries {
     pub fn speedups(&self) -> Vec<f64> {
         self.points.iter().map(|p| p.speedup).collect()
     }
+}
+
+/// One point of a resilient sweep: solved with diagnostics, or failed with
+/// a reason — never a panic, never a silently-missing entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepPoint {
+    /// The ladder converged at this size.
+    Solved(ResilientSolution),
+    /// Every strategy failed at this size; the sweep carried on.
+    Failed {
+        /// System size of the failed point.
+        n: usize,
+        /// The error that defeated the ladder (its display includes the
+        /// per-attempt diagnostics).
+        reason: String,
+    },
+}
+
+impl SweepPoint {
+    /// The system size of the point.
+    pub fn n(&self) -> usize {
+        match self {
+            SweepPoint::Solved(r) => r.solution.n,
+            SweepPoint::Failed { n, .. } => *n,
+        }
+    }
+
+    /// The solution, when the point converged.
+    pub fn solution(&self) -> Option<&MvaSolution> {
+        match self {
+            SweepPoint::Solved(r) => Some(&r.solution),
+            SweepPoint::Failed { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepPoint::Solved(r) => {
+                write!(f, "N={}: speedup {:.3}", r.solution.n, r.solution.speedup)
+            }
+            SweepPoint::Failed { n, reason } => write!(f, "N={n}: FAILED ({reason})"),
+        }
+    }
+}
+
+/// A resilient speedup-vs-N series: one [`SweepPoint`] per requested size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientSweep {
+    /// Modification set of the protocol.
+    pub mods: ModSet,
+    /// Sharing level of the workload.
+    pub sharing: SharingLevel,
+    /// One point per requested size, solved or failed.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ResilientSweep {
+    /// Number of failed points.
+    pub fn failures(&self) -> usize {
+        self.points.iter().filter(|p| matches!(p, SweepPoint::Failed { .. })).count()
+    }
+
+    /// Iterations summed over every attempt of every point — the metric
+    /// that warm-starting is meant to shrink.
+    pub fn total_iterations(&self) -> usize {
+        self.points
+            .iter()
+            .filter_map(|p| match p {
+                SweepPoint::Solved(r) => Some(r.diagnostics.total_iterations()),
+                SweepPoint::Failed { .. } => None,
+            })
+            .sum()
+    }
+}
+
+/// Solves one (protocol, sharing) series through the escalation ladder,
+/// warm-starting each size from the previous size's converged state.
+///
+/// The warm seed is dropped (cold start) after a failed point. When
+/// `warm_start` is false every point starts cold — useful for measuring
+/// what warm-starting buys.
+///
+/// # Errors
+///
+/// Returns `Err` only if the workload itself is invalid (model
+/// construction); solver failures degrade to [`SweepPoint::Failed`].
+pub fn resilient_speedup_series(
+    mods: ModSet,
+    sharing: SharingLevel,
+    sizes: &[usize],
+    options: &ResilientOptions,
+    warm_start: bool,
+) -> Result<ResilientSweep, MvaError> {
+    let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), mods)?;
+    Ok(ResilientSweep { mods, sharing, points: resilient_sweep(&model, sizes, options, warm_start) })
+}
+
+/// Sweeps an already-built model over `sizes` with warm-starting and
+/// graceful degradation (the engine under [`resilient_speedup_series`]).
+pub fn resilient_sweep(
+    model: &MvaModel,
+    sizes: &[usize],
+    options: &ResilientOptions,
+    warm_start: bool,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(sizes.len());
+    let mut seed: Option<[f64; 3]> = None;
+    for &n in sizes {
+        let warm = seed.filter(|_| warm_start);
+        let result = model.solve_resilient_seeded(n, warm, options).or_else(|e| {
+            // A poisoned warm seed must not fail the point: retry cold.
+            if warm.is_some() && !matches!(e, MvaError::InvalidSystemSize(_)) {
+                model.solve_resilient(n, options)
+            } else {
+                Err(e)
+            }
+        });
+        match result {
+            Ok(resilient) => {
+                let s = &resilient.solution;
+                seed = Some([s.w_bus, s.w_mem, s.r]);
+                points.push(SweepPoint::Solved(resilient));
+            }
+            Err(e) => {
+                seed = None;
+                points.push(SweepPoint::Failed { n, reason: e.to_string() });
+            }
+        }
+    }
+    points
 }
 
 /// Solves one (protocol, sharing) series over the given system sizes.
@@ -56,10 +197,11 @@ pub fn figure_4_1_family(
     sizes: &[usize],
     options: &SolverOptions,
 ) -> Result<Vec<SpeedupSeries>, MvaError> {
+    use snoop_protocol::Modification;
     let protocols = [
         ModSet::new(),
-        ModSet::from_numbers(&[1]).expect("valid"),
-        ModSet::from_numbers(&[1, 4]).expect("valid"),
+        ModSet::new().with(Modification::ExclusiveLoad),
+        ModSet::new().with(Modification::ExclusiveLoad).with(Modification::DistributedWrite),
     ];
     let mut series = Vec::new();
     for mods in protocols {
@@ -217,6 +359,96 @@ mod tests {
             refined.points[0].speedup,
             fixed.points[0].speedup
         );
+    }
+
+    #[test]
+    fn resilient_series_matches_plain_series() {
+        let plain = speedup_series(
+            ModSet::new(),
+            SharingLevel::Five,
+            &TABLE_4_1_N,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let resilient = resilient_speedup_series(
+            ModSet::new(),
+            SharingLevel::Five,
+            &TABLE_4_1_N,
+            &ResilientOptions::default(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(resilient.failures(), 0);
+        for (p, q) in plain.points.iter().zip(&resilient.points) {
+            let s = q.solution().expect("solved");
+            assert!(
+                (p.speedup - s.speedup).abs() < 1e-6 * p.speedup.max(1.0),
+                "N={}: plain {} vs resilient {}",
+                p.n,
+                p.speedup,
+                s.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_beats_cold_on_table_4_1_configs() {
+        // The ISSUE's acceptance criterion: over the paper's Table 4.1
+        // protocol/sharing grid, warm-started sweeps spend strictly fewer
+        // total iterations than cold-started ones.
+        use snoop_protocol::Modification;
+        let protocols = [
+            ModSet::new(),
+            ModSet::new().with(Modification::ExclusiveLoad),
+            ModSet::new().with(Modification::ExclusiveLoad).with(Modification::DistributedWrite),
+        ];
+        for mods in protocols {
+            for sharing in SharingLevel::ALL {
+                let options = ResilientOptions::default();
+                let warm = resilient_speedup_series(mods, sharing, &TABLE_4_1_N, &options, true)
+                    .unwrap();
+                let cold = resilient_speedup_series(mods, sharing, &TABLE_4_1_N, &options, false)
+                    .unwrap();
+                assert_eq!(warm.failures(), 0, "{mods} {sharing}");
+                assert_eq!(cold.failures(), 0, "{mods} {sharing}");
+                assert!(
+                    warm.total_iterations() < cold.total_iterations(),
+                    "{mods} {sharing}: warm {} vs cold {}",
+                    warm.total_iterations(),
+                    cold.total_iterations()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_points_degrade_gracefully() {
+        // An unreachable tolerance defeats every strategy at every size:
+        // the sweep must still return one (failed) point per size rather
+        // than aborting, and each failure must carry a reason.
+        let options = ResilientOptions {
+            base: SolverOptions { max_iterations: 8, tolerance: 0.0, damping: 1.0 },
+            ..ResilientOptions::default()
+        };
+        let sweep = resilient_speedup_series(
+            ModSet::new(),
+            SharingLevel::Five,
+            &[1, 2, 4],
+            &options,
+            true,
+        )
+        .unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.failures(), 3);
+        for p in &sweep.points {
+            match p {
+                SweepPoint::Failed { reason, .. } => {
+                    assert!(!reason.is_empty());
+                    assert!(p.solution().is_none());
+                }
+                SweepPoint::Solved(_) => panic!("expected failure: {p}"),
+            }
+        }
     }
 
     #[test]

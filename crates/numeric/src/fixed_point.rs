@@ -7,8 +7,54 @@
 //! form: a vector-valued map `x ← f(x)` is applied repeatedly, optionally
 //! under-relaxed, until the maximum relative change across components falls
 //! below a tolerance.
+//!
+//! # Divergence detection
+//!
+//! Successive substitution is only guaranteed to converge for contraction
+//! mappings, and the paper's queueing map stops contracting near bus
+//! saturation. Rather than grinding to `max_iterations` on a hopeless
+//! trajectory, the solver watches for four failure signatures and abandons
+//! the run early with a structured [`ConvergenceFailure`]:
+//!
+//! * **non-finite iterates** — the map produced NaN or ±∞;
+//! * **overflow** — an iterate grew beyond ~1e150, the precursor to ±∞;
+//! * **residual growth** — the per-iteration step norm keeps growing over a
+//!   sliding window while the iterates change by ≥ 25% per step
+//!   (geometric divergence such as `x ← 2x` has a *constant* relative
+//!   residual, so growth is measured on absolute step norms);
+//! * **limit cycles** — the iterate revisits the point from two or three
+//!   steps ago essentially exactly while still far from convergence
+//!   (period-2 flip cycles such as `x ← −x + c`, and period-3 orbits).
+//!
+//! The failure carries the trailing residual trajectory and the last finite
+//! iterate so callers can retry with damping from where the run left off.
+//! A wall-clock [`Options::deadline`] bounds the run in real time.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 use crate::NumericError;
+
+/// Iterate magnitude beyond which the run is declared overflowing: far past
+/// any physical response time, but well short of `f64::MAX` so the failure
+/// still carries finite values.
+const OVERFLOW_LIMIT: f64 = 1e150;
+/// Sliding-window length for the residual-growth detector; the detector
+/// compares the two most recent windows of this many step norms.
+const GROWTH_WINDOW: usize = 16;
+/// The minimum step norm of the newer window must exceed the older window's
+/// by this factor to flag growth.
+const GROWTH_FACTOR: f64 = 4.0;
+/// Residual-growth is only flagged while the relative residual is at least
+/// this large — a genuinely converging run can never be flagged, because its
+/// residual drops below this long before two full windows accumulate growth.
+const GROWTH_MIN_RESIDUAL: f64 = 0.25;
+/// A cycle must be observed on this many consecutive iterations before the
+/// run is abandoned (a single near-revisit can be coincidence).
+const CYCLE_CONFIRMATIONS: usize = 2;
+/// Number of trailing residuals retained in a [`ConvergenceFailure`].
+const TRAJECTORY_CAP: usize = 512;
 
 /// Options controlling a fixed-point iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +77,11 @@ pub struct Options {
     /// hundreds of iterations into a handful. Extrapolation is skipped for
     /// components whose second difference is too small to divide by.
     pub aitken: bool,
+    /// Wall-clock deadline for the whole run. When set, the iteration is
+    /// abandoned with [`DivergenceReason::DeadlineExceeded`] once the
+    /// elapsed time exceeds this duration. `None` (the default) means the
+    /// run is bounded only by [`Options::max_iterations`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for Options {
@@ -41,7 +92,88 @@ impl Default for Options {
             damping: 1.0,
             record_history: false,
             aitken: false,
+            deadline: None,
         }
+    }
+}
+
+/// Why a fixed-point run was abandoned before exhausting its iteration
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceReason {
+    /// The map produced NaN or ±∞ at the given component.
+    NonFinite {
+        /// Index of the offending component.
+        component: usize,
+    },
+    /// An iterate's magnitude exceeded the overflow guard (~1e150) at the
+    /// given component — the run would reach ±∞ within a few more steps.
+    Overflow {
+        /// Index of the offending component.
+        component: usize,
+    },
+    /// The per-iteration step norm grew persistently across the sliding
+    /// window while the iterates were still changing by ≥ 25% per step:
+    /// geometric divergence.
+    ResidualGrowth,
+    /// The iterates revisit an earlier point (essentially exactly) while
+    /// still far from the tolerance: a closed orbit that will never
+    /// converge undamped.
+    LimitCycle {
+        /// Cycle length (2 or 3).
+        period: usize,
+    },
+    /// The wall-clock [`Options::deadline`] elapsed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for DivergenceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceReason::NonFinite { component } => {
+                write!(f, "non-finite iterate at component {component}")
+            }
+            DivergenceReason::Overflow { component } => {
+                write!(f, "iterate overflow at component {component}")
+            }
+            DivergenceReason::ResidualGrowth => write!(f, "growing residuals (divergence)"),
+            DivergenceReason::LimitCycle { period } => {
+                write!(f, "period-{period} limit cycle")
+            }
+            DivergenceReason::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+        }
+    }
+}
+
+/// Structured description of an abandoned fixed-point run.
+///
+/// Carried by [`NumericError::Diverged`]. Unlike a bare "no convergence"
+/// error this records *why* the run was hopeless, the trailing residual
+/// trajectory (up to 512 entries), and the last fully-finite iterate so a
+/// caller can restart with damping from where the run left off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceFailure {
+    /// The failure signature that triggered abandonment.
+    pub reason: DivergenceReason,
+    /// Iterations performed before the run was abandoned.
+    pub iterations: usize,
+    /// Relative residual at the last completed iteration
+    /// (`f64::INFINITY` if the run failed before completing one).
+    pub residual: f64,
+    /// Trailing relative residuals, oldest first (capped at 512 entries).
+    pub residual_trajectory: Vec<f64>,
+    /// The last iterate whose components were all finite. Always non-empty
+    /// and always finite — suitable as a restart point.
+    pub last_finite: Vec<f64>,
+}
+
+impl fmt::Display for ConvergenceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} iterations (residual {:.3e})",
+            self.reason, self.iterations, self.residual
+        )
     }
 }
 
@@ -97,9 +229,12 @@ impl FixedPoint {
     /// # Errors
     ///
     /// Returns [`NumericError::NoConvergence`] if the tolerance is not met
-    /// within the iteration budget, and [`NumericError::InvalidArgument`] if
-    /// `initial` is empty, the damping factor is outside `(0, 1]`, or the map
-    /// produces a non-finite component.
+    /// within the iteration budget, [`NumericError::Diverged`] when the run
+    /// is abandoned early because it is detectably hopeless (non-finite or
+    /// overflowing iterates, growing residuals, a period-2/3 limit cycle,
+    /// or an elapsed [`Options::deadline`]), and
+    /// [`NumericError::InvalidArgument`] if `initial` is empty or the
+    /// damping factor is outside `(0, 1]`.
     pub fn solve<F>(&self, initial: Vec<f64>, mut f: F) -> Result<Solution, NumericError>
     where
         F: FnMut(&[f64], &mut [f64]),
@@ -127,21 +262,68 @@ impl FixedPoint {
         let mut prev1: Vec<f64> = Vec::new();
         let mut prev2: Vec<f64> = Vec::new();
 
+        let start = self.options.deadline.map(|_| Instant::now());
+        let mut trajectory: Vec<f64> = Vec::new();
+        // Per-iteration max-abs step norms, trailing 2·GROWTH_WINDOW.
+        let mut step_norms: VecDeque<f64> = VecDeque::with_capacity(2 * GROWTH_WINDOW);
+        // Trailing committed iterates for period-2/3 cycle detection.
+        let mut recent: VecDeque<Vec<f64>> = VecDeque::with_capacity(4);
+        recent.push_back(current.clone());
+        let (mut cycle2, mut cycle3) = (0usize, 0usize);
+        // A revisit only counts as a cycle when it is essentially exact;
+        // slowly-converging oscillation (eigenvalue near −1) moves the
+        // iterate by far more than this between successive periods.
+        let cycle_tolerance = (self.options.tolerance * 1e-3).max(1e-15);
+
         let mut residual = f64::INFINITY;
         for iteration in 1..=self.options.max_iterations {
+            let fail = |reason, residual, trajectory, last_finite| {
+                Err(NumericError::Diverged(ConvergenceFailure {
+                    reason,
+                    iterations: iteration,
+                    residual,
+                    residual_trajectory: trajectory,
+                    last_finite,
+                }))
+            };
+
+            if let (Some(start), Some(deadline)) = (start, self.options.deadline) {
+                if start.elapsed() > deadline {
+                    return fail(DivergenceReason::DeadlineExceeded, residual, trajectory, current);
+                }
+            }
+
             f(&current, &mut next);
+            // `current` is still the last fully-finite iterate here: the
+            // checks below run before `next` is committed.
             if let Some(bad) = next.iter().position(|v| !v.is_finite()) {
-                return Err(NumericError::InvalidArgument(format!(
-                    "map produced non-finite value at component {bad} in iteration {iteration}"
-                )));
+                return fail(
+                    DivergenceReason::NonFinite { component: bad },
+                    residual,
+                    trajectory,
+                    current,
+                );
+            }
+            if let Some(bad) = next.iter().position(|v| v.abs() > OVERFLOW_LIMIT) {
+                return fail(
+                    DivergenceReason::Overflow { component: bad },
+                    residual,
+                    trajectory,
+                    current,
+                );
             }
 
             residual = 0.0;
+            let mut step_norm = 0.0f64;
             for i in 0..n {
                 let damped =
                     self.options.damping * next[i] + (1.0 - self.options.damping) * current[i];
+                let step = (damped - current[i]).abs();
+                if step > step_norm {
+                    step_norm = step;
+                }
                 let scale = damped.abs().max(current[i].abs()).max(1e-300);
-                let change = (damped - current[i]).abs() / scale;
+                let change = step / scale;
                 if change > residual {
                     residual = change;
                 }
@@ -150,9 +332,68 @@ impl FixedPoint {
             if self.options.record_history {
                 history.push(current.clone());
             }
+            if trajectory.len() == TRAJECTORY_CAP {
+                trajectory.remove(0);
+            }
+            trajectory.push(residual);
             if residual < self.options.tolerance {
                 return Ok(Solution { values: current, iterations: iteration, residual, history });
             }
+
+            // Residual growth: geometric divergence (e.g. `x ← 2x`) keeps
+            // the *relative* residual constant, so growth is measured on
+            // absolute step norms — the smallest step of the newer window
+            // exceeding the older window's by GROWTH_FACTOR means every
+            // recent step dwarfs every older one.
+            if step_norms.len() == 2 * GROWTH_WINDOW {
+                step_norms.pop_front();
+            }
+            step_norms.push_back(step_norm);
+            if step_norms.len() == 2 * GROWTH_WINDOW && residual >= GROWTH_MIN_RESIDUAL {
+                let older_min =
+                    step_norms.iter().take(GROWTH_WINDOW).cloned().fold(f64::INFINITY, f64::min);
+                let newer_min =
+                    step_norms.iter().skip(GROWTH_WINDOW).cloned().fold(f64::INFINITY, f64::min);
+                if newer_min > GROWTH_FACTOR * older_min {
+                    return fail(DivergenceReason::ResidualGrowth, residual, trajectory, current);
+                }
+            }
+
+            // Limit cycles: compare against the iterates two and three
+            // steps back. The comparison is near-exact (cycle_tolerance),
+            // so decaying oscillation is never flagged — only a genuinely
+            // closed orbit, confirmed on consecutive iterations.
+            let m = recent.len();
+            if m >= 2 && max_relative_distance(&current, &recent[m - 2]) <= cycle_tolerance {
+                cycle2 += 1;
+            } else {
+                cycle2 = 0;
+            }
+            if m >= 3 && max_relative_distance(&current, &recent[m - 3]) <= cycle_tolerance {
+                cycle3 += 1;
+            } else {
+                cycle3 = 0;
+            }
+            if cycle2 >= CYCLE_CONFIRMATIONS {
+                return fail(
+                    DivergenceReason::LimitCycle { period: 2 },
+                    residual,
+                    trajectory,
+                    current,
+                );
+            }
+            if cycle3 >= CYCLE_CONFIRMATIONS {
+                return fail(
+                    DivergenceReason::LimitCycle { period: 3 },
+                    residual,
+                    trajectory,
+                    current,
+                );
+            }
+            if recent.len() == 4 {
+                recent.pop_front();
+            }
+            recent.push_back(current.clone());
 
             if self.options.aitken {
                 if prev2.len() == n && prev1.len() == n && iteration % 3 == 0 {
@@ -163,10 +404,15 @@ impl FixedPoint {
                         let d2 = current[i] - 2.0 * prev1[i] + prev2[i];
                         if d2.abs() > 1e-300 {
                             let acc = current[i] - d1 * d1 / d2;
-                            if acc.is_finite() {
+                            if acc.is_finite() && acc.abs() <= OVERFLOW_LIMIT {
                                 current[i] = acc;
                             }
                         }
+                    }
+                    // Keep the cycle ring aligned with the extrapolated
+                    // iterate the next evaluation will actually see.
+                    if let Some(back) = recent.back_mut() {
+                        back.clone_from(&current);
                     }
                     prev1.clear();
                     prev2.clear();
@@ -182,6 +428,15 @@ impl FixedPoint {
             residual,
         })
     }
+}
+
+/// Maximum componentwise relative distance between two equal-length
+/// iterates, the metric used by the limit-cycle detector.
+fn max_relative_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1e-300))
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -208,15 +463,138 @@ mod tests {
 
     #[test]
     fn damping_stabilizes_oscillation() {
-        // x <- -x + 2 oscillates forever undamped; damping 0.5 lands on 1.
+        // x <- -x + 2 oscillates forever undamped: the limit-cycle detector
+        // catches the closed orbit instead of burning the budget. Damping
+        // 0.5 lands on the fixed point 1.
         let undamped = FixedPoint::new(Options { max_iterations: 50, ..Options::default() })
             .solve(vec![0.0], |x, out| out[0] = -x[0] + 2.0);
-        assert!(matches!(undamped, Err(NumericError::NoConvergence { .. })));
+        match undamped {
+            Err(NumericError::Diverged(failure)) => {
+                assert_eq!(failure.reason, DivergenceReason::LimitCycle { period: 2 });
+                assert!(failure.iterations < 50, "caught at {}", failure.iterations);
+                assert!(failure.last_finite.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("expected limit-cycle divergence, got {other:?}"),
+        }
 
         let damped = FixedPoint::new(Options { damping: 0.5, ..Options::default() })
             .solve(vec![0.0], |x, out| out[0] = -x[0] + 2.0)
             .unwrap();
         assert!((damped.values[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_2_cycle_is_caught_quickly() {
+        // Regression guard for the ISSUE acceptance criterion: a known
+        // period-2 oscillating map must be diagnosed in < 50 iterations
+        // even with a generous budget.
+        let err = FixedPoint::new(Options { max_iterations: 10_000, ..Options::default() })
+            .solve(vec![3.0], |x, out| out[0] = -x[0] - 4.0)
+            .unwrap_err();
+        match err {
+            NumericError::Diverged(failure) => {
+                assert_eq!(failure.reason, DivergenceReason::LimitCycle { period: 2 });
+                assert!(failure.iterations < 50, "took {} iterations", failure.iterations);
+                assert!(!failure.residual_trajectory.is_empty());
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn period_3_cycle_is_caught() {
+        // A 3-state rotation on one component: 0 → 1 → 2 → 0 → …
+        let err = FixedPoint::new(Options { max_iterations: 10_000, ..Options::default() })
+            .solve(vec![0.0], |x, out| {
+                out[0] = if x[0] < 0.5 {
+                    1.0
+                } else if x[0] < 1.5 {
+                    2.0
+                } else {
+                    0.0
+                };
+            })
+            .unwrap_err();
+        match err {
+            NumericError::Diverged(failure) => {
+                assert_eq!(failure.reason, DivergenceReason::LimitCycle { period: 3 });
+                assert!(failure.iterations < 50, "took {} iterations", failure.iterations);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn geometric_divergence_is_caught_early() {
+        // x <- 2x keeps a constant *relative* residual (0.5), so only the
+        // absolute step-norm window can see it growing.
+        let err = FixedPoint::new(Options { max_iterations: 10_000, ..Options::default() })
+            .solve(vec![1.0], |x, out| out[0] = 2.0 * x[0])
+            .unwrap_err();
+        match err {
+            NumericError::Diverged(failure) => {
+                assert_eq!(failure.reason, DivergenceReason::ResidualGrowth);
+                assert!(failure.iterations < 100, "took {} iterations", failure.iterations);
+                assert!(failure.last_finite[0].is_finite());
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_is_caught_before_infinity() {
+        // x <- x² from 10 reaches 1e150 within ~9 steps and ±∞ shortly
+        // after; the overflow guard fires first, keeping last_finite usable.
+        let err = FixedPoint::new(Options::default())
+            .solve(vec![10.0], |x, out| out[0] = x[0] * x[0])
+            .unwrap_err();
+        match err {
+            NumericError::Diverged(failure) => {
+                assert!(matches!(failure.reason, DivergenceReason::Overflow { component: 0 }));
+                assert!(failure.last_finite[0].is_finite());
+            }
+            other => panic!("expected overflow divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_abandons_long_runs() {
+        use std::time::Duration;
+        // x <- x + 1 drifts forever with constant steps: no cycle, no step
+        // growth, residual 1/x never reaches the tolerance — only the
+        // deadline can end the run.
+        let err = FixedPoint::new(Options {
+            max_iterations: usize::MAX,
+            tolerance: 0.0,
+            deadline: Some(Duration::from_millis(5)),
+            ..Options::default()
+        })
+        .solve(vec![0.0], |x, out| out[0] = x[0] + 1.0)
+        .unwrap_err();
+        match err {
+            NumericError::Diverged(failure) => {
+                assert_eq!(failure.reason, DivergenceReason::DeadlineExceeded);
+                assert!(failure.last_finite[0].is_finite());
+            }
+            other => panic!("expected deadline divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_trajectory_is_capped() {
+        let err = FixedPoint::new(Options {
+            max_iterations: usize::MAX,
+            tolerance: 0.0,
+            deadline: Some(std::time::Duration::from_millis(20)),
+            ..Options::default()
+        })
+        .solve(vec![0.0], |x, out| out[0] = x[0] + 1.0)
+        .unwrap_err();
+        if let NumericError::Diverged(failure) = err {
+            assert!(failure.residual_trajectory.len() <= 512);
+        } else {
+            panic!("expected divergence");
+        }
     }
 
     #[test]
@@ -250,7 +628,13 @@ mod tests {
         let err = FixedPoint::new(Options::default())
             .solve(vec![1.0], |_, out| out[0] = f64::NAN)
             .unwrap_err();
-        assert!(matches!(err, NumericError::InvalidArgument(_)));
+        match err {
+            NumericError::Diverged(failure) => {
+                assert_eq!(failure.reason, DivergenceReason::NonFinite { component: 0 });
+                assert_eq!(failure.last_finite, vec![1.0]);
+            }
+            other => panic!("expected non-finite divergence, got {other:?}"),
+        }
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! the detailed comparator models are built on:
 //!
 //! * [`fixed_point`] — a damped fixed-point iteration framework with
-//!   convergence tracking, used to solve the cyclic mean-value equations of
-//!   the paper (its Section 3.2 reports convergence within 15 iterations).
+//!   convergence tracking and early divergence detection, used to solve the
+//!   cyclic mean-value equations of the paper (its Section 3.2 reports
+//!   convergence within 15 iterations).
+//! * [`fault`] — a deterministic fault-injection wrapper ([`fault::FaultyMap`])
+//!   for proving that solvers built on [`fixed_point`] fail cleanly under
+//!   NaN, spike and stall corruption.
 //! * [`matrix`] / [`lu`] — dense matrices and LU decomposition with partial
 //!   pivoting, used for direct steady-state solutions of small Markov chains.
 //! * [`sparse`] — compressed-sparse-row matrices for the reachability-graph
@@ -36,6 +40,7 @@
 // the textbook formulations and keep row/column roles explicit.
 #![allow(clippy::needless_range_loop)]
 
+pub mod fault;
 pub mod fixed_point;
 pub mod histogram;
 pub mod lu;
@@ -48,3 +53,4 @@ pub mod stats;
 mod error;
 
 pub use error::NumericError;
+pub use fixed_point::{ConvergenceFailure, DivergenceReason};
