@@ -1,0 +1,207 @@
+//! The `bench` subcommand: machine-readable timing JSON.
+//!
+//! Emits two files so the perf trajectory of the suite is tracked from one
+//! PR to the next:
+//!
+//! * `BENCH_sweep.json` — the full Figure 4.1 resilient sweep grid, serial
+//!   vs. parallel, with wall time, total solver iterations, thread count
+//!   and a bit-identical check.
+//! * `BENCH_gtpn.json` — the Write-Once coherence GTPN: reachability
+//!   expansion (serial vs. parallel frontier) and stationary-distribution
+//!   timing, dense LU vs. sparse Aitken-accelerated power iteration.
+//!
+//! The JSON is hand-rolled (flat objects, no escaping needed for the keys
+//! and values we emit) because the workspace is offline-first and carries
+//! no serde dependency.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use snoop_gtpn::chain::transition_matrix;
+use snoop_gtpn::models::coherence::CoherenceNet;
+use snoop_gtpn::reachability::{explore, ReachabilityOptions};
+use snoop_mva::resilient::ResilientOptions;
+use snoop_mva::sweep::resilient_figure_4_1_family;
+use snoop_numeric::exec::ExecOptions;
+use snoop_numeric::markov::{steady_state_dense, steady_state_sparse, SparseOptions};
+use snoop_protocol::ModSet;
+use snoop_workload::derived::ModelInputs;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+use snoop_workload::timing::TimingModel;
+
+use crate::args::ParsedArgs;
+
+/// Runs both benchmarks and writes the JSON files into `--out-dir`.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad flags, solver failures or
+/// unwritable output files.
+pub fn cmd_bench(args: &ParsedArgs) -> Result<String, String> {
+    let threads: usize = args.flag_num("threads", 0)?;
+    let exec = ExecOptions::with_threads(threads);
+    let out_dir = args.flag_str("out-dir", ".");
+    let quick = args.switch("quick");
+
+    let mut out = String::new();
+    let sweep_json = bench_sweep(&exec, quick, &mut out)?;
+    let gtpn_json = bench_gtpn(&exec, quick, &mut out)?;
+
+    let sweep_path = format!("{out_dir}/BENCH_sweep.json");
+    let gtpn_path = format!("{out_dir}/BENCH_gtpn.json");
+    std::fs::write(&sweep_path, sweep_json)
+        .map_err(|e| format!("cannot write {sweep_path}: {e}"))?;
+    std::fs::write(&gtpn_path, gtpn_json)
+        .map_err(|e| format!("cannot write {gtpn_path}: {e}"))?;
+    let _ = writeln!(out, "wrote {sweep_path} and {gtpn_path}");
+    Ok(out)
+}
+
+fn millis(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// Times the Figure 4.1 resilient sweep grid, serial vs. parallel.
+fn bench_sweep(
+    exec: &ExecOptions,
+    quick: bool,
+    out: &mut String,
+) -> Result<String, String> {
+    let sizes: Vec<usize> = if quick {
+        vec![1, 2, 4, 8]
+    } else {
+        (1..=20).chain([30, 50, 100]).collect()
+    };
+    let options = ResilientOptions::default();
+
+    let start = Instant::now();
+    let serial = resilient_figure_4_1_family(&sizes, &options, true, &ExecOptions::SERIAL)
+        .map_err(|e| e.to_string())?;
+    let serial_ms = millis(start);
+
+    let start = Instant::now();
+    let parallel = resilient_figure_4_1_family(&sizes, &options, true, exec)
+        .map_err(|e| e.to_string())?;
+    let parallel_ms = millis(start);
+
+    let bit_identical = serial == parallel;
+    let total_iterations: usize = serial.iter().map(|s| s.total_iterations()).sum();
+    let threads = exec.resolved_threads();
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+
+    let _ = writeln!(
+        out,
+        "sweep: {} cells x {} sizes, serial {serial_ms:.1} ms, \
+         {threads}-thread {parallel_ms:.1} ms ({speedup:.2}x), bit-identical: {bit_identical}",
+        serial.len(),
+        sizes.len()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"figure_4_1_resilient_sweep\",");
+    let _ = writeln!(json, "  \"grid_cells\": {},", serial.len());
+    let _ = writeln!(json, "  \"sizes\": {},", sizes.len());
+    let _ = writeln!(json, "  \"max_n\": {},", sizes.last().copied().unwrap_or(0));
+    let _ = writeln!(json, "  \"total_iterations\": {total_iterations},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"serial_ms\": {serial_ms:.3},");
+    let _ = writeln!(json, "  \"parallel_ms\": {parallel_ms:.3},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"bit_identical\": {bit_identical}");
+    json.push_str("}\n");
+    Ok(json)
+}
+
+/// Times the Write-Once coherence GTPN: parallel frontier expansion and
+/// dense-vs-sparse stationary distribution.
+fn bench_gtpn(
+    exec: &ExecOptions,
+    quick: bool,
+    out: &mut String,
+) -> Result<String, String> {
+    // N = 3 is the largest Write-Once graph the dense LU baseline can
+    // factor in bench-friendly time (its cost grows as states³); `--quick`
+    // drops to N = 2.
+    let n = if quick { 2 } else { 3 };
+    let inputs = ModelInputs::derive_adjusted(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+        &TimingModel::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let net = CoherenceNet::build(&inputs, n).map_err(|e| e.to_string())?;
+
+    let serial_options = ReachabilityOptions { threads: 1, ..ReachabilityOptions::default() };
+    let start = Instant::now();
+    let graph = explore(&net.net, &serial_options).map_err(|e| e.to_string())?;
+    let explore_serial_ms = millis(start);
+
+    let threads = exec.resolved_threads();
+    let parallel_options =
+        ReachabilityOptions { threads: exec.threads, ..ReachabilityOptions::default() };
+    let start = Instant::now();
+    let graph_parallel = explore(&net.net, &parallel_options).map_err(|e| e.to_string())?;
+    let explore_parallel_ms = millis(start);
+    let explore_identical = graph == graph_parallel;
+
+    let p = transition_matrix(&graph).map_err(|e| e.to_string())?;
+    let mut initial = vec![0.0; graph.len()];
+    for &(s, prob) in &graph.initial {
+        initial[s] += prob;
+    }
+
+    let start = Instant::now();
+    let dense = steady_state_dense(&p).map_err(|e| e.to_string())?;
+    let dense_ms = millis(start);
+
+    // Force the iterative path (the configuration every graph above the
+    // dense threshold gets) for an honest dense-vs-sparse comparison.
+    let sparse_options = SparseOptions {
+        dense_threshold: 0,
+        dense_fallback_limit: 0,
+        ..SparseOptions::default()
+    };
+    let start = Instant::now();
+    let sparse =
+        steady_state_sparse(&p, Some(&initial), &sparse_options).map_err(|e| e.to_string())?;
+    let sparse_ms = millis(start);
+
+    let max_diff = dense
+        .iter()
+        .zip(&sparse.pi)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    let sparse_speedup = dense_ms / sparse_ms.max(1e-9);
+
+    let _ = writeln!(
+        out,
+        "gtpn:  N={n} write-once, {} states, {} nnz; explore serial \
+         {explore_serial_ms:.1} ms, {threads}-thread {explore_parallel_ms:.1} ms \
+         (identical: {explore_identical})",
+        graph.len(),
+        p.nnz()
+    );
+    let _ = writeln!(
+        out,
+        "       steady state: dense {dense_ms:.1} ms, sparse {sparse_ms:.1} ms \
+         ({sparse_speedup:.1}x, {} iterations, max |dπ| {max_diff:.2e})",
+        sparse.iterations
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"write_once_gtpn\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"states\": {},", graph.len());
+    let _ = writeln!(json, "  \"nnz\": {},", p.nnz());
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"explore_serial_ms\": {explore_serial_ms:.3},");
+    let _ = writeln!(json, "  \"explore_parallel_ms\": {explore_parallel_ms:.3},");
+    let _ = writeln!(json, "  \"explore_bit_identical\": {explore_identical},");
+    let _ = writeln!(json, "  \"dense_ms\": {dense_ms:.3},");
+    let _ = writeln!(json, "  \"sparse_ms\": {sparse_ms:.3},");
+    let _ = writeln!(json, "  \"sparse_speedup\": {sparse_speedup:.3},");
+    let _ = writeln!(json, "  \"sparse_iterations\": {},", sparse.iterations);
+    let _ = writeln!(json, "  \"max_pi_difference\": {max_diff:.3e}");
+    json.push_str("}\n");
+    Ok(json)
+}

@@ -9,10 +9,11 @@ use snoop_mva::asymptote::asymptotic;
 use snoop_mva::paper::{table_4_1, TABLE_N};
 use snoop_mva::report::{comparison_table, speedup_csv, speedup_table};
 use snoop_mva::resilient::ResilientOptions;
-use snoop_mva::sweep::{figure_4_1_family, resilient_speedup_series, SweepPoint};
+use snoop_mva::sweep::{figure_4_1_family_exec, resilient_speedup_series, SweepPoint};
 use snoop_mva::{MvaModel, SolverOptions};
+use snoop_numeric::exec::ExecOptions;
 use snoop_protocol::{ModSet, Protocol};
-use snoop_sim::runner::replicate;
+use snoop_sim::runner::replicate_exec;
 use snoop_sim::trace_mode::{simulate_trace, TraceSimConfig};
 use snoop_sim::{simulate, SimConfig};
 use snoop_workload::params::{SharingLevel, WorkloadParams};
@@ -45,6 +46,8 @@ commands:
   measure    measure workload params from a trace simulation  --n 4
   traffic    bus-traffic decomposition      --protocol WO --sharing 5
   waits      bus-wait distribution (DES)    --n 8 --sharing 5
+  bench      emit BENCH_sweep.json/BENCH_gtpn.json timing data
+             --threads 4 --out-dir . [--quick]
   help       this text
 
 protocols: WO, WO+1, WO+1+4, … or write-once, illinois, berkeley, dragon,
@@ -54,6 +57,9 @@ solver flags (solve, sweep): --max-damping-retries K (default 4, 0 = plain
 iteration only) and --solve-deadline-ms MS (wall-clock cap per attempt,
 0 = none); sweep also takes --keep-going (report unsolvable points as
 FAILED rows instead of aborting the sweep).
+parallelism: --threads K on figure, validate, gtpn, sensitivity and bench
+(0 = auto: SNOOP_THREADS or available cores; results are identical for
+every thread count).
 ";
 
 /// Dispatches a command line; returns the text to print.
@@ -87,6 +93,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "measure" => cmd_measure(&args),
         "traffic" => cmd_traffic(&args),
         "waits" => cmd_waits(&args),
+        "bench" => crate::bench::cmd_bench(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -115,6 +122,11 @@ fn sharing_flag(args: &ParsedArgs) -> Result<SharingLevel, String> {
 
 fn protocol_flag(args: &ParsedArgs) -> Result<ModSet, String> {
     args.flag_str("protocol", "WO").parse::<ModSet>().map_err(|e| e.to_string())
+}
+
+/// Resolves `--threads` (0 = auto: `SNOOP_THREADS` or available cores).
+fn threads_flag(args: &ParsedArgs) -> Result<ExecOptions, String> {
+    Ok(ExecOptions::with_threads(args.flag_num("threads", 0)?))
 }
 
 /// Resolves the resilient-solver flags shared by `solve` and `sweep`.
@@ -263,8 +275,9 @@ fn cmd_table(args: &ParsedArgs) -> Result<String, String> {
 
 fn cmd_figure(args: &ParsedArgs) -> Result<String, String> {
     let sizes: Vec<usize> = (1..=20).chain([30, 50, 100]).collect();
-    let family =
-        figure_4_1_family(&sizes, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    let exec = threads_flag(args)?;
+    let family = figure_4_1_family_exec(&sizes, &SolverOptions::default(), &exec)
+        .map_err(|e| e.to_string())?;
     if args.switch("csv") {
         Ok(speedup_csv(&family))
     } else if args.switch("gnuplot") {
@@ -290,7 +303,8 @@ fn cmd_validate(args: &ParsedArgs) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
     let config = SimConfig::for_protocol(n, WorkloadParams::appendix_a(sharing), mods);
-    let sim = replicate(&config, replications, 0.95).map_err(|e| e.to_string())?;
+    let sim = replicate_exec(&config, replications, 0.95, &threads_flag(args)?)
+        .map_err(|e| e.to_string())?;
 
     let mut out = format!("{mods} at {sharing} sharing, N = {n}\n");
     let _ = writeln!(
@@ -320,7 +334,11 @@ fn cmd_gtpn(args: &ParsedArgs) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
     let net = CoherenceNet::build(model.inputs(), n).map_err(|e| e.to_string())?;
-    let gtpn = net.solve(&ReachabilityOptions::default()).map_err(|e| e.to_string())?;
+    let gtpn_options = ReachabilityOptions {
+        threads: threads_flag(args)?.threads,
+        ..ReachabilityOptions::default()
+    };
+    let gtpn = net.solve(&gtpn_options).map_err(|e| e.to_string())?;
 
     let mut out = format!("{mods} at {sharing} sharing, N = {n}\n");
     let _ = writeln!(
@@ -392,8 +410,9 @@ fn cmd_sensitivity(args: &ParsedArgs) -> Result<String, String> {
     let mods = protocol_flag(args)?;
     let n: usize = args.flag_num("n", 10)?;
     let params = workload_flag(args)?;
-    let rows = snoop_mva::sensitivity::sensitivities(&params, mods, n, 0.01)
-        .map_err(|e| e.to_string())?;
+    let rows =
+        snoop_mva::sensitivity::sensitivities_exec(&params, mods, n, 0.01, &threads_flag(args)?)
+            .map_err(|e| e.to_string())?;
     Ok(format!(
         "speedup elasticities, {mods}, N = {n} (±1% central differences)\n{}",
         snoop_mva::sensitivity::render(&rows)
@@ -808,6 +827,37 @@ mod tests {
         let out = run_tokens(&["waits", "--n", "4"]).unwrap();
         assert!(out.contains("p95"));
         assert!(out.contains("MVA Eq.5"));
+    }
+
+    #[test]
+    fn figure_accepts_threads_flag() {
+        let serial = run_tokens(&["figure", "--csv", "--threads", "1"]).unwrap();
+        let parallel = run_tokens(&["figure", "--csv", "--threads", "4"]).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn bench_emits_timing_json() {
+        let dir = std::env::temp_dir().join("snoop_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = run_tokens(&[
+            "bench",
+            "--quick",
+            "--threads",
+            "2",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("bit-identical: true"), "{out}");
+        let sweep = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
+        assert!(sweep.contains("\"benchmark\": \"figure_4_1_resilient_sweep\""));
+        assert!(sweep.contains("\"bit_identical\": true"));
+        assert!(sweep.contains("\"threads\": 2"));
+        let gtpn = std::fs::read_to_string(dir.join("BENCH_gtpn.json")).unwrap();
+        assert!(gtpn.contains("\"benchmark\": \"write_once_gtpn\""));
+        assert!(gtpn.contains("\"explore_bit_identical\": true"));
+        assert!(gtpn.contains("\"states\": 204"));
     }
 
     #[test]

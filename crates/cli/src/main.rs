@@ -16,6 +16,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod bench;
 mod commands;
 
 fn main() -> ExitCode {

@@ -11,6 +11,7 @@
 //! `(∂S/S) / (∂θ/θ)` — the percent change in speedup per percent change in
 //! the parameter.
 
+use snoop_numeric::exec::{par_map, ExecOptions};
 use snoop_protocol::ModSet;
 use snoop_workload::params::WorkloadParams;
 
@@ -68,13 +69,30 @@ pub fn sensitivities(
     n: usize,
     step: f64,
 ) -> Result<Vec<Sensitivity>, MvaError> {
+    sensitivities_exec(base, mods, n, step, &ExecOptions::SERIAL)
+}
+
+/// [`sensitivities`] with the per-parameter perturbations evaluated in
+/// parallel. Each parameter's ± pair of solves is one independent work
+/// item, so the result — including row order after the magnitude sort,
+/// which is stable — is bit-identical to the serial path for any thread
+/// count.
+///
+/// # Errors
+///
+/// See [`sensitivities`].
+pub fn sensitivities_exec(
+    base: &WorkloadParams,
+    mods: ModSet,
+    n: usize,
+    step: f64,
+    exec: &ExecOptions,
+) -> Result<Vec<Sensitivity>, MvaError> {
     let s0 = speedup(base, mods, n)?;
-    let mut out = Vec::new();
-    for (name, get, set) in fields() {
+    let mut out = par_map(&fields(), exec, |&(name, get, set)| {
         let v = get(base);
         if v == 0.0 || s0 == 0.0 {
-            out.push(Sensitivity { parameter: name, value: v, elasticity: None });
-            continue;
+            return Sensitivity { parameter: name, value: v, elasticity: None };
         }
         let dv = v * step;
         let mut up = *base;
@@ -85,8 +103,8 @@ pub fn sensitivities(
             (Ok(su), Ok(sd)) => Some(((su - sd) / (2.0 * dv)) * (v / s0)),
             _ => None, // perturbation left the valid domain
         };
-        out.push(Sensitivity { parameter: name, value: v, elasticity });
-    }
+        Sensitivity { parameter: name, value: v, elasticity }
+    });
     // Most influential first.
     out.sort_by(|a, b| {
         let ka = a.elasticity.map_or(-1.0, f64::abs);
@@ -188,6 +206,24 @@ mod tests {
         let text = render(&run(10));
         assert!(text.contains("elasticity"));
         assert_eq!(text.lines().count(), 14);
+    }
+
+    #[test]
+    fn parallel_rows_are_bit_identical_to_serial() {
+        let base = WorkloadParams::appendix_a(SharingLevel::Twenty);
+        let serial =
+            sensitivities_exec(&base, ModSet::new(), 10, 0.01, &ExecOptions::SERIAL).unwrap();
+        for threads in [2, 8] {
+            let parallel = sensitivities_exec(
+                &base,
+                ModSet::new(),
+                10,
+                0.01,
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads diverged");
+        }
     }
 
     #[test]

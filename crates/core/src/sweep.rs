@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use snoop_numeric::exec::{par_map, ExecOptions};
 use snoop_protocol::ModSet;
 use snoop_workload::params::{SharingLevel, WorkloadParams};
 
@@ -186,9 +187,27 @@ pub fn speedup_series(
     Ok(SpeedupSeries { mods, sharing, points })
 }
 
-/// Solves the full Figure 4.1 family: the three protocols the paper plots
-/// (Write-Once, modification 1, modifications 1+4), each at the three
-/// sharing levels.
+/// The (protocol, sharing) grid of Figure 4.1: the three protocols the
+/// paper plots (Write-Once, modification 1, modifications 1+4), each at
+/// the three sharing levels, in plot order.
+pub fn figure_4_1_grid() -> Vec<(ModSet, SharingLevel)> {
+    use snoop_protocol::Modification;
+    let protocols = [
+        ModSet::new(),
+        ModSet::new().with(Modification::ExclusiveLoad),
+        ModSet::new().with(Modification::ExclusiveLoad).with(Modification::DistributedWrite),
+    ];
+    let mut grid = Vec::with_capacity(protocols.len() * SharingLevel::ALL.len());
+    for mods in protocols {
+        for sharing in SharingLevel::ALL {
+            grid.push((mods, sharing));
+        }
+    }
+    grid
+}
+
+/// Solves the full Figure 4.1 family serially (see
+/// [`figure_4_1_family_exec`] for the parallel form).
 ///
 /// # Errors
 ///
@@ -197,19 +216,51 @@ pub fn figure_4_1_family(
     sizes: &[usize],
     options: &SolverOptions,
 ) -> Result<Vec<SpeedupSeries>, MvaError> {
-    use snoop_protocol::Modification;
-    let protocols = [
-        ModSet::new(),
-        ModSet::new().with(Modification::ExclusiveLoad),
-        ModSet::new().with(Modification::ExclusiveLoad).with(Modification::DistributedWrite),
-    ];
-    let mut series = Vec::new();
-    for mods in protocols {
-        for sharing in SharingLevel::ALL {
-            series.push(speedup_series(mods, sharing, sizes, options)?);
-        }
-    }
-    Ok(series)
+    figure_4_1_family_exec(sizes, options, &ExecOptions::SERIAL)
+}
+
+/// Solves the full Figure 4.1 family with the grid cells evaluated in
+/// parallel: each (protocol, sharing) series is an independent work item,
+/// and within a series the sizes remain sequential. Results are
+/// bit-identical to the serial evaluation for any thread count.
+///
+/// # Errors
+///
+/// Propagates model construction and solver errors (the first failing
+/// cell in grid order, matching the serial evaluation).
+pub fn figure_4_1_family_exec(
+    sizes: &[usize],
+    options: &SolverOptions,
+    exec: &ExecOptions,
+) -> Result<Vec<SpeedupSeries>, MvaError> {
+    par_map(&figure_4_1_grid(), exec, |&(mods, sharing)| {
+        speedup_series(mods, sharing, sizes, options)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Solves the Figure 4.1 family through the resilient escalation ladder,
+/// one grid cell per work item: series run concurrently while
+/// warm-starting stays *within* each series (sequential over N, exactly
+/// as in [`resilient_speedup_series`]). Results are bit-identical to the
+/// serial evaluation for any thread count.
+///
+/// # Errors
+///
+/// Returns `Err` only for invalid workloads (model construction); solver
+/// failures degrade to [`SweepPoint::Failed`] entries.
+pub fn resilient_figure_4_1_family(
+    sizes: &[usize],
+    options: &ResilientOptions,
+    warm_start: bool,
+    exec: &ExecOptions,
+) -> Result<Vec<ResilientSweep>, MvaError> {
+    par_map(&figure_4_1_grid(), exec, |&(mods, sharing)| {
+        resilient_speedup_series(mods, sharing, sizes, options, warm_start)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Solves one series with the size-dependent sharing refinement (the
@@ -449,6 +500,35 @@ mod tests {
                 SweepPoint::Solved(_) => panic!("expected failure: {p}"),
             }
         }
+    }
+
+    #[test]
+    fn parallel_family_is_bit_identical_to_serial() {
+        let sizes = [1, 4, 10];
+        let options = ResilientOptions::default();
+        let serial =
+            resilient_figure_4_1_family(&sizes, &options, true, &ExecOptions::SERIAL).unwrap();
+        for threads in [2, 8] {
+            let parallel = resilient_figure_4_1_family(
+                &sizes,
+                &options,
+                true,
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn grid_has_nine_distinct_cells() {
+        let grid = figure_4_1_grid();
+        assert_eq!(grid.len(), 9);
+        let mut keys: Vec<String> =
+            grid.iter().map(|(m, s)| format!("{m}/{s}")).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 9);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Embedded Markov chain construction from the state graph.
 
-use snoop_numeric::sparse::{CsrMatrix, Triplet};
+use snoop_numeric::sparse::CsrMatrix;
 
 use crate::reachability::StateGraph;
 use crate::GtpnError;
@@ -11,19 +11,17 @@ use crate::GtpnError;
 /// one time unit, so the chain's stationary distribution is directly the
 /// time-average state distribution.
 ///
+/// The graph's adjacency rows *are* the matrix rows, so the CSR form is
+/// assembled directly from them — no intermediate triplet list, which
+/// matters at GTPN state-space sizes (the matrix is the solve's dominant
+/// allocation).
+///
 /// # Errors
 ///
 /// Propagates sparse-assembly errors (should not occur for a well-formed
 /// graph).
 pub fn transition_matrix(graph: &StateGraph) -> Result<CsrMatrix, GtpnError> {
-    let n = graph.len();
-    let mut triplets = Vec::new();
-    for (s, row) in graph.edges.iter().enumerate() {
-        for &(t, p) in row {
-            triplets.push(Triplet { row: s, col: t, value: p });
-        }
-    }
-    Ok(CsrMatrix::from_triplets(n, n, &triplets)?)
+    Ok(CsrMatrix::from_adjacency(graph.len(), &graph.edges)?)
 }
 
 #[cfg(test)]

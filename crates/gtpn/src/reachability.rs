@@ -19,6 +19,8 @@
 
 use std::collections::HashMap;
 
+use snoop_numeric::exec::{par_map, ExecOptions};
+
 use crate::marking::{ActiveFiring, Remaining, TimedState};
 use crate::net::{Firing, Net};
 use crate::GtpnError;
@@ -36,6 +38,10 @@ pub struct ReachabilityOptions {
     /// Maximum zero-time firings along one settling path (immediate-cycle
     /// livelock guard).
     pub max_zero_time_firings: usize,
+    /// Worker threads for the frontier expansion (`0` = auto via
+    /// [`ExecOptions`], `1` = serial). The expanded graph is bit-identical
+    /// for every thread count; see [`explore`].
+    pub threads: usize,
 }
 
 impl Default for ReachabilityOptions {
@@ -45,13 +51,14 @@ impl Default for ReachabilityOptions {
             token_bound: 4096,
             probability_floor: 1e-12,
             max_zero_time_firings: 10_000,
+            threads: 1,
         }
     }
 }
 
 /// The expanded state graph with edge probabilities and per-state expected
 /// firing counts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateGraph {
     /// All settled states.
     pub states: Vec<TimedState>,
@@ -79,7 +86,18 @@ impl StateGraph {
     }
 }
 
+/// Frontier size below which a wave is stepped inline: spawning workers
+/// for a handful of states costs more than the steps themselves.
+const PARALLEL_WAVE_MIN: usize = 16;
+
 /// Expands the reachable timed state graph of `net`.
+///
+/// The expansion is breadth-first in *waves*: every state of the current
+/// frontier is stepped (a pure function of the net), then the successors
+/// are interned sequentially in frontier order. Because interning order is
+/// exactly the serial visit order, the resulting graph — state IDs, edges,
+/// firing rates, and any budget error — is bit-identical for every value
+/// of [`ReachabilityOptions::threads`]; only wall-clock time changes.
 ///
 /// # Errors
 ///
@@ -112,31 +130,45 @@ pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, G
         acc
     };
 
-    // Breadth-first expansion.
+    // Breadth-first wave expansion: step the whole frontier (in parallel
+    // when it is wide enough), then intern successors in frontier order.
+    // `step` reads only the net and the options, never the state index, so
+    // the intern call sequence — and with it every state ID — matches the
+    // one-state-at-a-time serial expansion exactly.
+    let exec = ExecOptions::with_threads(options.threads);
     let mut edges: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut firing_rates: Vec<Vec<f64>> = Vec::new();
     let mut next_unexpanded = 0usize;
     while next_unexpanded < explorer.states.len() {
-        let state = explorer.states[next_unexpanded].clone();
-        let (dist, counts) = explorer.step(&state)?;
-        let mut row: Vec<(usize, f64)> = Vec::new();
-        for (s, p) in dist {
-            let id = explorer.intern(s)?;
-            match row.iter_mut().find(|(t, _)| *t == id) {
-                Some((_, q)) => *q += p,
-                None => row.push((id, p)),
+        let wave_end = explorer.states.len();
+        let wave: Vec<TimedState> = explorer.states[next_unexpanded..wave_end].to_vec();
+        let outcomes: Vec<Result<StepOutcome, GtpnError>> =
+            if wave.len() >= PARALLEL_WAVE_MIN && exec.resolved_threads() > 1 {
+                par_map(&wave, &exec, |state| explorer.step(state))
+            } else {
+                wave.iter().map(|state| explorer.step(state)).collect()
+            };
+        for outcome in outcomes {
+            let (dist, counts) = outcome?;
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            for (s, p) in dist {
+                let id = explorer.intern(s)?;
+                match row.iter_mut().find(|(t, _)| *t == id) {
+                    Some((_, q)) => *q += p,
+                    None => row.push((id, p)),
+                }
             }
-        }
-        // Renormalize (the probability floor may have trimmed mass).
-        let total: f64 = row.iter().map(|(_, p)| p).sum();
-        if total > 0.0 {
-            for (_, p) in &mut row {
-                *p /= total;
+            // Renormalize (the probability floor may have trimmed mass).
+            let total: f64 = row.iter().map(|(_, p)| p).sum();
+            if total > 0.0 {
+                for (_, p) in &mut row {
+                    *p /= total;
+                }
             }
+            edges.push(row);
+            firing_rates.push(counts);
         }
-        edges.push(row);
-        firing_rates.push(counts);
-        next_unexpanded += 1;
+        next_unexpanded = wave_end;
     }
 
     Ok(StateGraph { states: explorer.states, edges, firing_rates, initial })

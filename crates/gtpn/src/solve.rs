@@ -1,18 +1,68 @@
 //! Steady-state solution and performance measures.
 
-use snoop_numeric::markov::steady_state_dense;
+use snoop_numeric::markov::{steady_state_sparse, SparseOptions};
 
 use crate::chain::transition_matrix;
 use crate::net::{Net, PlaceId, TransitionId};
 use crate::reachability::{explore, ReachabilityOptions, StateGraph};
 use crate::GtpnError;
 
-/// A solved GTPN: stationary state distribution plus the expanded graph,
-/// from which the performance measures are computed.
+/// Performance measures accumulated in a single pass over the stationary
+/// distribution at solve time, so the per-query accessors on
+/// [`GtpnSolution`] are O(1) lookups instead of O(states) walks.
+#[derive(Debug, Clone, PartialEq)]
+struct Measures {
+    /// Per-place time-averaged token population.
+    mean_tokens: Vec<f64>,
+    /// Per-place probability of being non-empty.
+    p_nonempty: Vec<f64>,
+    /// Per-transition time-averaged in-flight firing count.
+    utilization: Vec<f64>,
+    /// Per-transition long-run firings per time unit.
+    throughput: Vec<f64>,
+}
+
+impl Measures {
+    fn accumulate(graph: &StateGraph, pi: &[f64]) -> Measures {
+        let places = graph.states.first().map_or(0, |s| s.marking.len());
+        let transitions = graph.firing_rates.first().map_or(0, Vec::len);
+        let mut m = Measures {
+            mean_tokens: vec![0.0; places],
+            p_nonempty: vec![0.0; places],
+            utilization: vec![0.0; transitions],
+            throughput: vec![0.0; transitions],
+        };
+        for ((state, counts), &p) in
+            graph.states.iter().zip(&graph.firing_rates).zip(pi)
+        {
+            for (place, &tokens) in state.marking.iter().enumerate() {
+                if tokens > 0 {
+                    m.mean_tokens[place] += p * f64::from(tokens);
+                    m.p_nonempty[place] += p;
+                }
+            }
+            for firing in &state.active {
+                m.utilization[firing.transition] += p;
+            }
+            for (t, &count) in counts.iter().enumerate() {
+                if count != 0.0 {
+                    m.throughput[t] += p * count;
+                }
+            }
+        }
+        m
+    }
+}
+
+/// A solved GTPN: stationary state distribution plus the expanded graph
+/// and the performance measures accumulated from it.
 #[derive(Debug, Clone)]
 pub struct GtpnSolution {
     graph: StateGraph,
     pi: Vec<f64>,
+    measures: Measures,
+    iterations: usize,
+    used_dense: bool,
 }
 
 impl GtpnSolution {
@@ -26,58 +76,49 @@ impl GtpnSolution {
         &self.pi
     }
 
+    /// Power-method iterations spent on the stationary distribution
+    /// (0 when the direct dense path was used).
+    pub fn solve_iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the stationary distribution came from the dense LU path.
+    pub fn used_dense(&self) -> bool {
+        self.used_dense
+    }
+
     /// Time-averaged token population of a place (tokens held by in-flight
     /// firings are not in any place).
     pub fn mean_tokens(&self, place: PlaceId) -> f64 {
-        self.graph
-            .states
-            .iter()
-            .zip(&self.pi)
-            .map(|(s, &p)| p * f64::from(s.marking[place.index()]))
-            .sum()
+        self.measures.mean_tokens[place.index()]
     }
 
     /// Time-averaged number of in-flight firings of a timed transition —
     /// the utilization of the resource it models (can exceed 1 when the
     /// transition fires concurrently).
     pub fn utilization(&self, transition: TransitionId) -> f64 {
-        self.graph
-            .states
-            .iter()
-            .zip(&self.pi)
-            .map(|(s, &p)| p * f64::from(s.active_count(transition.index())))
-            .sum()
+        self.measures.utilization[transition.index()]
     }
 
     /// Long-run firings of a transition per time unit (completions for
     /// timed transitions, fires for immediate ones).
     pub fn throughput(&self, transition: TransitionId) -> f64 {
-        self.graph
-            .firing_rates
-            .iter()
-            .zip(&self.pi)
-            .map(|(counts, &p)| p * counts[transition.index()])
-            .sum()
+        self.measures.throughput[transition.index()]
     }
 
     /// Probability that a place is non-empty.
     pub fn p_nonempty(&self, place: PlaceId) -> f64 {
-        self.graph
-            .states
-            .iter()
-            .zip(&self.pi)
-            .filter(|(s, _)| s.marking[place.index()] > 0)
-            .map(|(_, &p)| p)
-            .sum()
+        self.measures.p_nonempty[place.index()]
     }
 }
 
 /// Explores and solves a net with the given budgets.
 ///
-/// Solution strategy: the chain is solved directly (dense LU) when small;
-/// larger or reducible chains fall back to damped power iteration started
-/// from the settled initial distribution, which converges to the stationary
-/// distribution of the recurrent class the net actually reaches.
+/// The stationary distribution comes from
+/// [`steady_state_sparse`]: direct dense LU for small chains, sparse
+/// Aitken-accelerated power iteration — started from the settled initial
+/// distribution, so a reducible chain converges to the recurrent class the
+/// net actually reaches — for large ones.
 ///
 /// # Errors
 ///
@@ -89,58 +130,19 @@ pub fn solve_with_options(
     let graph = explore(net, options)?;
     let p = transition_matrix(&graph)?;
 
-    let pi = if graph.len() <= 512 {
-        match steady_state_dense(&p) {
-            Ok(pi) => pi,
-            // Reducible chain (transient initial states): fall back.
-            Err(_) => power_from_initial(&graph, &p)?,
-        }
-    } else {
-        power_from_initial(&graph, &p)?
-    };
-
-    Ok(GtpnSolution { graph, pi })
-}
-
-fn power_from_initial(
-    graph: &StateGraph,
-    p: &snoop_numeric::sparse::CsrMatrix,
-) -> Result<Vec<f64>, GtpnError> {
-    // Start from the settled initial distribution so a reducible chain
-    // converges to the class the net actually enters; mix with uniform to
-    // avoid pathological zero patterns.
-    let n = graph.len();
-    let mut pi = vec![1e-9; n];
+    let mut initial = vec![0.0; graph.len()];
     for &(s, prob) in &graph.initial {
-        pi[s] += prob;
+        initial[s] += prob;
     }
-    let total: f64 = pi.iter().sum();
-    for v in &mut pi {
-        *v /= total;
-    }
-    // Reuse the library's damped power iteration by warm-starting manually:
-    // iterate π ← 0.9·πP + 0.1·π until stable.
-    let mut residual = f64::INFINITY;
-    for _ in 0..200_000 {
-        let next = p.vec_mul(&pi)?;
-        residual = 0.0;
-        for i in 0..n {
-            let updated = 0.9 * next[i] + 0.1 * pi[i];
-            residual = residual.max((updated - pi[i]).abs());
-            pi[i] = updated;
-        }
-        let total: f64 = pi.iter().sum();
-        for v in &mut pi {
-            *v /= total;
-        }
-        if residual < 1e-13 {
-            return Ok(pi);
-        }
-    }
-    Err(GtpnError::Numeric(snoop_numeric::NumericError::NoConvergence {
-        iterations: 200_000,
-        residual,
-    }))
+    let solve = steady_state_sparse(&p, Some(&initial), &SparseOptions::default())?;
+    let measures = Measures::accumulate(&graph, &solve.pi);
+    Ok(GtpnSolution {
+        graph,
+        pi: solve.pi,
+        measures,
+        iterations: solve.iterations,
+        used_dense: solve.used_dense,
+    })
 }
 
 /// Explores and solves with default budgets.

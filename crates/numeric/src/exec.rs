@@ -1,0 +1,240 @@
+//! A dependency-free parallel evaluation engine.
+//!
+//! The evaluation layer of this suite is dominated by *embarrassingly
+//! parallel* loops over independent work items: the (protocol × sharing)
+//! series of a speedup sweep, the per-parameter perturbations of a
+//! sensitivity analysis, the independent replications of the discrete-event
+//! simulator, and the frontier of a GTPN reachability wave. This module
+//! provides the one executor they all share.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism** — the output of [`par_map`] is *bit-identical* to the
+//!    serial `items.iter().map(f).collect()` for any thread count, because
+//!    each result is written to the slot of its input index and `f` itself
+//!    must be a pure function of its item. Thread count changes wall-clock
+//!    time, never results.
+//! 2. **No new crates** — the repo is offline-first, so the executor is
+//!    built on [`std::thread::scope`] and an atomic work cursor instead of
+//!    rayon. Scoped threads let `f` borrow the caller's state without any
+//!    `'static` gymnastics.
+//! 3. **Coarse-grained work** — items are claimed one at a time from a
+//!    shared atomic cursor (self-balancing: a thread that draws a slow item
+//!    simply claims fewer). The intended grain is "one solver run", not
+//!    "one arithmetic op"; callers with micro-items should batch first or
+//!    pass [`ExecOptions::SERIAL`].
+//!
+//! # Thread-count resolution
+//!
+//! [`ExecOptions::threads`] of `0` means *auto*: the `SNOOP_THREADS`
+//! environment variable when set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. This gives CI a one-knob way to
+//! pin the whole suite to 1 or 4 threads without plumbing a flag through
+//! every binary.
+//!
+//! # Example
+//!
+//! ```
+//! use snoop_numeric::exec::{par_map, ExecOptions};
+//!
+//! let squares = par_map(&[1_u64, 2, 3, 4], &ExecOptions::with_threads(2), |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration for the parallel executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker-thread count. `0` means auto: `SNOOP_THREADS` when set,
+    /// otherwise the machine's available parallelism. `1` runs inline on
+    /// the calling thread (no spawning at all).
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    /// Run everything inline on the calling thread.
+    pub const SERIAL: ExecOptions = ExecOptions { threads: 1 };
+
+    /// An explicit thread count (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions { threads }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            default_threads()
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    /// Auto thread count (see [module docs](self) for the resolution rule).
+    fn default() -> Self {
+        ExecOptions { threads: 0 }
+    }
+}
+
+/// Resolves the *auto* thread count: `SNOOP_THREADS` if it parses to a
+/// positive integer, else [`std::thread::available_parallelism`], else 1.
+pub fn default_threads() -> usize {
+    if let Ok(value) = std::env::var("SNOOP_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Results are returned in input order and are identical to the serial
+/// `items.iter().map(f).collect()` for any thread count (determinism
+/// contract — see [module docs](self)).
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn par_map<T, U, F>(items: &[T], options: &ExecOptions, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, options, |item, _| f(item))
+}
+
+/// Like [`par_map`], but `f` also receives the item's index.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn par_map_indexed<T, U, F>(items: &[T], options: &ExecOptions, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T, usize) -> U + Sync,
+{
+    let threads = options.resolved_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(item, i)).collect();
+    }
+
+    // Claim items one at a time from a shared cursor; collect each worker's
+    // (index, result) pairs locally so computation never contends on a lock.
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i], i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    // Scatter into input order; every index was claimed exactly once.
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for local in per_worker {
+        for (i, value) in local {
+            slots[i] = Some(value);
+        }
+    }
+    slots.into_iter().map(|slot| slot.expect("every index claimed once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = par_map(&items, &ExecOptions::with_threads(threads), |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_input_indices() {
+        let items = ["a", "b", "c"];
+        let out = par_map_indexed(&items, &ExecOptions::with_threads(3), |s, i| {
+            format!("{i}:{s}")
+        });
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u32], &ExecOptions::default(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map(&[1, 2], &ExecOptions::with_threads(64), |&x: &i32| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn serial_option_matches_parallel_bitwise() {
+        // Floating-point results must be bit-identical across thread
+        // counts: each slot runs the same operations on the same item.
+        let items: Vec<f64> = (1..50).map(|i| f64::from(i) * 0.37).collect();
+        let f = |x: &f64| (x.sin() * x.exp()).sqrt();
+        let serial = par_map(&items, &ExecOptions::SERIAL, f);
+        for threads in [2, 3, 8] {
+            let parallel = par_map(&items, &ExecOptions::with_threads(threads), f);
+            let same = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn borrows_caller_state() {
+        let offset = 10;
+        let out = par_map(&[1, 2, 3], &ExecOptions::with_threads(2), |&x: &i32| x + offset);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn auto_resolves_to_positive() {
+        assert!(ExecOptions::default().resolved_threads() >= 1);
+        assert_eq!(ExecOptions::with_threads(7).resolved_threads(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        par_map(&items, &ExecOptions::with_threads(4), |&x| {
+            assert!(x != 7, "boom");
+            x
+        });
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`fault`] — a deterministic fault-injection wrapper ([`fault::FaultyMap`])
 //!   for proving that solvers built on [`fixed_point`] fail cleanly under
 //!   NaN, spike and stall corruption.
+//! * [`exec`] — a dependency-free chunked parallel executor on scoped
+//!   threads ([`exec::par_map`]), with deterministic result ordering, used
+//!   by the sweep, sensitivity, simulation-replication and GTPN
+//!   reachability layers.
 //! * [`matrix`] / [`lu`] — dense matrices and LU decomposition with partial
 //!   pivoting, used for direct steady-state solutions of small Markov chains.
 //! * [`sparse`] — compressed-sparse-row matrices for the reachability-graph
@@ -40,6 +44,7 @@
 // the textbook formulations and keep row/column roles explicit.
 #![allow(clippy::needless_range_loop)]
 
+pub mod exec;
 pub mod fault;
 pub mod fixed_point;
 pub mod histogram;

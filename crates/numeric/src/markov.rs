@@ -145,6 +145,212 @@ pub fn steady_state_power(
     Err(NumericError::NoConvergence { iterations: max_iterations, residual })
 }
 
+/// Options for [`steady_state_sparse`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseOptions {
+    /// Convergence tolerance on the per-component update residual.
+    pub tolerance: f64,
+    /// Iteration budget for the power method.
+    pub max_iterations: usize,
+    /// Chains at or below this state count are solved directly (dense LU)
+    /// first; the iterative path is then only a fallback for reducible
+    /// chains. `0` forces the iterative path.
+    pub dense_threshold: usize,
+    /// Damping factor α of the update `π ← α·πP + (1−α)·π` (removes
+    /// periodicity without moving the fixed point).
+    pub damping: f64,
+    /// Apply componentwise Aitken Δ² acceleration every this many
+    /// iterations (collapses the slow geometric tail of the second
+    /// eigenvalue). `0` disables acceleration.
+    pub aitken_period: usize,
+    /// Largest chain the *non-convergence* dense fallback will attempt to
+    /// factor (LU is O(n³); beyond this the iteration error is returned
+    /// instead).
+    pub dense_fallback_limit: usize,
+}
+
+impl Default for SparseOptions {
+    fn default() -> Self {
+        SparseOptions {
+            tolerance: 1e-13,
+            max_iterations: 200_000,
+            dense_threshold: 512,
+            damping: 0.9,
+            aitken_period: 16,
+            dense_fallback_limit: 2_048,
+        }
+    }
+}
+
+/// A solved stationary distribution with solve-path metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseSolve {
+    /// The stationary distribution.
+    pub pi: Vec<f64>,
+    /// Power-method iterations spent (0 when the direct path won).
+    pub iterations: usize,
+    /// Whether the returned distribution came from the dense LU path.
+    pub used_dense: bool,
+}
+
+/// Solves `π P = π` on a sparse chain: direct LU for small chains,
+/// Aitken-accelerated damped power iteration otherwise.
+///
+/// This is the production steady-state entry point for GTPN reachability
+/// chains, whose transition matrices are extremely sparse (a handful of
+/// successors per tangible state) and whose size is the paper's cost
+/// driver. Strategy:
+///
+/// 1. chains with at most [`SparseOptions::dense_threshold`] states go
+///    through [`steady_state_dense`] (exact, and cheap at that size);
+///    a reducible chain — the LU path rejects it — falls through to 2;
+/// 2. damped power iteration on the CSR matrix, started from `initial`
+///    when given (a reducible chain then converges to the recurrent class
+///    actually entered from that distribution), with componentwise Aitken
+///    Δ² acceleration every [`SparseOptions::aitken_period`] iterations;
+/// 3. if the iteration exhausts its budget, one dense LU attempt is made
+///    as a last resort (bounded by [`SparseOptions::dense_fallback_limit`]).
+///
+/// The solve is single-threaded and fully deterministic: the same matrix
+/// and options produce bit-identical distributions on every run.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NoConvergence`] when both the iterative and
+/// fallback paths fail, and propagates stochasticity/dimension errors.
+pub fn steady_state_sparse(
+    p: &CsrMatrix,
+    initial: Option<&[f64]>,
+    options: &SparseOptions,
+) -> Result<SparseSolve, NumericError> {
+    check_stochastic(p, 1e-9)?;
+    let n = p.rows();
+    if n == 1 {
+        return Ok(SparseSolve { pi: vec![1.0], iterations: 0, used_dense: false });
+    }
+    if let Some(init) = initial {
+        if init.len() != n {
+            return Err(NumericError::DimensionMismatch { expected: n, actual: init.len() });
+        }
+    }
+
+    if n <= options.dense_threshold {
+        if let Ok(pi) = steady_state_dense(p) {
+            return Ok(SparseSolve { pi, iterations: 0, used_dense: true });
+        }
+        // Reducible chain: the balance system is rank-deficient. Fall
+        // through to the iterative path, which (from `initial`) converges
+        // to the stationary distribution of the class actually reached.
+    }
+
+    // Start from the caller's distribution mixed with a tiny uniform floor
+    // (avoids pathological zero patterns), or uniform when none is given.
+    let mut pi = match initial {
+        Some(init) => {
+            let mut pi = vec![1e-9; n];
+            for (slot, &mass) in pi.iter_mut().zip(init) {
+                *slot += mass.max(0.0);
+            }
+            pi
+        }
+        None => vec![1.0; n],
+    };
+    normalize(&mut pi);
+
+    let alpha = options.damping.clamp(f64::MIN_POSITIVE, 1.0);
+    // Ring of the last three iterates for Aitken Δ².
+    let mut prev2: Vec<f64> = Vec::new();
+    let mut prev1: Vec<f64> = Vec::new();
+    let mut residual = f64::INFINITY;
+    for iteration in 1..=options.max_iterations {
+        let next = p.vec_mul(&pi)?;
+        if options.aitken_period > 0 {
+            prev2 = std::mem::take(&mut prev1);
+            prev1 = pi.clone();
+        }
+        residual = 0.0;
+        for i in 0..n {
+            let updated = alpha * next[i] + (1.0 - alpha) * pi[i];
+            residual = residual.max((updated - pi[i]).abs());
+            pi[i] = updated;
+        }
+        normalize(&mut pi);
+        if residual < options.tolerance {
+            return Ok(SparseSolve { pi, iterations: iteration, used_dense: false });
+        }
+        if options.aitken_period > 0
+            && iteration % options.aitken_period == 0
+            && !prev2.is_empty()
+        {
+            // Guarded acceleration: adopt the Δ² extrapolation only when a
+            // trial update from it has a smaller residual than the current
+            // iterate (componentwise Aitken can overshoot when the modes
+            // are mixed, so unguarded acceleration may regress).
+            if let Some(accelerated) = aitken_extrapolate(&prev2, &prev1, &pi) {
+                let trial_next = p.vec_mul(&accelerated)?;
+                let mut trial = vec![0.0; n];
+                let mut trial_residual = 0.0_f64;
+                for i in 0..n {
+                    let updated = alpha * trial_next[i] + (1.0 - alpha) * accelerated[i];
+                    trial_residual = trial_residual.max((updated - accelerated[i]).abs());
+                    trial[i] = updated;
+                }
+                if trial_residual < residual {
+                    pi = trial;
+                    normalize(&mut pi);
+                    // Start a fresh iterate history: mixing pre- and
+                    // post-jump iterates would corrupt the next Δ².
+                    prev1.clear();
+                    prev2.clear();
+                }
+            }
+        }
+    }
+
+    // Last resort: one direct factorization, if the chain is small enough
+    // to make O(n³) tolerable.
+    if n <= options.dense_fallback_limit {
+        if let Ok(pi) = steady_state_dense(p) {
+            return Ok(SparseSolve { pi, iterations: options.max_iterations, used_dense: true });
+        }
+    }
+    Err(NumericError::NoConvergence { iterations: options.max_iterations, residual })
+}
+
+/// Componentwise Aitken Δ² over three consecutive iterates; `None` when
+/// the extrapolation is numerically unsafe (non-finite, negative mass, or
+/// degenerate denominators throughout).
+fn aitken_extrapolate(x0: &[f64], x1: &[f64], x2: &[f64]) -> Option<Vec<f64>> {
+    let mut out = Vec::with_capacity(x2.len());
+    for i in 0..x2.len() {
+        let d1 = x1[i] - x0[i];
+        let d2 = x2[i] - x1[i];
+        let denom = d2 - d1;
+        let v = if denom.abs() > 1e-300 { x2[i] - d2 * d2 / denom } else { x2[i] };
+        if !v.is_finite() || v < -1e-9 {
+            return None;
+        }
+        out.push(v.max(0.0));
+    }
+    let total: f64 = out.iter().sum();
+    if !(total.is_finite() && total > 0.0) {
+        return None;
+    }
+    for v in &mut out {
+        *v /= total;
+    }
+    Some(out)
+}
+
+fn normalize(pi: &mut [f64]) {
+    let total: f64 = pi.iter().sum();
+    if total > 0.0 {
+        for v in pi {
+            *v /= total;
+        }
+    }
+}
+
 /// Converts per-state mean holding times into time-weighted stationary
 /// probabilities.
 ///
@@ -264,6 +470,119 @@ mod tests {
         .unwrap();
         let pi = steady_state_power(&p, 1e-12, 10_000).unwrap();
         assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_small_chain_uses_dense_path() {
+        let solve =
+            steady_state_sparse(&two_state(), None, &SparseOptions::default()).unwrap();
+        assert!(solve.used_dense);
+        assert_eq!(solve.iterations, 0);
+        assert!((solve.pi[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_large_chain_matches_dense() {
+        let p = birth_death(80, 0.4);
+        let dense = steady_state_dense(&p).unwrap();
+        let options = SparseOptions { dense_threshold: 0, ..SparseOptions::default() };
+        let solve = steady_state_sparse(&p, None, &options).unwrap();
+        assert!(!solve.used_dense);
+        assert!(solve.iterations > 0);
+        for (a, b) in dense.iter().zip(&solve.pi) {
+            assert!((a - b).abs() < 1e-9, "dense {a} vs sparse {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_aitken_accelerates_slow_chain() {
+        // Near-critical birth-death: second eigenvalue close to 1, so the
+        // plain power method crawls; Aitken should cut the iteration count.
+        let p = birth_death(60, 0.49);
+        let base = SparseOptions { dense_threshold: 0, dense_fallback_limit: 0, ..SparseOptions::default() };
+        let plain = steady_state_sparse(&p, None, &SparseOptions { aitken_period: 0, ..base })
+            .unwrap();
+        let accelerated = steady_state_sparse(&p, None, &base).unwrap();
+        assert!(
+            accelerated.iterations < plain.iterations,
+            "aitken {} vs plain {}",
+            accelerated.iterations,
+            plain.iterations
+        );
+        for (a, b) in plain.pi.iter().zip(&accelerated.pi) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_respects_initial_distribution_on_reducible_chain() {
+        // Two absorbing states: the stationary distribution depends on the
+        // starting state, which only the iterative path can honour.
+        let p = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet { row: 0, col: 0, value: 1.0 },
+                Triplet { row: 1, col: 0, value: 0.5 },
+                Triplet { row: 1, col: 2, value: 0.5 },
+                Triplet { row: 2, col: 2, value: 1.0 },
+            ],
+        )
+        .unwrap();
+        let options = SparseOptions { dense_fallback_limit: 0, ..SparseOptions::default() };
+        let solve = steady_state_sparse(&p, Some(&[0.0, 1.0, 0.0]), &options).unwrap();
+        assert!(!solve.used_dense, "reducible chain must fall through to iteration");
+        assert!((solve.pi[0] - 0.5).abs() < 1e-6, "pi = {:?}", solve.pi);
+        assert!((solve.pi[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_periodic_chain_converges() {
+        let p = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                Triplet { row: 0, col: 1, value: 1.0 },
+                Triplet { row: 1, col: 0, value: 1.0 },
+            ],
+        )
+        .unwrap();
+        let options = SparseOptions { dense_threshold: 0, ..SparseOptions::default() };
+        let solve = steady_state_sparse(&p, None, &options).unwrap();
+        assert!((solve.pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_rejects_bad_initial_length() {
+        let err = steady_state_sparse(&two_state(), Some(&[1.0]), &SparseOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sparse_dense_fallback_after_budget_exhaustion() {
+        // One iteration is never enough, so the solve must come from the
+        // dense fallback.
+        let p = birth_death(20, 0.4);
+        let options = SparseOptions {
+            dense_threshold: 0,
+            max_iterations: 1,
+            ..SparseOptions::default()
+        };
+        let solve = steady_state_sparse(&p, None, &options).unwrap();
+        assert!(solve.used_dense);
+        let dense = steady_state_dense(&p).unwrap();
+        for (a, b) in dense.iter().zip(&solve.pi) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_is_deterministic() {
+        let p = birth_death(50, 0.45);
+        let options = SparseOptions { dense_threshold: 0, ..SparseOptions::default() };
+        let a = steady_state_sparse(&p, None, &options).unwrap();
+        let b = steady_state_sparse(&p, None, &options).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

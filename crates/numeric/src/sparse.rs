@@ -107,6 +107,62 @@ impl CsrMatrix {
         Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
     }
 
+    /// Assembles a CSR matrix directly from per-row adjacency lists —
+    /// `rows[r]` holds the `(col, value)` entries of row `r` in any order.
+    ///
+    /// This is the fast path for reachability-graph transition matrices,
+    /// whose edges are already grouped by source state: no global triplet
+    /// sort, no intermediate allocation proportional to a re-sorted copy.
+    /// Within each row, entries are sorted by column, duplicates summed,
+    /// and explicit zeros dropped (same normal form as
+    /// [`CsrMatrix::from_triplets`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if either dimension is zero
+    /// and [`NumericError::DimensionMismatch`] if a column is out of bounds.
+    pub fn from_adjacency(
+        cols: usize,
+        rows: &[Vec<(usize, f64)>],
+    ) -> Result<Self, NumericError> {
+        if rows.is_empty() || cols == 0 {
+            return Err(NumericError::InvalidArgument(
+                "sparse matrix dimensions must be positive".into(),
+            ));
+        }
+        let nnz_bound: usize = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::with_capacity(nnz_bound);
+        let mut values = Vec::with_capacity(nnz_bound);
+        row_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for row in rows {
+            for &(c, _) in row {
+                if c >= cols {
+                    return Err(NumericError::DimensionMismatch { expected: cols, actual: c });
+                }
+            }
+            scratch.clear();
+            scratch.extend_from_slice(row);
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                i += 1;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix { rows: rows.len(), cols, row_ptr, col_idx, values })
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -277,6 +333,40 @@ mod tests {
     #[test]
     fn empty_dimensions_rejected() {
         assert!(CsrMatrix::from_triplets(0, 1, &[]).is_err());
+    }
+
+    #[test]
+    fn from_adjacency_matches_triplets() {
+        let adjacency = vec![
+            vec![(2, 2.0), (0, 1.0)],          // unsorted within the row
+            vec![],                            // empty row
+            vec![(1, 1.5), (1, 1.5), (0, 0.0)] // duplicate + explicit zero
+        ];
+        let direct = CsrMatrix::from_adjacency(3, &adjacency).unwrap();
+        let triplets = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet { row: 0, col: 2, value: 2.0 },
+                Triplet { row: 0, col: 0, value: 1.0 },
+                Triplet { row: 2, col: 1, value: 3.0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(direct, triplets);
+        assert_eq!(direct.nnz(), 3);
+    }
+
+    #[test]
+    fn from_adjacency_rejects_out_of_bounds_column() {
+        let err = CsrMatrix::from_adjacency(2, &[vec![(2, 1.0)]]).unwrap_err();
+        assert!(matches!(err, NumericError::DimensionMismatch { expected: 2, actual: 2 }));
+    }
+
+    #[test]
+    fn from_adjacency_rejects_empty() {
+        assert!(CsrMatrix::from_adjacency(0, &[vec![]]).is_err());
+        assert!(CsrMatrix::from_adjacency(1, &[]).is_err());
     }
 
     #[test]

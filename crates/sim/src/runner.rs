@@ -1,5 +1,6 @@
 //! Output analysis: independent replications and single-run batch means.
 
+use snoop_numeric::exec::{par_map, ExecOptions};
 use snoop_numeric::stats::{confidence_interval, BatchMeans, ConfidenceInterval, RunningStats};
 
 use crate::config::SimConfig;
@@ -40,15 +41,41 @@ pub fn replicate(
     replications: usize,
     level: f64,
 ) -> Result<ReplicatedMeasures, SimError> {
+    replicate_exec(config, replications, level, &ExecOptions::SERIAL)
+}
+
+/// [`replicate`] with the independent replications run in parallel.
+///
+/// Each replication's seed is derived from the root seed and its index, so
+/// a replication computes the same sample path no matter which worker runs
+/// it: the aggregated measures are bit-identical to the serial path for
+/// any thread count.
+///
+/// # Errors
+///
+/// See [`replicate`].
+pub fn replicate_exec(
+    config: &SimConfig,
+    replications: usize,
+    level: f64,
+    exec: &ExecOptions,
+) -> Result<ReplicatedMeasures, SimError> {
     if replications < 2 {
         return Err(SimError::InvalidConfig("need at least two replications".into()));
     }
-    let mut results = Vec::with_capacity(replications);
-    for i in 0..replications {
-        let mut c = *config;
-        c.seed = config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1));
-        results.push(simulate(&c)?);
-    }
+    // Derive every seed from the root seed and the replication index up
+    // front; the runs are then fully independent work items.
+    let configs: Vec<SimConfig> = (0..replications)
+        .map(|i| {
+            let mut c = *config;
+            c.seed =
+                config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1));
+            c
+        })
+        .collect();
+    let results: Vec<SimMeasures> = par_map(&configs, exec, simulate)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
     let collect = |f: fn(&SimMeasures) -> f64| -> RunningStats {
         results.iter().map(f).collect()
@@ -158,6 +185,26 @@ mod tests {
     #[test]
     fn batch_means_needs_two_batches() {
         assert!(batch_means_speedup(&quick_config(2), 1, 0.95).is_err());
+    }
+
+    #[test]
+    fn parallel_replications_are_bit_identical_to_serial() {
+        let config = quick_config(2);
+        let serial = replicate_exec(&config, 4, 0.95, &ExecOptions::SERIAL).unwrap();
+        for threads in [2, 8] {
+            let parallel =
+                replicate_exec(&config, 4, 0.95, &ExecOptions::with_threads(threads)).unwrap();
+            let serial_speedups: Vec<u64> =
+                serial.replications.iter().map(|m| m.speedup.to_bits()).collect();
+            let parallel_speedups: Vec<u64> =
+                parallel.replications.iter().map(|m| m.speedup.to_bits()).collect();
+            assert_eq!(serial_speedups, parallel_speedups, "{threads} threads diverged");
+            assert_eq!(serial.speedup.mean.to_bits(), parallel.speedup.mean.to_bits());
+            assert_eq!(
+                serial.speedup.half_width.to_bits(),
+                parallel.speedup.half_width.to_bits()
+            );
+        }
     }
 
     #[test]

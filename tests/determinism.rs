@@ -1,0 +1,164 @@
+//! Determinism contract of the parallel evaluation engine: for every
+//! thread count, parallel evaluation is **bit-identical** to serial — on
+//! the Table 4.1 sweep grid, the sensitivity analysis, the GTPN
+//! reachability/steady-state pipeline and the simulator's independent
+//! replications.
+//!
+//! CI runs this suite under `SNOOP_THREADS=1` and `SNOOP_THREADS=4`; the
+//! explicit thread counts below make the contract hold regardless of the
+//! environment.
+
+use snoop::gtpn::models::coherence::CoherenceNet;
+use snoop::gtpn::reachability::{explore, ReachabilityOptions};
+use snoop::mva::resilient::ResilientOptions;
+use snoop::mva::sweep::{
+    figure_4_1_family_exec, figure_4_1_grid, resilient_speedup_series, TABLE_4_1_N,
+};
+use snoop::mva::SolverOptions;
+use snoop::numeric::exec::ExecOptions;
+use snoop::protocol::ModSet;
+use snoop::sim::runner::replicate_exec;
+use snoop::sim::SimConfig;
+use snoop::workload::derived::ModelInputs;
+use snoop::workload::params::{SharingLevel, WorkloadParams};
+use snoop::workload::timing::TimingModel;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn figure_4_1_family_identical_across_thread_counts() {
+    let sizes = [1, 4, 10, 20];
+    let options = SolverOptions::default();
+    let serial = figure_4_1_family_exec(&sizes, &options, &ExecOptions::SERIAL).unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel =
+            figure_4_1_family_exec(&sizes, &options, &ExecOptions::with_threads(threads))
+                .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.mods, p.mods);
+            assert_eq!(s.sharing, p.sharing);
+            for (a, b) in s.points.iter().zip(&p.points) {
+                assert_eq!(
+                    a.speedup.to_bits(),
+                    b.speedup.to_bits(),
+                    "{} {} N={}: {} threads diverged",
+                    s.mods,
+                    s.sharing,
+                    a.n,
+                    threads
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resilient_sweeps_identical_on_all_table_4_1_configs() {
+    let options = ResilientOptions::default();
+    for (mods, sharing) in figure_4_1_grid() {
+        let serial =
+            resilient_speedup_series(mods, sharing, &TABLE_4_1_N, &options, true).unwrap();
+        // `resilient_speedup_series` is sequential within a series; the
+        // grid-parallel entry point must reproduce it cell for cell.
+        for threads in THREAD_COUNTS {
+            let family = snoop::mva::sweep::resilient_figure_4_1_family(
+                &TABLE_4_1_N,
+                &options,
+                true,
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            let cell = family
+                .iter()
+                .find(|s| s.mods == mods && s.sharing == sharing)
+                .expect("grid cell present");
+            assert_eq!(&serial, cell, "{mods} {sharing}: {threads} threads diverged");
+        }
+    }
+}
+
+#[test]
+fn sensitivities_identical_across_thread_counts() {
+    let base = WorkloadParams::appendix_a(SharingLevel::Five);
+    let serial =
+        snoop::mva::sensitivity::sensitivities_exec(&base, ModSet::new(), 10, 0.01, &ExecOptions::SERIAL)
+            .unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = snoop::mva::sensitivity::sensitivities_exec(
+            &base,
+            ModSet::new(),
+            10,
+            0.01,
+            &ExecOptions::with_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn gtpn_pipeline_identical_across_thread_counts() {
+    let inputs = ModelInputs::derive_adjusted(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+        &TimingModel::default(),
+    )
+    .unwrap();
+    let net = CoherenceNet::build(&inputs, 2).unwrap();
+    let serial_graph = explore(
+        &net.net,
+        &ReachabilityOptions { threads: 1, ..ReachabilityOptions::default() },
+    )
+    .unwrap();
+    let serial = net
+        .solve(&ReachabilityOptions { threads: 1, ..ReachabilityOptions::default() })
+        .unwrap();
+    for threads in THREAD_COUNTS {
+        let options = ReachabilityOptions { threads, ..ReachabilityOptions::default() };
+        let graph = explore(&net.net, &options).unwrap();
+        assert_eq!(serial_graph, graph, "{threads} threads: graph diverged");
+        let solved = net.solve(&options).unwrap();
+        assert_eq!(
+            serial.speedup.to_bits(),
+            solved.speedup.to_bits(),
+            "{threads} threads: speedup diverged"
+        );
+        assert_eq!(
+            serial.bus_utilization.to_bits(),
+            solved.bus_utilization.to_bits(),
+            "{threads} threads: bus utilization diverged"
+        );
+        assert_eq!(serial.states, solved.states);
+    }
+}
+
+#[test]
+fn sim_replications_identical_across_thread_counts() {
+    let mut config = SimConfig::for_protocol(
+        4,
+        WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+    );
+    config.warmup_references = 300;
+    config.measured_references = 3_000;
+    let serial = replicate_exec(&config, 4, 0.95, &ExecOptions::SERIAL).unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel =
+            replicate_exec(&config, 4, 0.95, &ExecOptions::with_threads(threads)).unwrap();
+        for (a, b) in serial.replications.iter().zip(&parallel.replications) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "{threads} threads");
+            assert_eq!(a.w_bus.to_bits(), b.w_bus.to_bits(), "{threads} threads");
+            assert_eq!(
+                a.bus_utilization.to_bits(),
+                b.bus_utilization.to_bits(),
+                "{threads} threads"
+            );
+        }
+        assert_eq!(serial.speedup.mean.to_bits(), parallel.speedup.mean.to_bits());
+        assert_eq!(
+            serial.speedup.half_width.to_bits(),
+            parallel.speedup.half_width.to_bits()
+        );
+    }
+}
