@@ -1,7 +1,7 @@
 //! The `bench` subcommand: machine-readable timing JSON.
 //!
-//! Emits two files so the perf trajectory of the suite is tracked from one
-//! PR to the next:
+//! Emits three files so the perf trajectory of the suite is tracked from
+//! one PR to the next:
 //!
 //! * `BENCH_sweep.json` — the full Figure 4.1 resilient sweep grid, serial
 //!   vs. parallel, with wall time, total solver iterations, thread count
@@ -9,6 +9,13 @@
 //! * `BENCH_gtpn.json` — the Write-Once coherence GTPN: reachability
 //!   expansion (serial vs. parallel frontier) and stationary-distribution
 //!   timing, dense LU vs. sparse Aitken-accelerated power iteration.
+//! * `BENCH_sim.json` — independent simulation replications, serial vs.
+//!   parallel, with a bit-identical check.
+//!
+//! With `--metrics-out FILE` (handled by the dispatcher) the run also
+//! emits per-stage solver metrics: because every stage above exercises
+//! the instrumented paths, the file covers MVA solves, GTPN reachability,
+//! GTPN steady state and sim replications in one run.
 //!
 //! The JSON is hand-rolled (flat objects, no escaping needed for the keys
 //! and values we emit) because the workspace is offline-first and carries
@@ -25,6 +32,8 @@ use snoop_mva::sweep::resilient_figure_4_1_family;
 use snoop_numeric::exec::ExecOptions;
 use snoop_numeric::markov::{steady_state_dense, steady_state_sparse, SparseOptions};
 use snoop_protocol::ModSet;
+use snoop_sim::runner::replicate_exec;
+use snoop_sim::SimConfig;
 use snoop_workload::derived::ModelInputs;
 use snoop_workload::params::{SharingLevel, WorkloadParams};
 use snoop_workload::timing::TimingModel;
@@ -46,14 +55,18 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<String, String> {
     let mut out = String::new();
     let sweep_json = bench_sweep(&exec, quick, &mut out)?;
     let gtpn_json = bench_gtpn(&exec, quick, &mut out)?;
+    let sim_json = bench_sim(&exec, quick, &mut out)?;
 
     let sweep_path = format!("{out_dir}/BENCH_sweep.json");
     let gtpn_path = format!("{out_dir}/BENCH_gtpn.json");
+    let sim_path = format!("{out_dir}/BENCH_sim.json");
     std::fs::write(&sweep_path, sweep_json)
         .map_err(|e| format!("cannot write {sweep_path}: {e}"))?;
     std::fs::write(&gtpn_path, gtpn_json)
         .map_err(|e| format!("cannot write {gtpn_path}: {e}"))?;
-    let _ = writeln!(out, "wrote {sweep_path} and {gtpn_path}");
+    std::fs::write(&sim_path, sim_json)
+        .map_err(|e| format!("cannot write {sim_path}: {e}"))?;
+    let _ = writeln!(out, "wrote {sweep_path} and {gtpn_path} and {sim_path}");
     Ok(out)
 }
 
@@ -202,6 +215,57 @@ fn bench_gtpn(
     let _ = writeln!(json, "  \"sparse_speedup\": {sparse_speedup:.3},");
     let _ = writeln!(json, "  \"sparse_iterations\": {},", sparse.iterations);
     let _ = writeln!(json, "  \"max_pi_difference\": {max_diff:.3e}");
+    json.push_str("}\n");
+    Ok(json)
+}
+
+/// Times independent simulation replications, serial vs. parallel.
+fn bench_sim(exec: &ExecOptions, quick: bool, out: &mut String) -> Result<String, String> {
+    let mut config = SimConfig::for_protocol(
+        8,
+        WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+    );
+    config.warmup_references = 500;
+    config.measured_references = if quick { 3_000 } else { 10_000 };
+    let replications = 4;
+
+    let start = Instant::now();
+    let serial = replicate_exec(&config, replications, 0.95, &ExecOptions::SERIAL)
+        .map_err(|e| e.to_string())?;
+    let serial_ms = millis(start);
+
+    let threads = exec.resolved_threads();
+    let start = Instant::now();
+    let parallel =
+        replicate_exec(&config, replications, 0.95, exec).map_err(|e| e.to_string())?;
+    let parallel_ms = millis(start);
+
+    let bit_identical = serial
+        .replications
+        .iter()
+        .zip(&parallel.replications)
+        .all(|(a, b)| a == b)
+        && serial.speedup.mean.to_bits() == parallel.speedup.mean.to_bits();
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+
+    let _ = writeln!(
+        out,
+        "sim:   {replications} replications x {} refs, serial {serial_ms:.1} ms, \
+         {threads}-thread {parallel_ms:.1} ms ({speedup:.2}x), bit-identical: {bit_identical}",
+        config.measured_references
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"sim_replications\",");
+    let _ = writeln!(json, "  \"n\": {},", config.n);
+    let _ = writeln!(json, "  \"replications\": {replications},");
+    let _ = writeln!(json, "  \"measured_references\": {},", config.measured_references);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"serial_ms\": {serial_ms:.3},");
+    let _ = writeln!(json, "  \"parallel_ms\": {parallel_ms:.3},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"bit_identical\": {bit_identical}");
     json.push_str("}\n");
     Ok(json)
 }

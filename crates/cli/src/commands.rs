@@ -46,8 +46,8 @@ commands:
   measure    measure workload params from a trace simulation  --n 4
   traffic    bus-traffic decomposition      --protocol WO --sharing 5
   waits      bus-wait distribution (DES)    --n 8 --sharing 5
-  bench      emit BENCH_sweep.json/BENCH_gtpn.json timing data
-             --threads 4 --out-dir . [--quick]
+  bench      emit BENCH_{sweep,gtpn,sim}.json timing data
+             --threads 4 --out-dir . [--quick] [--metrics-out FILE]
   help       this text
 
 protocols: WO, WO+1, WO+1+4, … or write-once, illinois, berkeley, dragon,
@@ -60,6 +60,10 @@ FAILED rows instead of aborting the sweep).
 parallelism: --threads K on figure, validate, gtpn, sensitivity and bench
 (0 = auto: SNOOP_THREADS or available cores; results are identical for
 every thread count).
+observability: --metrics-out FILE on figure, validate, gtpn, sensitivity
+and bench writes solver metrics JSON (span timers, counters, convergence
+summaries; schema snoop-metrics-v1) and prints a profile table to stderr.
+Collection is observational only — outputs stay bit-identical.
 ";
 
 /// Dispatches a command line; returns the text to print.
@@ -77,15 +81,15 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "solve" => cmd_solve(&args),
         "sweep" => cmd_sweep(&args),
         "table" => cmd_table(&args),
-        "figure" => cmd_figure(&args),
-        "validate" => cmd_validate(&args),
-        "gtpn" => cmd_gtpn(&args),
+        "figure" => with_metrics(&args, || cmd_figure(&args)),
+        "validate" => with_metrics(&args, || cmd_validate(&args)),
+        "gtpn" => with_metrics(&args, || cmd_gtpn(&args)),
         "stress" => cmd_stress(&args),
         "trace" => cmd_trace(&args),
         "protocol" => cmd_protocol(&args),
         "dot" => cmd_dot(&args),
         "asymptote" => cmd_asymptote(&args),
-        "sensitivity" => cmd_sensitivity(&args),
+        "sensitivity" => with_metrics(&args, || cmd_sensitivity(&args)),
         "convergence" => cmd_convergence(&args),
         "calibrate" => cmd_calibrate(&args),
         "multiclass" => cmd_multiclass(&args),
@@ -93,9 +97,36 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "measure" => cmd_measure(&args),
         "traffic" => cmd_traffic(&args),
         "waits" => cmd_waits(&args),
-        "bench" => crate::bench::cmd_bench(&args),
+        "bench" => with_metrics(&args, || crate::bench::cmd_bench(&args)),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Runs `body` with the probe registry collecting when `--metrics-out
+/// PATH` was given: the metrics JSON (schema
+/// [`snoop_numeric::probe::SCHEMA`]) is written to PATH afterwards and
+/// the `snoop profile` table goes to stderr. Without the flag, `body`
+/// runs untouched with collection disabled.
+fn with_metrics<F>(args: &ParsedArgs, body: F) -> Result<String, String>
+where
+    F: FnOnce() -> Result<String, String>,
+{
+    let path = args.flag_str("metrics-out", "");
+    if path.is_empty() {
+        return body();
+    }
+    // The session guard serializes concurrent collectors (tests share
+    // this process) and disables collection again on drop.
+    let session = snoop_numeric::probe::session();
+    let result = body();
+    let snapshot = snoop_numeric::probe::snapshot();
+    drop(session);
+    if result.is_ok() {
+        std::fs::write(&path, snapshot.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprint!("{}", snapshot.render_table());
+    }
+    result
 }
 
 /// Resolves the workload: `--params-file` wins, else the Appendix-A preset
@@ -628,6 +659,14 @@ fn cmd_waits(args: &ParsedArgs) -> Result<String, String> {
         profile.response_times.quantile(0.5).unwrap_or(0.0),
         profile.response_times.quantile(0.99).unwrap_or(0.0)
     );
+    if profile.out_of_range() > 0 {
+        let _ = writeln!(
+            out,
+            "note: {} sample(s) fell outside the histogram ranges and are \
+             excluded from the means/quantiles above",
+            profile.out_of_range()
+        );
+    }
     Ok(out)
 }
 
@@ -858,6 +897,68 @@ mod tests {
         assert!(gtpn.contains("\"benchmark\": \"write_once_gtpn\""));
         assert!(gtpn.contains("\"explore_bit_identical\": true"));
         assert!(gtpn.contains("\"states\": 204"));
+        let sim = std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap();
+        assert!(sim.contains("\"benchmark\": \"sim_replications\""));
+        assert!(sim.contains("\"bit_identical\": true"));
+    }
+
+    #[test]
+    fn metrics_out_emits_per_stage_spans() {
+        let dir = std::env::temp_dir().join("snoop_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        run_tokens(&[
+            "bench",
+            "--quick",
+            "--threads",
+            "2",
+            "--out-dir",
+            dir.to_str().unwrap(),
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"snoop-metrics-v1\""), "{json}");
+        for key in ["\"spans\"", "\"counters\"", "\"events\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        // The bench run exercises every instrumented stage.
+        for span in [
+            "mva_solve",
+            "fixed_point_solve",
+            "gtpn_reachability",
+            "gtpn_steady_state",
+            "sim_replications",
+            "sim_run",
+        ] {
+            assert!(json.contains(&format!("\"{span}\"")) || json.contains(&format!("/{span}\"")), "missing span {span}: {json}");
+        }
+        assert!(json.contains("fixed_point.iterations"), "{json}");
+        assert!(json.contains("fixed_point.residual_trajectory"), "{json}");
+    }
+
+    #[test]
+    fn metrics_out_on_gtpn_and_sensitivity() {
+        let dir = std::env::temp_dir().join("snoop_metrics_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gtpn_path = dir.join("gtpn-metrics.json");
+        run_tokens(&["gtpn", "--n", "2", "--metrics-out", gtpn_path.to_str().unwrap()])
+            .unwrap();
+        let json = std::fs::read_to_string(&gtpn_path).unwrap();
+        assert!(json.contains("gtpn_reachability"), "{json}");
+        assert!(json.contains("gtpn.wave_size"), "{json}");
+        let sens_path = dir.join("sens-metrics.json");
+        run_tokens(&[
+            "sensitivity",
+            "--n",
+            "4",
+            "--metrics-out",
+            sens_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&sens_path).unwrap();
+        assert!(json.contains("mva_solve"), "{json}");
     }
 
     #[test]

@@ -201,6 +201,9 @@ impl MvaModel {
         if n == 0 {
             return Err(MvaError::InvalidSystemSize(0));
         }
+        // Observational only — the probe registry is never read back, so
+        // collection cannot steer the escalation ladder.
+        let _probe_span = snoop_numeric::probe::span("resilient_solve");
         // A seed is only usable if it is finite with a positive R —
         // otherwise the mean-value map rejects it on the first step.
         let seed = seed.filter(|s| s.iter().all(|v| v.is_finite()) && s[2] > 0.0);
@@ -222,6 +225,10 @@ impl MvaModel {
         let mut last_finite: Option<Vec<f64>> = None;
 
         for strategy in ladder.iter().take(1 + options.max_damping_retries) {
+            snoop_numeric::probe::counter_add("mva.resilient_attempts", 1);
+            if !diagnostics.attempts.is_empty() {
+                snoop_numeric::probe::counter_add("mva.resilient_escalations", 1);
+            }
             let (damping, aitken, initial) = match *strategy {
                 Strategy::Plain => (base_damping, false, None),
                 Strategy::Aitken => (base_damping, true, None),
@@ -261,6 +268,11 @@ impl MvaModel {
                             residual: converged.residual,
                             error: None,
                         });
+                        snoop_numeric::probe::counter_add("mva.resilient_solves", 1);
+                        snoop_numeric::probe::record(
+                            "mva.attempts_per_solve",
+                            diagnostics.attempts.len() as f64,
+                        );
                         return Ok(ResilientSolution { solution, diagnostics });
                     }
                     // Converged onto a non-finite packaging (degenerate
@@ -297,6 +309,7 @@ impl MvaModel {
             }
         }
 
+        snoop_numeric::probe::counter_add("mva.resilient_exhausted", 1);
         Err(MvaError::SolveExhausted(Box::new(diagnostics)))
     }
 }

@@ -171,6 +171,7 @@ impl MvaModel {
         initial: Vec<f64>,
         options: &Options,
     ) -> Result<snoop_numeric::fixed_point::Solution, snoop_numeric::NumericError> {
+        let _probe_span = snoop_numeric::probe::span("mva_solve");
         let interference = Interference::compute(&self.inputs, n);
         FixedPoint::new(options.clone())
             .solve(initial, |x, out| self.step(n, &interference, x, out))

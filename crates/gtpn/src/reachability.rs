@@ -104,6 +104,9 @@ const PARALLEL_WAVE_MIN: usize = 16;
 /// Returns [`GtpnError::StateSpaceExplosion`], [`GtpnError::UnboundedPlace`]
 /// or [`GtpnError::ImmediateLivelock`] when a budget is violated.
 pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, GtpnError> {
+    // Observational only: the probe registry is write-only from here, so
+    // metrics collection cannot change visit order or state IDs.
+    let _probe_span = snoop_numeric::probe::span("gtpn_reachability");
     let mut explorer = Explorer { net, options, index: HashMap::new(), states: Vec::new() };
 
     // Settle the initial marking (zero-time activity only; firing counts
@@ -142,6 +145,8 @@ pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, G
     while next_unexpanded < explorer.states.len() {
         let wave_end = explorer.states.len();
         let wave: Vec<TimedState> = explorer.states[next_unexpanded..wave_end].to_vec();
+        snoop_numeric::probe::counter_add("gtpn.reachability_waves", 1);
+        snoop_numeric::probe::record("gtpn.wave_size", wave.len() as f64);
         let outcomes: Vec<Result<StepOutcome, GtpnError>> =
             if wave.len() >= PARALLEL_WAVE_MIN && exec.resolved_threads() > 1 {
                 par_map(&wave, &exec, |state| explorer.step(state))
@@ -171,6 +176,7 @@ pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, G
         next_unexpanded = wave_end;
     }
 
+    snoop_numeric::probe::counter_add("gtpn.states", explorer.states.len() as u64);
     Ok(StateGraph { states: explorer.states, edges, firing_rates, initial })
 }
 

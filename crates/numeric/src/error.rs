@@ -39,6 +39,16 @@ pub enum NumericError {
         /// Dimension actually supplied.
         actual: usize,
     },
+    /// A statistical estimator was given fewer observations than it
+    /// needs to be meaningful (e.g. a confidence interval over a single
+    /// replication, whose variance is vacuously zero and would read as
+    /// perfect precision).
+    InsufficientSamples {
+        /// Minimum number of observations the estimator requires.
+        required: usize,
+        /// Number of observations actually supplied.
+        actual: usize,
+    },
     /// An argument was outside its documented domain.
     InvalidArgument(String),
 }
@@ -59,6 +69,10 @@ impl fmt::Display for NumericError {
             NumericError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
+            NumericError::InsufficientSamples { required, actual } => write!(
+                f,
+                "insufficient samples: estimator needs at least {required} observations, got {actual}"
+            ),
             NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -100,6 +114,15 @@ mod tests {
     fn display_dimension_mismatch() {
         let e = NumericError::DimensionMismatch { expected: 4, actual: 2 };
         assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 2");
+    }
+
+    #[test]
+    fn display_insufficient_samples() {
+        let e = NumericError::InsufficientSamples { required: 2, actual: 1 };
+        assert_eq!(
+            e.to_string(),
+            "insufficient samples: estimator needs at least 2 observations, got 1"
+        );
     }
 
     #[test]

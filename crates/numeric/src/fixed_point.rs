@@ -251,6 +251,10 @@ impl FixedPoint {
             )));
         }
 
+        // Observational only: nothing read back from the probe registry
+        // influences the iteration, so metrics cannot perturb results.
+        let _probe_span = crate::probe::span("fixed_point_solve");
+
         let n = initial.len();
         let mut current = initial;
         let mut next = vec![0.0; n];
@@ -277,7 +281,10 @@ impl FixedPoint {
 
         let mut residual = f64::INFINITY;
         for iteration in 1..=self.options.max_iterations {
-            let fail = |reason, residual, trajectory, last_finite| {
+            let fail = |reason, residual, trajectory: Vec<f64>, last_finite| {
+                crate::probe::counter_add("fixed_point.diverged", 1);
+                crate::probe::counter_add("fixed_point.iterations", iteration as u64);
+                crate::probe::record_many("fixed_point.residual_trajectory", &trajectory);
                 Err(NumericError::Diverged(ConvergenceFailure {
                     reason,
                     iterations: iteration,
@@ -337,6 +344,11 @@ impl FixedPoint {
             }
             trajectory.push(residual);
             if residual < self.options.tolerance {
+                crate::probe::counter_add("fixed_point.solves", 1);
+                crate::probe::counter_add("fixed_point.iterations", iteration as u64);
+                crate::probe::record("fixed_point.iterations_per_solve", iteration as f64);
+                crate::probe::record("fixed_point.final_residual", residual);
+                crate::probe::record_many("fixed_point.residual_trajectory", &trajectory);
                 return Ok(Solution { values: current, iterations: iteration, residual, history });
             }
 
@@ -423,6 +435,9 @@ impl FixedPoint {
             }
         }
 
+        crate::probe::counter_add("fixed_point.no_convergence", 1);
+        crate::probe::counter_add("fixed_point.iterations", self.options.max_iterations as u64);
+        crate::probe::record_many("fixed_point.residual_trajectory", &trajectory);
         Err(NumericError::NoConvergence {
             iterations: self.options.max_iterations,
             residual,

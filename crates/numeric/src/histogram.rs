@@ -67,27 +67,35 @@ impl Histogram {
     }
 
     /// Records a sample. Out-of-range samples land in the underflow or
-    /// overflow counters (still contributing to count/mean).
+    /// overflow counters and are excluded from [`count`](Self::count),
+    /// [`mean`](Self::mean) and [`quantile`](Self::quantile) — a stray
+    /// sample far outside the range must not skew the in-range summary.
     pub fn record(&mut self, x: f64) {
-        self.count += 1;
-        self.sum += x;
         if x < self.low {
             self.underflow += 1;
         } else if x >= self.high {
             self.overflow += 1;
         } else {
+            self.count += 1;
+            self.sum += x;
             let width = (self.high - self.low) / self.bins.len() as f64;
             let idx = (((x - self.low) / width) as usize).min(self.bins.len() - 1);
             self.bins[idx] += 1;
         }
     }
 
-    /// Total samples recorded.
+    /// Samples recorded within `[low, high)`.
     pub fn count(&self) -> u64 {
         self.count
     }
 
-    /// Mean of all recorded samples (including out-of-range ones).
+    /// All samples ever recorded, including under- and overflow.
+    pub fn total_count(&self) -> u64 {
+        self.count + self.underflow + self.overflow
+    }
+
+    /// Mean of the in-range samples; out-of-range samples are excluded
+    /// (see [`underflow`](Self::underflow) / [`overflow`](Self::overflow)).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -111,28 +119,25 @@ impl Histogram {
         &self.bins
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1), linearly interpolated within the
-    /// containing bin. Underflow counts are treated as sitting at `low`,
-    /// overflow at `high`.
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the **in-range** samples,
+    /// linearly interpolated within the containing bin. Under- and
+    /// overflow samples are excluded — their exact values are unknown,
+    /// so folding them onto the range edges would bias the estimate.
     ///
     /// # Errors
     ///
     /// Returns [`NumericError::InvalidArgument`] if `q` is outside
-    /// `[0, 1]` or the histogram is empty.
+    /// `[0, 1]`, and [`NumericError::InsufficientSamples`] if the
+    /// histogram holds no in-range samples.
     pub fn quantile(&self, q: f64) -> Result<f64, NumericError> {
         if !(0.0..=1.0).contains(&q) {
             return Err(NumericError::InvalidArgument(format!("quantile {q} not in [0, 1]")));
         }
         if self.count == 0 {
-            return Err(NumericError::InvalidArgument(
-                "quantile of an empty histogram".into(),
-            ));
+            return Err(NumericError::InsufficientSamples { required: 1, actual: 0 });
         }
         let target = q * self.count as f64;
-        let mut seen = self.underflow as f64;
-        if target <= seen {
-            return Ok(self.low);
-        }
+        let mut seen = 0.0;
         let width = (self.high - self.low) / self.bins.len() as f64;
         for (i, &c) in self.bins.iter().enumerate() {
             let next = seen + c as f64;
@@ -203,7 +208,39 @@ mod tests {
         h.record(2.0);
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 1);
-        assert_eq!(h.count(), 2);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.total_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_excluded_from_mean_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        let mean = h.mean();
+        let median = h.quantile(0.5).unwrap();
+        // These used to drag the mean to ±∞-ish values and shift every
+        // quantile by treating the strays as sitting on the range edges.
+        h.record(-1.0e6);
+        h.record(1.0e6);
+        assert_eq!(h.mean(), mean);
+        assert_eq!(h.quantile(0.5).unwrap(), median);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.total_count(), 12);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn quantile_needs_in_range_samples() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-1.0);
+        h.record(2.0);
+        assert_eq!(
+            h.quantile(0.5),
+            Err(NumericError::InsufficientSamples { required: 1, actual: 0 })
+        );
     }
 
     #[test]

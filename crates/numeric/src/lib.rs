@@ -22,6 +22,10 @@
 //!   Markov chains (direct for small chains, iterative for large ones).
 //! * [`stats`] — streaming sample statistics, Student-t confidence intervals
 //!   and batch-means analysis for the discrete-event simulator.
+//! * [`probe`] — a zero-dependency observability layer (span timers,
+//!   counters, bounded event recorders) behind a global registry that the
+//!   solver crates instrument their hot paths with; disabled by default
+//!   and strictly observational, so it cannot perturb solver output.
 //! * [`roots`] — bracketed scalar root finding (bisection / regula falsi),
 //!   used for asymptotic (N → ∞) analyses.
 //!
@@ -51,6 +55,7 @@ pub mod histogram;
 pub mod lu;
 pub mod markov;
 pub mod matrix;
+pub mod probe;
 pub mod roots;
 pub mod sparse;
 pub mod stats;

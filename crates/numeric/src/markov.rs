@@ -66,6 +66,7 @@ pub fn check_stochastic(p: &CsrMatrix, tol: f64) -> Result<(), NumericError> {
 /// # }
 /// ```
 pub fn steady_state_dense(p: &CsrMatrix) -> Result<Vec<f64>, NumericError> {
+    let _probe_span = crate::probe::span("steady_state_dense");
     check_stochastic(p, 1e-9)?;
     let n = p.rows();
     if n == 1 {
@@ -223,6 +224,10 @@ pub fn steady_state_sparse(
     initial: Option<&[f64]>,
     options: &SparseOptions,
 ) -> Result<SparseSolve, NumericError> {
+    // Observational only; see `crate::probe` — values recorded here are
+    // never read back, so collection cannot change the solve.
+    let _probe_span = crate::probe::span("gtpn_steady_state");
+    crate::probe::counter_add("markov.sparse_solves", 1);
     check_stochastic(p, 1e-9)?;
     let n = p.rows();
     if n == 1 {
@@ -276,6 +281,8 @@ pub fn steady_state_sparse(
         }
         normalize(&mut pi);
         if residual < options.tolerance {
+            crate::probe::counter_add("markov.power_iterations", iteration as u64);
+            crate::probe::record("markov.power_residual", residual);
             return Ok(SparseSolve { pi, iterations: iteration, used_dense: false });
         }
         if options.aitken_period > 0
@@ -309,6 +316,8 @@ pub fn steady_state_sparse(
 
     // Last resort: one direct factorization, if the chain is small enough
     // to make O(n³) tolerable.
+    crate::probe::counter_add("markov.power_iterations", options.max_iterations as u64);
+    crate::probe::record("markov.power_residual", residual);
     if n <= options.dense_fallback_limit {
         if let Ok(pi) = steady_state_dense(p) {
             return Ok(SparseSolve { pi, iterations: options.max_iterations, used_dense: true });

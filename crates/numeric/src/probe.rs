@@ -1,0 +1,591 @@
+//! Zero-dependency observability: span timers, counters and bounded
+//! event recorders behind a global thread-safe registry.
+//!
+//! The suite is offline-first and carries no `tracing` dependency, so
+//! this module hand-rolls the three primitives the solvers need:
+//!
+//! * **Spans** ([`span`]) — scoped wall-clock timers. Nested spans on
+//!   the same thread aggregate under a `/`-joined hierarchical path
+//!   (e.g. `resilient_solve/mva_solve/fixed_point_solve`), keyed by
+//!   call site, with call counts and total duration.
+//! * **Counters** ([`counter_add`]) — monotonic `u64` accumulators
+//!   (iteration totals, event counts, escalation attempts).
+//! * **Event recorders** ([`record`] / [`record_many`]) — bounded
+//!   ring buffers (capacity [`RING_CAPACITY`]) of `f64` samples
+//!   (residual trajectories, wave sizes) with running count / sum /
+//!   min / max over *all* samples, even those rotated out of the ring.
+//!   Non-finite samples are dropped so every emitted statistic is
+//!   finite.
+//!
+//! The registry is **disabled by default** and every instrumentation
+//! call is a single relaxed atomic load when disabled, so instrumented
+//! hot paths cost nothing in normal runs. Metrics are strictly
+//! observational — no value read from the registry ever feeds back
+//! into a solver — so enabling collection cannot perturb the
+//! bit-identical determinism contract in `tests/determinism.rs`.
+//!
+//! Worker threads spawned by [`crate::exec`] share the same global
+//! registry: counters and recorders aggregate across threads under a
+//! single mutex, and spans opened on a worker thread simply start a
+//! fresh (empty) path stack there, so their totals land on top-level
+//! paths.
+//!
+//! Consumers take a [`Snapshot`] and render it as stable JSON
+//! ([`Snapshot::to_json`], schema [`SCHEMA`]) or as a human-readable
+//! profile table ([`Snapshot::render_table`]).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Identifier of the JSON layout emitted by [`Snapshot::to_json`].
+pub const SCHEMA: &str = "snoop-metrics-v1";
+
+/// Maximum number of recent samples an event recorder retains; older
+/// samples rotate out (their count is reported as `dropped`) while the
+/// running count / sum / min / max keep covering every sample.
+pub const RING_CAPACITY: usize = 256;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<State> = Mutex::new(State::new());
+/// Serializes whole enable → run → snapshot sessions; see [`session`].
+static SESSION: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed span scopes on this path.
+    pub count: u64,
+    /// Total wall-clock time spent inside the span, in nanoseconds.
+    pub total_ns: u128,
+}
+
+/// Aggregated samples of one event recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventStats {
+    /// Most recent samples, oldest first (at most [`RING_CAPACITY`]).
+    pub recent: Vec<f64>,
+    /// Samples rotated out of the ring.
+    pub dropped: u64,
+    /// Total samples recorded (recent + dropped).
+    pub count: u64,
+    /// Sum over all samples ever recorded.
+    pub sum: f64,
+    /// Minimum over all samples ever recorded.
+    pub min: f64,
+    /// Maximum over all samples ever recorded.
+    pub max: f64,
+}
+
+impl EventStats {
+    /// Mean over all samples ever recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    values: VecDeque<f64>,
+    dropped: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            values: VecDeque::new(),
+            dropped: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.values.len() == RING_CAPACITY {
+            self.values.pop_front();
+            self.dropped += 1;
+        }
+        self.values.push_back(value);
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, u64>,
+    events: BTreeMap<String, Ring>,
+}
+
+impl State {
+    const fn new() -> Self {
+        State {
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            events: BTreeMap::new(),
+        }
+    }
+}
+
+fn state() -> MutexGuard<'static, State> {
+    // A poisoned registry only means some panicking thread held the
+    // lock mid-update; the aggregates stay usable.
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Returns whether metric collection is currently on.
+///
+/// Callers doing non-trivial work just to *compute* a metric (e.g.
+/// scanning a vector to count zero waits) should gate that work on
+/// this; plain [`counter_add`] / [`record`] / [`span`] calls already
+/// check it internally.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric collection on (process-wide).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns metric collection off (process-wide).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all recorded spans, counters and event recorders.
+pub fn reset() {
+    let mut st = state();
+    st.spans.clear();
+    st.counters.clear();
+    st.events.clear();
+}
+
+/// An exclusive metrics-collection session: [`reset`] + [`enable`] on
+/// creation, [`disable`] on drop.
+///
+/// Holding the session also holds a process-wide lock so concurrent
+/// sessions (as happens when tests sharing this process each collect
+/// metrics) cannot reset or disable each other mid-run.
+#[derive(Debug)]
+pub struct Session {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        disable();
+    }
+}
+
+/// Starts an exclusive metrics-collection session; see [`Session`].
+#[must_use]
+pub fn session() -> Session {
+    let guard = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+    reset();
+    enable();
+    Session { _guard: guard }
+}
+
+/// Adds `delta` to the named monotonic counter (created at zero on
+/// first use). No-op while collection is disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state();
+    match st.counters.get_mut(name) {
+        Some(c) => *c += delta,
+        None => {
+            st.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Records one sample into the named event ring. Non-finite samples
+/// are dropped. No-op while collection is disabled.
+pub fn record(name: &str, value: f64) {
+    record_many(name, std::slice::from_ref(&value));
+}
+
+/// Records a batch of samples into the named event ring under a single
+/// registry lock. Non-finite samples are dropped. No-op while
+/// collection is disabled.
+pub fn record_many(name: &str, values: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state();
+    let ring = match st.events.get_mut(name) {
+        Some(r) => r,
+        None => st.events.entry(name.to_string()).or_insert_with(Ring::new),
+    };
+    for &v in values {
+        if v.is_finite() {
+            ring.push(v);
+        }
+    }
+}
+
+/// A scoped span timer; created by [`span`], records on drop.
+///
+/// While collection is enabled the span's name is pushed onto a
+/// thread-local stack, so spans opened inside it aggregate under a
+/// hierarchical `outer/inner` path.
+#[derive(Debug)]
+#[must_use = "a span records its duration when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    active: Option<(Instant, &'static str)>,
+}
+
+/// Opens a named span; the returned guard records the elapsed
+/// wall-clock time (and increments the path's call count) when it goes
+/// out of scope. Returns an inert guard while collection is disabled.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    Span { active: Some((Instant::now(), name)) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start, name)) = self.active.take() else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop LIFO, so the top of the stack is this span.
+            stack.pop();
+            if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}/{}", stack.join("/"), name)
+            }
+        });
+        let mut st = state();
+        let entry = st.spans.entry(path).or_default();
+        entry.count += 1;
+        entry.total_ns += elapsed.as_nanos();
+    }
+}
+
+/// A consistent copy of the registry at one point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Span statistics keyed by hierarchical path, sorted by path.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Counters keyed by name, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Event statistics keyed by name, sorted by name.
+    pub events: Vec<(String, EventStats)>,
+}
+
+/// Takes a consistent snapshot of every span, counter and event
+/// recorder. Works whether or not collection is currently enabled.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let st = state();
+    Snapshot {
+        spans: st.spans.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        events: st
+            .events
+            .iter()
+            .map(|(k, r)| {
+                (
+                    k.clone(),
+                    EventStats {
+                        recent: r.values.iter().copied().collect(),
+                        dropped: r.dropped,
+                        count: r.count,
+                        sum: r.sum,
+                        min: r.min,
+                        max: r.max,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Escapes a metric name for inclusion in a JSON string literal.
+fn json_escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Renders the snapshot as stable JSON (schema [`SCHEMA`]).
+    ///
+    /// Layout: `{"schema", "spans": {path: {"calls", "total_ms",
+    /// "mean_ms"}}, "counters": {name: value}, "events": {name:
+    /// {"count", "dropped", "mean", "min", "max", "recent": [...]}}}`.
+    /// Keys are sorted, every duration and statistic is finite and
+    /// durations are non-negative, so downstream checks can validate
+    /// the file without a JSON library.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
+        json.push_str("  \"spans\": {\n");
+        for (i, (path, s)) in self.spans.iter().enumerate() {
+            let total_ms = s.total_ns as f64 / 1e6;
+            let mean_ms = if s.count == 0 { 0.0 } else { total_ms / s.count as f64 };
+            let comma = if i + 1 < self.spans.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    \"{}\": {{\"calls\": {}, \"total_ms\": {:.6}, \"mean_ms\": {:.6}}}{}",
+                json_escape(path),
+                s.count,
+                total_ms,
+                mean_ms,
+                comma
+            );
+        }
+        json.push_str("  },\n  \"counters\": {\n");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{}\": {value}{comma}", json_escape(name));
+        }
+        json.push_str("  },\n  \"events\": {\n");
+        for (i, (name, e)) in self.events.iter().enumerate() {
+            let comma = if i + 1 < self.events.len() { "," } else { "" };
+            let (min, max) = if e.count == 0 { (0.0, 0.0) } else { (e.min, e.max) };
+            let mut recent = String::new();
+            for (j, v) in e.recent.iter().enumerate() {
+                if j > 0 {
+                    recent.push_str(", ");
+                }
+                let _ = write!(recent, "{v:.9e}");
+            }
+            let _ = writeln!(
+                json,
+                "    \"{}\": {{\"count\": {}, \"dropped\": {}, \"mean\": {:.9e}, \
+                 \"min\": {min:.9e}, \"max\": {max:.9e}, \"recent\": [{recent}]}}{comma}",
+                json_escape(name),
+                e.count,
+                e.dropped,
+                e.mean()
+            );
+        }
+        json.push_str("  }\n}\n");
+        json
+    }
+
+    /// Renders the human-readable `snoop profile` table (the stderr
+    /// companion of the `--metrics-out` JSON file).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("snoop profile\n");
+        if !self.spans.is_empty() {
+            let width =
+                self.spans.iter().map(|(p, _)| p.len()).max().unwrap_or(4).max(4);
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>8}  {:>12}  {:>10}",
+                "span", "calls", "total ms", "mean ms"
+            );
+            for (path, s) in &self.spans {
+                let total_ms = s.total_ns as f64 / 1e6;
+                let mean_ms = if s.count == 0 { 0.0 } else { total_ms / s.count as f64 };
+                let _ = writeln!(
+                    out,
+                    "  {path:<width$}  {:>8}  {total_ms:>12.3}  {mean_ms:>10.4}",
+                    s.count
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let width =
+                self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(7).max(7);
+            let _ = writeln!(out, "  {:<width$}  {:>12}", "counter", "value");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value:>12}");
+            }
+        }
+        if !self.events.is_empty() {
+            let width =
+                self.events.iter().map(|(n, _)| n.len()).max().unwrap_or(5).max(5);
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+                "event", "count", "mean", "min", "max"
+            );
+            for (name, e) in &self.events {
+                let (min, max) = if e.count == 0 { (0.0, 0.0) } else { (e.min, e.max) };
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {:>8}  {:>12.5}  {min:>12.5}  {max:>12.5}",
+                    e.count,
+                    e.mean()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find_span<'a>(snap: &'a Snapshot, path: &str) -> Option<&'a SpanStats> {
+        snap.spans.iter().find(|(p, _)| p == path).map(|(_, s)| s)
+    }
+
+    fn find_counter(snap: &Snapshot, name: &str) -> Option<u64> {
+        snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    fn find_event<'a>(snap: &'a Snapshot, name: &str) -> Option<&'a EventStats> {
+        snap.events.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    }
+
+    // Instrumented solver tests running concurrently in this binary may
+    // add *their* metrics while a session here is enabled, so every
+    // assertion below reads only names unique to its own test.
+
+    #[test]
+    fn nested_spans_aggregate_under_hierarchical_paths() {
+        let _session = session();
+        {
+            let _outer = span("probe_test_outer");
+            let _inner = span("probe_test_inner");
+        }
+        {
+            let _outer = span("probe_test_outer");
+        }
+        let snap = snapshot();
+        assert_eq!(find_span(&snap, "probe_test_outer").unwrap().count, 2);
+        let inner = find_span(&snap, "probe_test_outer/probe_test_inner").unwrap();
+        assert_eq!(inner.count, 1);
+        assert!(find_span(&snap, "probe_test_inner").is_none());
+    }
+
+    #[test]
+    fn counters_aggregate_across_thread_counts() {
+        let _session = session();
+        for (i, threads) in [1usize, 2, 8].into_iter().enumerate() {
+            let name = format!("probe_test_threads_{threads}");
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        for _ in 0..100 {
+                            counter_add(&name, 1);
+                        }
+                        record(&name, 1.5);
+                    });
+                }
+            });
+            let snap = snapshot();
+            assert_eq!(find_counter(&snap, &name), Some(100 * threads as u64));
+            let event = find_event(&snap, &name).unwrap();
+            assert_eq!(event.count, threads as u64);
+            assert!((event.sum - 1.5 * threads as f64).abs() < 1e-12, "round {i}");
+        }
+    }
+
+    #[test]
+    fn ring_buffer_truncates_but_keeps_running_statistics() {
+        let _session = session();
+        let samples: Vec<f64> = (0..300).map(f64::from).collect();
+        record_many("probe_test_ring", &samples);
+        let snap = snapshot();
+        let e = find_event(&snap, "probe_test_ring").unwrap();
+        assert_eq!(e.count, 300);
+        assert_eq!(e.dropped, 300 - RING_CAPACITY as u64);
+        assert_eq!(e.recent.len(), RING_CAPACITY);
+        // Ring holds the most recent samples, oldest first.
+        assert_eq!(e.recent.first().copied(), Some((300 - RING_CAPACITY) as f64));
+        assert_eq!(e.recent.last().copied(), Some(299.0));
+        // Running statistics still cover the rotated-out samples.
+        assert_eq!(e.min, 0.0);
+        assert_eq!(e.max, 299.0);
+        assert!((e.mean() - 149.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let _session = session();
+        record_many("probe_test_finite", &[1.0, f64::NAN, f64::INFINITY, 2.0]);
+        let snap = snapshot();
+        let e = find_event(&snap, "probe_test_finite").unwrap();
+        assert_eq!(e.count, 2);
+        assert_eq!(e.min, 1.0);
+        assert_eq!(e.max, 2.0);
+    }
+
+    #[test]
+    fn disabled_collection_is_a_no_op() {
+        let _session = session();
+        disable();
+        counter_add("probe_test_disabled", 7);
+        record("probe_test_disabled", 1.0);
+        {
+            let _span = span("probe_test_disabled");
+        }
+        let snap = snapshot();
+        assert_eq!(find_counter(&snap, "probe_test_disabled"), None);
+        assert!(find_event(&snap, "probe_test_disabled").is_none());
+        assert!(find_span(&snap, "probe_test_disabled").is_none());
+    }
+
+    #[test]
+    fn json_and_table_cover_all_sections() {
+        let _session = session();
+        {
+            let _span = span("probe_test_json_span");
+        }
+        counter_add("probe_test_json_counter", 3);
+        record("probe_test_json_event", 0.25);
+        let snap = snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"snoop-metrics-v1\""));
+        assert!(json.contains("\"probe_test_json_span\": {\"calls\": 1"));
+        assert!(json.contains("\"probe_test_json_counter\": 3"));
+        assert!(json.contains("\"probe_test_json_event\": {\"count\": 1"));
+        let table = snap.render_table();
+        assert!(table.starts_with("snoop profile\n"));
+        assert!(table.contains("probe_test_json_span"));
+        assert!(table.contains("probe_test_json_counter"));
+        assert!(table.contains("probe_test_json_event"));
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tname"), "tab\\u0009name");
+    }
+}

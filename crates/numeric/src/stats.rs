@@ -271,16 +271,20 @@ impl ConfidenceInterval {
 ///
 /// # Errors
 ///
-/// Returns [`NumericError::InvalidArgument`] with fewer than two
-/// observations or a confidence level outside `(0, 1)`.
+/// Returns [`NumericError::InsufficientSamples`] with fewer than two
+/// observations (the sample variance is vacuously zero there, so a
+/// zero-width interval would masquerade as perfect precision), and
+/// [`NumericError::InvalidArgument`] for a confidence level outside
+/// `(0, 1)`.
 pub fn confidence_interval(
     stats: &RunningStats,
     level: f64,
 ) -> Result<ConfidenceInterval, NumericError> {
     if stats.count() < 2 {
-        return Err(NumericError::InvalidArgument(
-            "confidence interval needs at least two observations".into(),
-        ));
+        return Err(NumericError::InsufficientSamples {
+            required: 2,
+            actual: stats.count() as usize,
+        });
     }
     if !(level > 0.0 && level < 1.0) {
         return Err(NumericError::InvalidArgument(format!(
@@ -338,7 +342,7 @@ impl BatchMeans {
     ///
     /// # Errors
     ///
-    /// Returns [`NumericError::InvalidArgument`] with fewer than two
+    /// Returns [`NumericError::InsufficientSamples`] with fewer than two
     /// completed batches.
     pub fn confidence_interval(&self, level: f64) -> Result<ConfidenceInterval, NumericError> {
         let stats: RunningStats = self.batch_means.iter().copied().collect();
@@ -416,7 +420,12 @@ mod tests {
     #[test]
     fn confidence_interval_needs_two() {
         let s: RunningStats = [1.0].into_iter().collect();
-        assert!(confidence_interval(&s, 0.95).is_err());
+        // A single replication must yield a typed error, not the
+        // zero-width "perfectly precise" interval it used to produce.
+        assert_eq!(
+            confidence_interval(&s, 0.95),
+            Err(NumericError::InsufficientSamples { required: 2, actual: 1 })
+        );
     }
 
     #[test]

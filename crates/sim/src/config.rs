@@ -47,13 +47,24 @@ impl SimConfig {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for zero processors or an empty
-    /// measurement phase, and propagates workload/timing validation.
+    /// measurement phase, [`SimError::InsufficientRun`] for an empty
+    /// warm-up phase, and propagates workload/timing validation.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.n == 0 {
             return Err(SimError::InvalidConfig("need at least one processor".into()));
         }
         if self.measured_references == 0 {
             return Err(SimError::InvalidConfig("need a measurement phase".into()));
+        }
+        if self.warmup_references == 0 {
+            // The measurement window opens at a warm-up completion event;
+            // with zero warm-up references it can never open, so the run
+            // would end without measures (and used to panic in `finish`).
+            return Err(SimError::InsufficientRun {
+                warmup: 0,
+                measured: self.measured_references,
+                progress: vec![0; self.n],
+            });
         }
         self.params.validate()?;
         self.timing.validate()?;
@@ -91,5 +102,16 @@ mod tests {
             SimConfig::for_protocol(1, WorkloadParams::default(), ModSet::new());
         c.measured_references = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_empty_warmup() {
+        let mut c =
+            SimConfig::for_protocol(2, WorkloadParams::default(), ModSet::new());
+        c.warmup_references = 0;
+        assert_eq!(
+            c.validate(),
+            Err(SimError::InsufficientRun { warmup: 0, measured: 30_000, progress: vec![0, 0] })
+        );
     }
 }

@@ -9,6 +9,17 @@ pub enum SimError {
     Workload(WorkloadError),
     /// Invalid simulation configuration.
     InvalidConfig(String),
+    /// The run ended before every processor finished its warm-up and
+    /// measurement windows, so no measures can be reported.
+    InsufficientRun {
+        /// Warm-up references each processor must complete before
+        /// measurement starts.
+        warmup: usize,
+        /// Measured references each processor must then complete.
+        measured: usize,
+        /// References each processor had completed when the run ended.
+        progress: Vec<usize>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -16,6 +27,11 @@ impl fmt::Display for SimError {
         match self {
             SimError::Workload(e) => write!(f, "workload error: {e}"),
             SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            SimError::InsufficientRun { warmup, measured, progress } => write!(
+                f,
+                "run too short: every processor needs {warmup} warm-up + {measured} \
+                 measured references, per-processor progress {progress:?}"
+            ),
         }
     }
 }
@@ -24,7 +40,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Workload(e) => Some(e),
-            SimError::InvalidConfig(_) => None,
+            SimError::InvalidConfig(_) | SimError::InsufficientRun { .. } => None,
         }
     }
 }
@@ -44,5 +60,9 @@ mod tests {
         assert!(SimError::InvalidConfig("x".into()).to_string().contains("x"));
         let e = SimError::from(WorkloadError::InvalidParameter { name: "tau", value: -1.0 });
         assert!(e.to_string().contains("tau"));
+        let e = SimError::InsufficientRun { warmup: 0, measured: 1, progress: vec![1, 0] };
+        let text = e.to_string();
+        assert!(text.contains("0 warm-up"), "{text}");
+        assert!(text.contains("[1, 0]"), "{text}");
     }
 }

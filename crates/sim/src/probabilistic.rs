@@ -138,13 +138,15 @@ impl Machine {
         }
     }
 
-    fn run(&mut self) -> SimMeasures {
+    fn run(&mut self) -> Result<SimMeasures, SimError> {
         for p in 0..self.config.n {
             let think = self.generator.think_time();
             self.calendar.schedule(think, Event::Issue(p));
         }
 
+        let mut events: u64 = 0;
         while let Some((now, event)) = self.calendar.next() {
+            events += 1;
             match event {
                 Event::Issue(p) => self.issue(now, p),
                 Event::BusRelease => self.release_bus(now),
@@ -152,6 +154,21 @@ impl Machine {
             if self.done_at.iter().all(Option::is_some) {
                 break;
             }
+        }
+        // Observational only; scanning the wait list to compute metrics
+        // is gated on `enabled()` so disabled runs pay a single atomic
+        // load.
+        if snoop_numeric::probe::enabled() {
+            snoop_numeric::probe::counter_add("sim.events", events);
+            snoop_numeric::probe::counter_add(
+                "sim.bus_transactions",
+                self.bus_waits.len() as u64,
+            );
+            let queued =
+                self.bus_waits.iter().filter(|&&w| w >= 1e-9).count() as u64;
+            snoop_numeric::probe::counter_add("sim.bus_queue_waits", queued);
+            let completed: usize = self.completed.iter().sum();
+            snoop_numeric::probe::counter_add("sim.references", completed as u64);
         }
         self.finish()
     }
@@ -383,25 +400,31 @@ impl Machine {
         self.calendar.schedule(done + think, Event::Issue(p));
     }
 
-    fn finish(&self) -> SimMeasures {
+    fn finish(&self) -> Result<SimMeasures, SimError> {
         let timing = self.config.timing;
         let cycle = self.config.params.tau + timing.t_supply;
-        // Per-processor R over its own measurement window.
+        // Per-processor R over its own measurement window. A processor
+        // with no warm-up or done timestamp means the run ended before
+        // its measurement window closed — report typed progress instead
+        // of panicking (this used to be `expect("warmed")`).
         let mut rs = Vec::with_capacity(self.config.n);
+        let mut ends = Vec::with_capacity(self.config.n);
         for p in 0..self.config.n {
-            let start = self.warm_at[p].expect("warmed");
-            let end = self.done_at[p].expect("measured");
+            let (Some(start), Some(end)) = (self.warm_at[p], self.done_at[p]) else {
+                return Err(SimError::InsufficientRun {
+                    warmup: self.config.warmup_references,
+                    measured: self.config.measured_references,
+                    progress: self.completed.clone(),
+                });
+            };
             rs.push((end - start) / self.config.measured_references as f64);
+            ends.push(end);
         }
         let speedup: f64 = rs.iter().map(|r| cycle / r).sum();
         let r_mean = self.config.n as f64 / rs.iter().map(|r| 1.0 / r).sum::<f64>();
 
         let t0 = self.meas_start.unwrap_or(0.0);
-        let t1 = self
-            .done_at
-            .iter()
-            .map(|d| d.expect("measured"))
-            .fold(0.0_f64, f64::max);
+        let t1 = ends.iter().copied().fold(0.0_f64, f64::max);
         let window = (t1 - t0).max(1e-9);
         let mean_w_bus = if self.bus_waits.is_empty() {
             0.0
@@ -409,7 +432,7 @@ impl Machine {
             self.bus_waits.iter().sum::<f64>() / self.bus_waits.len() as f64
         };
 
-        SimMeasures {
+        Ok(SimMeasures {
             n: self.config.n,
             r: r_mean,
             speedup,
@@ -419,7 +442,7 @@ impl Machine {
                 .min(1.0),
             w_bus: mean_w_bus,
             references: self.config.n * self.config.measured_references,
-        }
+        })
     }
 }
 
@@ -433,10 +456,14 @@ enum JobKind {
 ///
 /// # Errors
 ///
-/// Propagates configuration validation failures.
+/// Propagates configuration validation failures, and returns
+/// [`SimError::InsufficientRun`] (with per-processor progress) when the
+/// run ends before every processor completes its warm-up and
+/// measurement windows.
 pub fn simulate(config: &SimConfig) -> Result<SimMeasures, SimError> {
     config.validate()?;
-    Ok(Machine::new(*config).run())
+    let _probe_span = snoop_numeric::probe::span("sim_run");
+    Machine::new(*config).run()
 }
 
 /// Distribution of the measured bus waiting times (the quantity the MVA's
@@ -458,17 +485,31 @@ pub struct WaitProfile {
     pub response_times: snoop_numeric::histogram::Histogram,
 }
 
+impl WaitProfile {
+    /// Samples that fell outside the bin ranges of either histogram
+    /// (underflow + overflow). Nonzero means the quantiles and means
+    /// above exclude data and the profile should say so.
+    pub fn out_of_range(&self) -> u64 {
+        self.histogram.underflow()
+            + self.histogram.overflow()
+            + self.response_times.underflow()
+            + self.response_times.overflow()
+    }
+}
+
 /// Runs one simulation and also returns the bus-wait and response-time
 /// distributions.
 ///
 /// # Errors
 ///
-/// Propagates configuration validation failures; a run whose measurement
-/// window contains no bus transactions yields an all-zero profile.
+/// Propagates configuration validation failures and
+/// [`SimError::InsufficientRun`]; a run whose measurement window
+/// contains no bus transactions yields an all-zero profile.
 pub fn simulate_with_profile(config: &SimConfig) -> Result<(SimMeasures, WaitProfile), SimError> {
     config.validate()?;
+    let _probe_span = snoop_numeric::probe::span("sim_run");
     let mut machine = Machine::new(*config);
-    let measures = machine.run();
+    let measures = machine.run()?;
     let build = |samples: &[f64]| {
         let max = samples.iter().copied().fold(0.0_f64, f64::max);
         let mut histogram =
@@ -509,6 +550,23 @@ mod tests {
         c.warmup_references = 500;
         c.measured_references = 8_000;
         c
+    }
+
+    #[test]
+    fn one_reference_run_returns_insufficient_run_error() {
+        // warmup = 0, measured = 1: the measurement window can never
+        // open (it opens at a warm-up completion event), so the old code
+        // panicked in `finish()` via `expect("warmed")`. Now it must be
+        // a typed error carrying per-processor progress.
+        let mut config = quick_config(2, SharingLevel::Five, &[]);
+        config.warmup_references = 0;
+        config.measured_references = 1;
+        let err = simulate(&config).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InsufficientRun { warmup: 0, measured: 1, progress: vec![0, 0] }
+        );
+        assert!(simulate_with_profile(&config).is_err());
     }
 
     #[test]

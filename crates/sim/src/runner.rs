@@ -34,8 +34,8 @@ impl ReplicatedMeasures {
 ///
 /// # Errors
 ///
-/// Propagates simulation errors; requires at least two replications for
-/// the intervals.
+/// Propagates simulation errors; requires at least two replications and
+/// a confidence level inside `(0, 1)` for the intervals.
 pub fn replicate(
     config: &SimConfig,
     replications: usize,
@@ -63,6 +63,16 @@ pub fn replicate_exec(
     if replications < 2 {
         return Err(SimError::InvalidConfig("need at least two replications".into()));
     }
+    // Validate the level here rather than letting `confidence_interval`
+    // fail after the replications have already been paid for (the old
+    // code `expect`ed its way past that error and panicked).
+    if !(level > 0.0 && level < 1.0) {
+        return Err(SimError::InvalidConfig(format!(
+            "confidence level must lie in (0, 1), got {level}"
+        )));
+    }
+    let _probe_span = snoop_numeric::probe::span("sim_replications");
+    snoop_numeric::probe::counter_add("sim.replications", replications as u64);
     // Derive every seed from the root seed and the replication index up
     // front; the runs are then fully independent work items.
     let configs: Vec<SimConfig> = (0..replications)
@@ -80,15 +90,14 @@ pub fn replicate_exec(
     let collect = |f: fn(&SimMeasures) -> f64| -> RunningStats {
         results.iter().map(f).collect()
     };
-    let ci = |stats: RunningStats| {
-        confidence_interval(&stats, level)
-            .expect("at least two replications and a valid level")
+    let ci = |stats: RunningStats| -> Result<ConfidenceInterval, SimError> {
+        confidence_interval(&stats, level).map_err(|e| SimError::InvalidConfig(e.to_string()))
     };
 
     Ok(ReplicatedMeasures {
-        speedup: ci(collect(|m| m.speedup)),
-        bus_utilization: ci(collect(|m| m.bus_utilization)),
-        w_bus: ci(collect(|m| m.w_bus)),
+        speedup: ci(collect(|m| m.speedup))?,
+        bus_utilization: ci(collect(|m| m.bus_utilization))?,
+        w_bus: ci(collect(|m| m.w_bus))?,
         replications: results,
     })
 }
@@ -165,6 +174,16 @@ mod tests {
     #[test]
     fn needs_two_replications() {
         assert!(replicate(&quick_config(2), 1, 0.95).is_err());
+    }
+
+    #[test]
+    fn invalid_level_is_an_error_not_a_panic() {
+        // This used to reach the `.expect("... valid level")` inside the
+        // aggregation step and abort the process.
+        let err = replicate(&quick_config(2), 4, 1.5).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        let err = replicate(&quick_config(2), 4, 0.0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -134,6 +134,78 @@ fn gtpn_pipeline_identical_across_thread_counts() {
 }
 
 #[test]
+fn metrics_collection_does_not_change_any_output_bit() {
+    // First compute reference results with the probe registry disabled,
+    // then recompute everything with collection enabled at every thread
+    // count: all outputs must stay bit-identical, because the probe layer
+    // is strictly observational.
+    let sizes = [1, 4, 10];
+    let options = SolverOptions::default();
+    let figure_ref = figure_4_1_family_exec(&sizes, &options, &ExecOptions::SERIAL).unwrap();
+
+    let inputs = ModelInputs::derive_adjusted(
+        &WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+        &TimingModel::default(),
+    )
+    .unwrap();
+    let net = CoherenceNet::build(&inputs, 2).unwrap();
+    let gtpn_ref = net
+        .solve(&ReachabilityOptions { threads: 1, ..ReachabilityOptions::default() })
+        .unwrap();
+
+    let mut sim_config = SimConfig::for_protocol(
+        2,
+        WorkloadParams::appendix_a(SharingLevel::Five),
+        ModSet::new(),
+    );
+    sim_config.warmup_references = 300;
+    sim_config.measured_references = 2_000;
+    let sim_ref = replicate_exec(&sim_config, 3, 0.95, &ExecOptions::SERIAL).unwrap();
+
+    let _session = snoop::numeric::probe::session();
+    for threads in THREAD_COUNTS {
+        let exec = ExecOptions::with_threads(threads);
+        let figure = figure_4_1_family_exec(&sizes, &options, &exec).unwrap();
+        for (s, p) in figure_ref.iter().zip(&figure) {
+            for (a, b) in s.points.iter().zip(&p.points) {
+                assert_eq!(
+                    a.speedup.to_bits(),
+                    b.speedup.to_bits(),
+                    "{threads} threads with metrics: figure diverged"
+                );
+            }
+        }
+        let gtpn = net
+            .solve(&ReachabilityOptions { threads, ..ReachabilityOptions::default() })
+            .unwrap();
+        assert_eq!(gtpn_ref.speedup.to_bits(), gtpn.speedup.to_bits());
+        assert_eq!(gtpn_ref.bus_utilization.to_bits(), gtpn.bus_utilization.to_bits());
+        assert_eq!(gtpn_ref.states, gtpn.states);
+        let sim = replicate_exec(&sim_config, 3, 0.95, &exec).unwrap();
+        for (a, b) in sim_ref.replications.iter().zip(&sim.replications) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+            assert_eq!(a.w_bus.to_bits(), b.w_bus.to_bits());
+        }
+        assert_eq!(sim_ref.speedup.mean.to_bits(), sim.speedup.mean.to_bits());
+    }
+    // And the instrumentation did actually collect something.
+    let snapshot = snoop::numeric::probe::snapshot();
+    assert!(
+        snapshot.spans.iter().any(|(p, _)| p.contains("mva_solve")),
+        "no mva_solve span collected"
+    );
+    assert!(
+        snapshot.spans.iter().any(|(p, _)| p.contains("gtpn_reachability")),
+        "no gtpn_reachability span collected"
+    );
+    assert!(
+        snapshot.spans.iter().any(|(p, _)| p.contains("sim_replications")),
+        "no sim_replications span collected"
+    );
+}
+
+#[test]
 fn sim_replications_identical_across_thread_counts() {
     let mut config = SimConfig::for_protocol(
         4,
