@@ -3,19 +3,19 @@
 
 use std::fmt::Write as _;
 
-use snoop_gtpn::models::coherence::CoherenceNet;
-use snoop_gtpn::reachability::ReachabilityOptions;
 use snoop_mva::asymptote::asymptotic;
+use snoop_mva::engine::{
+    self, BackendId, Engine, EvalError, EvaluationSeries, GtpnBackend, MvaBackend,
+    ResilientMvaBackend, Scenario, SimBackend,
+};
 use snoop_mva::paper::{table_4_1, TABLE_N};
-use snoop_mva::report::{comparison_table, speedup_csv, speedup_table};
+use snoop_mva::report::comparison_table;
 use snoop_mva::resilient::ResilientOptions;
-use snoop_mva::sweep::{figure_4_1_family_exec, resilient_speedup_series, SweepPoint};
-use snoop_mva::{MvaModel, SolverOptions};
+use snoop_mva::SolverOptions;
 use snoop_numeric::exec::ExecOptions;
 use snoop_protocol::{ModSet, Protocol};
-use snoop_sim::runner::replicate_exec;
+use snoop_sim::simulate;
 use snoop_sim::trace_mode::{simulate_trace, TraceSimConfig};
-use snoop_sim::{simulate, SimConfig};
 use snoop_workload::params::{SharingLevel, WorkloadParams};
 
 use crate::args::ParsedArgs;
@@ -28,12 +28,13 @@ usage: snoop <command> [flags]
 
 commands:
   solve      solve the MVA model            --protocol WO+1 --sharing 5 --n 10
-  sweep      speedup curve over N           --protocol dragon --sharing 20 --max-n 100
-  table      reproduce Table 4.1            positional: a | b | c | util
+  sweep      speedup curve over N           --protocol dragon --sharing 20 --n 100
+  table      reproduce Table 4.1            --panel a | b | c | util
   figure     reproduce Figure 4.1           --csv for machine-readable output
+  eval       batch-evaluate scenarios       --scenarios FILE.json --backends mva,sim
   validate   MVA vs discrete-event sim      --n 8 --protocol WO --sharing 5
   gtpn       MVA vs GTPN (small N)          --n 2 --protocol WO --sharing 5
-  stress     Section 4.3 stress test        --n 10
+  stress     Section 4.3 stress test        --protocol WO --n 10
   trace      trace-driven cache simulation  --n 4 --protocol berkeley [--adaptive]
   protocol   print transition tables        --protocol illinois
   dot        Graphviz state diagram         --protocol dragon
@@ -60,10 +61,17 @@ FAILED rows instead of aborting the sweep).
 parallelism: --threads K on figure, validate, gtpn, sensitivity and bench
 (0 = auto: SNOOP_THREADS or available cores; results are identical for
 every thread count).
-observability: --metrics-out FILE on figure, validate, gtpn, sensitivity
-and bench writes solver metrics JSON (span timers, counters, convergence
-summaries; schema snoop-metrics-v1) and prints a profile table to stderr.
-Collection is observational only — outputs stay bit-identical.
+observability: --metrics-out FILE on figure, validate, gtpn, eval,
+sensitivity and bench writes solver metrics JSON (span timers, counters,
+convergence summaries; schema snoop-metrics-v1) and prints a profile
+table to stderr. Collection is observational only — outputs stay
+bit-identical.
+engine: eval runs a snoop-scenario-v1 batch file through the unified
+evaluation engine; --backends is a comma list of mva, mva-resilient,
+sim, gtpn and --cache FILE persists the content-addressed result cache
+across runs (a repeated run is served entirely from the cache).
+deprecated spellings (still accepted as hidden aliases): `sweep --max-n`
+(use --n) and the positional panel of `table` (use --panel).
 ";
 
 /// Dispatches a command line; returns the text to print.
@@ -82,6 +90,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "sweep" => cmd_sweep(&args),
         "table" => cmd_table(&args),
         "figure" => with_metrics(&args, || cmd_figure(&args)),
+        "eval" => with_metrics(&args, || cmd_eval(&args)),
         "validate" => with_metrics(&args, || cmd_validate(&args)),
         "gtpn" => with_metrics(&args, || cmd_gtpn(&args)),
         "stress" => cmd_stress(&args),
@@ -155,6 +164,25 @@ fn protocol_flag(args: &ParsedArgs) -> Result<ModSet, String> {
     args.flag_str("protocol", "WO").parse::<ModSet>().map_err(|e| e.to_string())
 }
 
+/// Builds the [`Scenario`] described by the uniform `--protocol`,
+/// `--sharing`, `--n` and `--params-file` flags (`--params-file` wins and
+/// makes the workload custom). The blessed `Scenario::to_*` conversions
+/// are the only construction paths the CLI uses from here on.
+fn scenario_flag(args: &ParsedArgs, default_n: usize) -> Result<Scenario, String> {
+    let mods = protocol_flag(args)?;
+    let n: usize = args.flag_num("n", default_n)?;
+    match args.flag_str("params-file", "").as_str() {
+        "" => Ok(Scenario::appendix_a(mods, sharing_flag(args)?, n)),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let params =
+                snoop_workload::file::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Scenario::with_params(mods, params, n))
+        }
+    }
+}
+
 /// Resolves `--threads` (0 = auto: `SNOOP_THREADS` or available cores).
 fn threads_flag(args: &ParsedArgs) -> Result<ExecOptions, String> {
     Ok(ExecOptions::with_threads(args.flag_num("threads", 0)?))
@@ -172,13 +200,14 @@ fn resilient_flags(args: &ParsedArgs) -> Result<ResilientOptions, String> {
 }
 
 fn cmd_solve(args: &ParsedArgs) -> Result<String, String> {
-    let mods = protocol_flag(args)?;
-    let n: usize = args.flag_num("n", 10)?;
-    let params = workload_flag(args)?;
+    let scenario = scenario_flag(args, 10)?;
     let options = resilient_flags(args)?;
-    let model = MvaModel::for_protocol(&params, mods).map_err(|e| e.to_string())?;
-    let resilient = model.solve_resilient(n, &options).map_err(|e| e.to_string())?;
-    let mut out = format!("{mods}\n{}\n", resilient.solution);
+    // The full MvaSolution (response-time components, interference terms)
+    // is richer than the engine's common currency, so `solve` keeps the
+    // direct resilient path — built from the blessed conversion.
+    let model = scenario.to_mva_model().map_err(|e| e.to_string())?;
+    let resilient = model.solve_resilient(scenario.n, &options).map_err(|e| e.to_string())?;
+    let mut out = format!("{}\n{}\n", scenario.protocol, resilient.solution);
     // Only surface the ladder when it actually had to escalate.
     if resilient.diagnostics.retries() > 0 {
         let _ = writeln!(out, "solver: {}", resilient.diagnostics);
@@ -189,7 +218,8 @@ fn cmd_solve(args: &ParsedArgs) -> Result<String, String> {
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, String> {
     let mods = protocol_flag(args)?;
     let sharing = sharing_flag(args)?;
-    let max_n: usize = args.flag_num("max-n", 20)?;
+    // `--n` is the harmonized spelling; `--max-n` stays as a hidden alias.
+    let max_n: usize = args.flag_num("n", args.flag_num("max-n", 20)?)?;
     let sizes: Vec<usize> = (1..=max_n).collect();
     let refined = args.switch("refined");
     let keep_going = args.switch("keep-going");
@@ -220,59 +250,80 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, String> {
         return Ok(out);
     }
 
-    // Warm-started escalation-ladder sweep: each N is seeded from the
-    // previous N's converged state.
+    // Warm-started escalation-ladder sweep through the engine: the
+    // resilient backend chains each N from the previous N's converged
+    // state, exactly like the legacy `resilient_speedup_series`.
     let options = resilient_flags(args)?;
-    let sweep = resilient_speedup_series(mods, sharing, &sizes, &options, true)
-        .map_err(|e| e.to_string())?;
+    let engine = Engine::new().with_backend(ResilientMvaBackend {
+        max_damping_retries: options.max_damping_retries,
+        deadline: options.deadline,
+        warm_start_chains: true,
+    });
+    let scenarios: Vec<Scenario> =
+        sizes.iter().map(|&n| Scenario::appendix_a(mods, sharing, n)).collect();
+    let results = engine.evaluate_batch(&scenarios);
+    // `Failed` carries the solver error verbatim; other variants render
+    // with their backend prefix.
+    let reason_of = |e: &EvalError| match e {
+        EvalError::Failed { reason, .. } => reason.clone(),
+        other => other.to_string(),
+    };
     if !keep_going {
-        if let Some(SweepPoint::Failed { n, reason }) =
-            sweep.points.iter().find(|p| matches!(p, SweepPoint::Failed { .. }))
-        {
+        if let Some(r) = results.iter().find(|r| r.result.is_err()) {
+            let n = scenarios[r.scenario].n;
+            let reason = reason_of(r.result.as_ref().unwrap_err());
             return Err(format!(
                 "sweep failed at N={n}: {reason} (pass --keep-going to report \
                  failed points and continue)"
             ));
         }
     }
-    for p in &sweep.points {
-        match p {
-            SweepPoint::Solved(r) => {
-                let s = &r.solution;
+    let mut failures = 0usize;
+    for r in &results {
+        match &r.result {
+            Ok(e) => {
                 let _ = writeln!(
                     out,
                     "{:>5} {:>9.3} {:>8.3} {:>8.3}",
-                    s.n, s.speedup, s.bus_utilization, s.w_bus
+                    e.n,
+                    e.speedup,
+                    e.bus_utilization,
+                    e.w_bus.unwrap_or(f64::NAN)
                 );
             }
-            SweepPoint::Failed { n, reason } => {
-                let _ = writeln!(out, "{n:>5} {:>9} {reason}", "FAILED");
+            Err(e) => {
+                failures += 1;
+                let n = scenarios[r.scenario].n;
+                let _ = writeln!(out, "{n:>5} {:>9} {}", "FAILED", reason_of(e));
             }
         }
     }
-    if sweep.failures() > 0 {
+    if failures > 0 {
         let _ = writeln!(
             out,
-            "{} of {} points failed; see reasons above",
-            sweep.failures(),
-            sweep.points.len()
+            "{failures} of {} points failed; see reasons above",
+            results.len()
         );
     }
     Ok(out)
 }
 
 fn cmd_table(args: &ParsedArgs) -> Result<String, String> {
-    let which = args.positional.first().map(String::as_str).unwrap_or("a");
+    // `--panel` is the harmonized spelling; the bare positional stays as
+    // a hidden alias.
+    let flagged = args.flag_str("panel", "");
+    let which = if flagged.is_empty() {
+        args.positional.first().cloned().unwrap_or_else(|| "a".to_string())
+    } else {
+        flagged
+    };
+    let engine = Engine::new().with_backend(MvaBackend);
     if which == "util" {
         // Section 4.2's side-by-side: bus utilization at N = 6, 5% sharing
         // ("the GTPN and MVA estimates of bus utilization are approximately
         // 81% and 77%").
-        let model = MvaModel::for_protocol(
-            &WorkloadParams::appendix_a(SharingLevel::Five),
-            ModSet::new(),
-        )
-        .map_err(|e| e.to_string())?;
-        let s = model.solve(6, &SolverOptions::default()).map_err(|e| e.to_string())?;
+        let scenario = Scenario::appendix_a(ModSet::new(), SharingLevel::Five, 6);
+        let s = engine.evaluate(&scenario).remove(0).result.map_err(|e| e.to_string())?;
         return Ok(comparison_table(
             "Section 4.2: bus utilization, Write-Once, N = 6, 5% sharing",
             &[("U_bus (paper MVA 0.77)".into(), 0.77, s.bus_utilization)],
@@ -282,20 +333,21 @@ fn cmd_table(args: &ParsedArgs) -> Result<String, String> {
         format!("unknown table {which:?}, expected a, b, c or util")
     })?;
 
+    let published: Vec<_> = table_4_1().into_iter().filter(|r| r.panel == panel).collect();
+    let scenarios: Vec<Scenario> = published
+        .iter()
+        .flat_map(|row| {
+            TABLE_N
+                .iter()
+                .map(|&n| Scenario::appendix_a(row.mods(), row.sharing, n))
+        })
+        .collect();
+    let mut evals = engine.evaluate_batch(&scenarios).into_iter();
     let mut rows = Vec::new();
-    for published in table_4_1().into_iter().filter(|r| r.panel == panel) {
-        let model = MvaModel::for_protocol(
-            &WorkloadParams::appendix_a(published.sharing),
-            published.mods(),
-        )
-        .map_err(|e| e.to_string())?;
+    for row in &published {
         for (i, &n) in TABLE_N.iter().enumerate() {
-            let s = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
-            rows.push((
-                format!("{} N={n}", published.sharing),
-                published.mva[i],
-                s.speedup,
-            ));
+            let s = evals.next().expect("one result per job").result.map_err(|e| e.to_string())?;
+            rows.push((format!("{} N={n}", row.sharing), row.mva[i], s.speedup));
         }
     }
     Ok(comparison_table(
@@ -306,72 +358,172 @@ fn cmd_table(args: &ParsedArgs) -> Result<String, String> {
 
 fn cmd_figure(args: &ParsedArgs) -> Result<String, String> {
     let sizes: Vec<usize> = (1..=20).chain([30, 50, 100]).collect();
-    let exec = threads_flag(args)?;
-    let family = figure_4_1_family_exec(&sizes, &SolverOptions::default(), &exec)
-        .map_err(|e| e.to_string())?;
+    let grid = snoop_mva::sweep::figure_4_1_grid();
+    let scenarios: Vec<Scenario> = grid
+        .iter()
+        .flat_map(|&(mods, sharing)| {
+            sizes.iter().map(move |&n| Scenario::appendix_a(mods, sharing, n))
+        })
+        .collect();
+    let engine = Engine::new().with_backend(MvaBackend).with_exec(threads_flag(args)?);
+    let mut evals = engine.evaluate_batch(&scenarios).into_iter();
+    let mut family = Vec::with_capacity(grid.len());
+    for &(mods, sharing) in &grid {
+        let mut points = Vec::with_capacity(sizes.len());
+        for _ in &sizes {
+            let eval = evals.next().expect("one result per job");
+            points.push(eval.result.map_err(|e| e.to_string())?);
+        }
+        family.push(EvaluationSeries { mods, sharing, points });
+    }
     if args.switch("csv") {
-        Ok(speedup_csv(&family))
+        Ok(engine::series::speedup_csv(&family))
     } else if args.switch("gnuplot") {
-        Ok(snoop_mva::report::gnuplot_script(
+        Ok(engine::series::gnuplot_script(
             "Figure 4.1: The Mean Value Analysis Performance Results",
             &family,
         ))
     } else {
-        Ok(speedup_table(
+        Ok(engine::series::speedup_table(
             "Figure 4.1: speedups of Write-Once, +mod1, +mods1&4 (MVA)",
             &family,
         ))
     }
 }
 
+/// `snoop eval --scenarios FILE.json [--backends mva,sim] [--cache FILE]`:
+/// runs a `snoop-scenario-v1` batch through the unified engine.
+///
+/// Stdout is deterministic (no timings), so a repeat run with the same
+/// cache file is byte-identical; the cache statistics go to stderr.
+fn cmd_eval(args: &ParsedArgs) -> Result<String, String> {
+    let path = args.flag_str("scenarios", "");
+    if path.is_empty() {
+        return Err("eval needs --scenarios FILE.json (schema snoop-scenario-v1)".to_string());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenarios = Scenario::parse_batch(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut backends = Vec::new();
+    for token in args.flag_str("backends", "mva").split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let id: BackendId = token.parse()?;
+        if !backends.contains(&id) {
+            backends.push(id);
+        }
+    }
+    if backends.is_empty() {
+        return Err("eval needs at least one backend in --backends".to_string());
+    }
+    let exec = threads_flag(args)?;
+    let mut engine = Engine::new().with_exec(exec);
+    for id in &backends {
+        engine = match id {
+            BackendId::Mva => engine.with_backend(MvaBackend),
+            BackendId::ResilientMva => engine.with_backend(ResilientMvaBackend::default()),
+            BackendId::Sim => engine.with_backend(SimBackend { exec }),
+            BackendId::Gtpn => engine.with_backend(GtpnBackend { threads: exec.threads }),
+        };
+    }
+
+    let cache_path = args.flag_str("cache", "");
+    if !cache_path.is_empty() {
+        let loaded = engine
+            .cache()
+            .load_file(std::path::Path::new(&cache_path))
+            .map_err(|e| format!("{cache_path}: {e}"))?;
+        eprintln!("cache: loaded {loaded} entr{} from {cache_path}",
+            if loaded == 1 { "y" } else { "ies" });
+    }
+
+    let results = engine.evaluate_batch(&scenarios);
+    let mut out = format!(
+        "eval: {} scenario(s) × {} backend(s) [{}]\n",
+        scenarios.len(),
+        backends.len(),
+        backends.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    );
+    let mut it = results.into_iter();
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let _ = writeln!(out, "[{i}] {scenario}  (hash {:016x})", scenario.content_hash());
+        for _ in &backends {
+            let r = it.next().expect("one result per (scenario, backend) job");
+            match r.result {
+                Ok(eval) => {
+                    let _ = writeln!(out, "    {}", eval.summary());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "    {:<13} error: {e}", r.backend.to_string());
+                }
+            }
+        }
+    }
+
+    if !cache_path.is_empty() {
+        engine
+            .cache()
+            .save_file(std::path::Path::new(&cache_path))
+            .map_err(|e| format!("cannot write {cache_path}: {e}"))?;
+    }
+    let stats = engine.cache_stats();
+    eprintln!(
+        "cache: hits={} misses={} entries={} evictions={} hit_rate={:.1}%",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.evictions,
+        stats.hit_rate() * 100.0
+    );
+    Ok(out)
+}
+
 fn cmd_validate(args: &ParsedArgs) -> Result<String, String> {
-    let mods = protocol_flag(args)?;
-    let sharing = sharing_flag(args)?;
-    let n: usize = args.flag_num("n", 8)?;
-    let replications: usize = args.flag_num("replications", 3)?;
+    let mut scenario = scenario_flag(args, 8)?;
+    scenario.sim.replications = args.flag_num("replications", 3)?;
 
-    let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), mods)
-        .map_err(|e| e.to_string())?;
-    let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
-    let config = SimConfig::for_protocol(n, WorkloadParams::appendix_a(sharing), mods);
-    let sim = replicate_exec(&config, replications, 0.95, &threads_flag(args)?)
-        .map_err(|e| e.to_string())?;
+    let engine = Engine::new()
+        .with_backend(MvaBackend)
+        .with_backend(SimBackend { exec: threads_flag(args)? });
+    let mut results = engine.evaluate(&scenario).into_iter();
+    let mva = results.next().expect("mva result").result.map_err(|e| e.to_string())?;
+    let sim = results.next().expect("sim result").result.map_err(|e| e.to_string())?;
 
-    let mut out = format!("{mods} at {sharing} sharing, N = {n}\n");
+    let mut out = format!("{scenario}\n");
     let _ = writeln!(
         out,
         "MVA:        speedup {:.3}  U_bus {:.3}  w_bus {:.3}",
-        mva.speedup, mva.bus_utilization, mva.w_bus
+        mva.speedup,
+        mva.bus_utilization,
+        mva.w_bus.unwrap_or(f64::NAN)
     );
     let _ = writeln!(
         out,
         "simulation: speedup {:.3} ± {:.3}  U_bus {:.3}  w_bus {:.3}  ({} replications)",
-        sim.speedup.mean,
-        sim.speedup.half_width,
-        sim.bus_utilization.mean,
-        sim.w_bus.mean,
-        replications
+        sim.speedup,
+        sim.speedup_half_width.unwrap_or(f64::NAN),
+        sim.bus_utilization,
+        sim.w_bus.unwrap_or(f64::NAN),
+        scenario.sim.replications
     );
-    let err = (mva.speedup - sim.speedup.mean) / sim.speedup.mean * 100.0;
+    let err = (mva.speedup - sim.speedup) / sim.speedup * 100.0;
     let _ = writeln!(out, "relative speedup error: {err:+.2}%");
     Ok(out)
 }
 
 fn cmd_gtpn(args: &ParsedArgs) -> Result<String, String> {
-    let mods = protocol_flag(args)?;
-    let sharing = sharing_flag(args)?;
-    let n: usize = args.flag_num("n", 2)?;
-    let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), mods)
-        .map_err(|e| e.to_string())?;
-    let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
-    let net = CoherenceNet::build(model.inputs(), n).map_err(|e| e.to_string())?;
-    let gtpn_options = ReachabilityOptions {
-        threads: threads_flag(args)?.threads,
-        ..ReachabilityOptions::default()
-    };
-    let gtpn = net.solve(&gtpn_options).map_err(|e| e.to_string())?;
+    let scenario = scenario_flag(args, 2)?;
+    let engine = Engine::new()
+        .with_backend(MvaBackend)
+        .with_backend(GtpnBackend { threads: threads_flag(args)?.threads });
+    let mut results = engine.evaluate(&scenario).into_iter();
+    let mva = results.next().expect("mva result").result.map_err(|e| e.to_string())?;
+    let gtpn = results.next().expect("gtpn result").result.map_err(|e| e.to_string())?;
 
-    let mut out = format!("{mods} at {sharing} sharing, N = {n}\n");
+    let mut out = format!("{scenario}\n");
     let _ = writeln!(
         out,
         "MVA:  speedup {:.3}  U_bus {:.3}",
@@ -380,7 +532,9 @@ fn cmd_gtpn(args: &ParsedArgs) -> Result<String, String> {
     let _ = writeln!(
         out,
         "GTPN: speedup {:.3}  U_bus {:.3}  ({} states)",
-        gtpn.speedup, gtpn.bus_utilization, gtpn.states
+        gtpn.speedup,
+        gtpn.bus_utilization,
+        gtpn.provenance.states
     );
     let err = (mva.speedup - gtpn.speedup) / gtpn.speedup * 100.0;
     let _ = writeln!(out, "relative speedup error: {err:+.2}%");
@@ -388,16 +542,18 @@ fn cmd_gtpn(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn cmd_stress(args: &ParsedArgs) -> Result<String, String> {
+    let mods = protocol_flag(args)?;
     let n: usize = args.flag_num("n", 10)?;
-    let params = WorkloadParams::stress();
-    let model =
-        MvaModel::for_protocol(&params, ModSet::new()).map_err(|e| e.to_string())?;
-    let mva = model.solve(n, &SolverOptions::default()).map_err(|e| e.to_string())?;
-    let sim = simulate(&SimConfig::for_protocol(n, params, ModSet::new()))
+    let scenario = Scenario::with_params(mods, WorkloadParams::stress(), n);
+    let model = scenario.to_mva_model().map_err(|e| e.to_string())?;
+    let mva = model
+        .solve(scenario.n, &scenario.solver_options())
         .map_err(|e| e.to_string())?;
+    let sim = simulate(&scenario.to_sim_config()).map_err(|e| e.to_string())?;
     let err = (mva.speedup - sim.speedup) / sim.speedup * 100.0;
     Ok(format!(
-        "Section 4.3 stress test (rep=amod_sw=0, csupply=1, p_sw=0.2, h_sw=0.1), N = {n}\n\
+        "Section 4.3 stress test (rep=amod_sw=0, csupply=1, p_sw=0.2, h_sw=0.1), \
+         {mods}, N = {n}\n\
          MVA speedup {:.3}   simulation speedup {:.3}   error {err:+.2}%\n\
          (the paper reports MVA within 5% of the detailed model under stress)\n",
         mva.speedup, sim.speedup
@@ -451,10 +607,10 @@ fn cmd_sensitivity(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn cmd_convergence(args: &ParsedArgs) -> Result<String, String> {
-    let mods = protocol_flag(args)?;
-    let n: usize = args.flag_num("n", 10)?;
-    let params = workload_flag(args)?;
-    let model = MvaModel::for_protocol(&params, mods).map_err(|e| e.to_string())?;
+    let scenario = scenario_flag(args, 10)?;
+    let mods = scenario.protocol;
+    let n = scenario.n;
+    let model = scenario.to_mva_model().map_err(|e| e.to_string())?;
     let (solution, history) = model
         .solve_traced(n, &SolverOptions::paper())
         .map_err(|e| e.to_string())?;
@@ -596,9 +752,11 @@ fn cmd_measure(args: &ParsedArgs) -> Result<String, String> {
     let n: usize = args.flag_num("n", 4)?;
     let (sim, params) = simulate_trace_measuring(&TraceSimConfig::new(n, mods))
         .map_err(|e| e.to_string())?;
-    let mva = MvaModel::for_protocol(&params, mods)
+    let scenario = Scenario::with_params(mods, params, n);
+    let mva = scenario
+        .to_mva_model()
         .map_err(|e| e.to_string())?
-        .solve(n, &SolverOptions::default())
+        .solve(scenario.n, &scenario.solver_options())
         .map_err(|e| e.to_string())?;
     let mut out = format!(
         "workload parameters measured from a trace-driven simulation ({mods}, N = {n}):\n\n{}",
@@ -628,15 +786,16 @@ fn cmd_traffic(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn cmd_waits(args: &ParsedArgs) -> Result<String, String> {
-    let mods = protocol_flag(args)?;
-    let n: usize = args.flag_num("n", 8)?;
-    let params = workload_flag(args)?;
-    let config = SimConfig::for_protocol(n, params, mods);
-    let (measures, profile) =
-        snoop_sim::simulate_with_profile(&config).map_err(|e| e.to_string())?;
-    let mva = MvaModel::for_protocol(&params, mods)
+    let scenario = scenario_flag(args, 8)?;
+    let mods = scenario.protocol;
+    let n = scenario.n;
+    let params = scenario.params;
+    let (measures, profile) = snoop_sim::simulate_with_profile(&scenario.to_sim_config())
+        .map_err(|e| e.to_string())?;
+    let mva = scenario
+        .to_mva_model()
         .map_err(|e| e.to_string())?
-        .solve(n, &SolverOptions::default())
+        .solve(n, &scenario.solver_options())
         .map_err(|e| e.to_string())?;
     let mut out = format!("bus-wait distribution, {mods}, N = {n} (DES)\n");
     let _ = writeln!(
@@ -687,7 +846,8 @@ fn cmd_asymptote(_args: &ParsedArgs) -> Result<String, String> {
         let set: ModSet = mods.parse().map_err(|e: snoop_protocol::ProtocolError| e.to_string())?;
         let _ = write!(out, "{mods:<12}");
         for sharing in SharingLevel::ALL {
-            let model = MvaModel::for_protocol(&WorkloadParams::appendix_a(sharing), set)
+            let model = Scenario::appendix_a(set, sharing, 1)
+                .to_mva_model()
                 .map_err(|e| e.to_string())?;
             let a = asymptotic(model.inputs());
             let _ = write!(out, " {:>8.3}", a.speedup);
@@ -1026,5 +1186,100 @@ mod tests {
         assert!(out.contains("U_local"));
         assert!(out.contains("U_global"));
         assert!(out.contains("2 clusters × 4 processors"));
+    }
+
+    #[test]
+    fn table_panel_flag_matches_the_positional_alias() {
+        let flagged = run_tokens(&["table", "--panel", "b"]).unwrap();
+        let positional = run_tokens(&["table", "b"]).unwrap();
+        assert_eq!(flagged, positional);
+        assert!(flagged.contains("Table 4.1(b)"));
+    }
+
+    #[test]
+    fn sweep_n_flag_matches_the_max_n_alias() {
+        let harmonized = run_tokens(&["sweep", "--n", "5"]).unwrap();
+        let deprecated = run_tokens(&["sweep", "--max-n", "5"]).unwrap();
+        assert_eq!(harmonized, deprecated);
+    }
+
+    #[test]
+    fn stress_accepts_a_protocol() {
+        let wo = run_tokens(&["stress", "--n", "4"]).unwrap();
+        assert!(wo.contains("WO, N = 4"), "{wo}");
+        let illinois = run_tokens(&["stress", "--protocol", "illinois", "--n", "4"]).unwrap();
+        assert!(illinois.contains("WO+1+2+3"), "{illinois}");
+        assert_ne!(wo, illinois);
+    }
+
+    #[test]
+    fn eval_requires_a_scenarios_file() {
+        assert!(run_tokens(&["eval"]).unwrap_err().contains("--scenarios"));
+    }
+
+    #[test]
+    fn eval_runs_a_batch_and_repeats_from_the_cache() {
+        use snoop_mva::engine::{Scenario, SCHEMA};
+        use snoop_protocol::ModSet;
+        use snoop_workload::params::SharingLevel;
+        let dir = std::env::temp_dir().join("snoop_eval_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let scenarios_path = dir.join("scenarios.json");
+        let batch = Scenario::batch_to_json(&[
+            Scenario::appendix_a(ModSet::new(), SharingLevel::Five, 4),
+            Scenario::appendix_a(ModSet::new(), SharingLevel::Five, 10),
+        ]);
+        assert!(batch.contains(SCHEMA));
+        std::fs::write(&scenarios_path, batch).unwrap();
+        let cache_path = dir.join("cache.json");
+        let _ = std::fs::remove_file(&cache_path);
+
+        let tokens = [
+            "eval",
+            "--scenarios",
+            scenarios_path.to_str().unwrap(),
+            "--backends",
+            "mva,mva-resilient",
+            "--cache",
+            cache_path.to_str().unwrap(),
+        ];
+        let first = run_tokens(&tokens).unwrap();
+        assert!(first.contains("2 scenario(s) × 2 backend(s)"), "{first}");
+        // One summary line per (scenario, backend) job.
+        assert_eq!(first.matches("speedup=").count(), 4, "{first}");
+        assert!(cache_path.exists());
+        // The repeat run is served entirely from the spilled cache and is
+        // byte-identical (summaries carry no timings).
+        let second = run_tokens(&tokens).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn eval_rejects_unknown_backends() {
+        let dir = std::env::temp_dir().join("snoop_eval_bad_backend");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.json");
+        std::fs::write(
+            &path,
+            "{\"schema\":\"snoop-scenario-v1\",\"scenarios\":[{\"protocol\":\"WO\",\"n\":2}]}",
+        )
+        .unwrap();
+        let err = run_tokens(&[
+            "eval",
+            "--scenarios",
+            path.to_str().unwrap(),
+            "--backends",
+            "quantum",
+        ])
+        .unwrap_err();
+        assert!(err.contains("quantum"), "{err}");
+    }
+
+    #[test]
+    fn help_documents_the_deprecated_spellings() {
+        let h = run_tokens(&["help"]).unwrap();
+        assert!(h.contains("deprecated spellings"), "{h}");
+        assert!(h.contains("--max-n"));
+        assert!(h.contains("--panel"));
     }
 }

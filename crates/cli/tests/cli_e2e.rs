@@ -58,6 +58,45 @@ fn figure_csv_is_parseable() {
 }
 
 #[test]
+fn eval_repeat_run_is_fully_cached_and_byte_identical() {
+    let dir = std::env::temp_dir().join("snoop_eval_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache.json");
+    let _ = std::fs::remove_file(&cache);
+    // The checked-in example batch, resolved relative to the workspace root.
+    let scenarios = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/example.json");
+
+    let args = [
+        "eval",
+        "--scenarios",
+        scenarios,
+        "--backends",
+        "mva",
+        "--cache",
+        cache.to_str().unwrap(),
+    ];
+    let first = snoop(&args);
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+    let stderr1 = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr1.contains("hits=0"), "{stderr1}");
+    assert!(cache.exists());
+
+    let second = snoop(&args);
+    assert!(second.status.success());
+    assert_eq!(first.stdout, second.stdout, "repeat stdout must be byte-identical");
+    let stderr2 = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr2.contains("hit_rate=100.0%"), "{stderr2}");
+    assert!(stderr2.contains("misses=0"), "{stderr2}");
+}
+
+#[test]
+fn eval_without_scenarios_fails_cleanly() {
+    let out = snoop(&["eval"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scenarios"));
+}
+
+#[test]
 fn dot_output_pipes_cleanly() {
     let out = snoop(&["dot", "--protocol", "berkeley"]);
     assert!(out.status.success());

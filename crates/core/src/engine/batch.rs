@@ -1,0 +1,410 @@
+//! The [`Engine`]: batches scenarios over backends, dedups against the
+//! content-addressed cache, groups sweep-adjacent work and fans the rest
+//! through the deterministic parallel executor.
+//!
+//! A batch run proceeds in four phases:
+//!
+//! 1. **enumerate** — every (scenario, backend) pair becomes a job with a
+//!    content key `"<backend>:<hash>"`;
+//! 2. **dedup** — each job is looked up in the [`ResultCache`] (every
+//!    lookup counts toward hit/miss stats); only the first job per unique
+//!    missing key is computed;
+//! 3. **group** — missing work is grouped by the backend's
+//!    [`Evaluator::group_key`] and ordered by system size, so an MVA
+//!    family shares one model build and the resilient backend can chain
+//!    warm starts along a sweep;
+//! 4. **execute** — groups run through [`snoop_numeric::exec::par_map`];
+//!    within a group, members run sequentially in size order. Results are
+//!    scattered back to all duplicate jobs and returned in input order.
+//!
+//! Because `par_map` preserves ordering and every backend is
+//! deterministic, a batched run is result-identical to evaluating each
+//! job one at a time — at 1, 2 or 8 threads.
+
+use std::collections::HashMap;
+
+use snoop_numeric::exec::{par_map, ExecOptions};
+
+use super::backends::Evaluator;
+use super::cache::{CacheStats, ResultCache};
+use super::evaluation::{BackendId, EvalError, Evaluation};
+use super::scenario::Scenario;
+
+/// The outcome of one (scenario, backend) job of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineResult {
+    /// Index of the scenario in the submitted batch.
+    pub scenario: usize,
+    /// The backend that (would have) produced the value.
+    pub backend: BackendId,
+    /// The content-addressed cache key of the job.
+    pub key: String,
+    /// The evaluation, or why it could not be produced.
+    pub result: Result<Evaluation, EvalError>,
+}
+
+/// One unit of work for the executor: a run of same-group jobs on one
+/// backend, in evaluation order.
+#[derive(Debug)]
+struct WorkItem {
+    backend: usize,
+    /// `(job index of the first-seen job with this key, scenario index)`
+    /// per member, already in evaluation (size) order.
+    members: Vec<(usize, usize)>,
+}
+
+/// Evaluates batches of [`Scenario`]s across a set of backends with
+/// content-addressed caching.
+///
+/// # Example
+///
+/// ```
+/// use snoop_mva::engine::{Engine, MvaBackend, Scenario};
+/// use snoop_protocol::ModSet;
+/// use snoop_workload::params::SharingLevel;
+///
+/// let engine = Engine::new().with_backend(MvaBackend);
+/// let scenario = Scenario::appendix_a(ModSet::new(), SharingLevel::Five, 10);
+/// let results = engine.evaluate_batch(&[scenario]);
+/// let eval = results[0].result.as_ref().unwrap();
+/// assert!((eval.speedup - 5.30).abs() < 0.15); // Table 4.1(a)
+/// // A repeated batch is served from the cache.
+/// assert!(engine.evaluate_batch(&[scenario])[0].result.as_ref().unwrap().provenance.cached);
+/// ```
+pub struct Engine {
+    backends: Vec<Box<dyn Evaluator>>,
+    cache: ResultCache,
+    exec: ExecOptions,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with no backends, a default-capacity cache and serial
+    /// execution.
+    pub fn new() -> Self {
+        Engine { backends: Vec::new(), cache: ResultCache::default(), exec: ExecOptions::SERIAL }
+    }
+
+    /// Adds a backend. Batch results are ordered scenario-major, then by
+    /// backend registration order.
+    pub fn with_backend(mut self, backend: impl Evaluator + 'static) -> Self {
+        self.backends.push(Box::new(backend));
+        self
+    }
+
+    /// Sets the executor for residual (uncached) work.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Replaces the cache with an empty one of the given capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ResultCache::new(capacity);
+        self
+    }
+
+    /// The registered backends' identities, in registration order.
+    pub fn backend_ids(&self) -> Vec<BackendId> {
+        self.backends.iter().map(|b| b.id()).collect()
+    }
+
+    /// The engine's result cache (for stats, spill and preloading).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Current cache accounting.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cache key of one (scenario, backend) job.
+    pub fn job_key(backend: BackendId, scenario: &Scenario) -> String {
+        format!("{}:{:016x}", backend, scenario.content_hash())
+    }
+
+    /// Evaluates one scenario on every registered backend.
+    pub fn evaluate(&self, scenario: &Scenario) -> Vec<EngineResult> {
+        self.evaluate_batch(std::slice::from_ref(scenario))
+    }
+
+    /// Evaluates every scenario on every registered backend, returning one
+    /// [`EngineResult`] per (scenario, backend) pair, scenario-major, in
+    /// input order.
+    ///
+    /// Duplicate jobs (same content key) are computed once; repeated jobs
+    /// within one batch still count as cache misses because the value was
+    /// not available when the batch started.
+    pub fn evaluate_batch(&self, scenarios: &[Scenario]) -> Vec<EngineResult> {
+        let _span = snoop_numeric::probe::span("engine.batch");
+        // Phase 1: enumerate jobs scenario-major.
+        let mut jobs: Vec<(usize, usize, String)> = Vec::new();
+        for (si, scenario) in scenarios.iter().enumerate() {
+            let hash = scenario.content_hash();
+            for (bi, backend) in self.backends.iter().enumerate() {
+                jobs.push((si, bi, format!("{}:{hash:016x}", backend.id())));
+            }
+        }
+
+        // Phase 2: consult the cache; keep the first job per missing key.
+        let mut outcomes: Vec<Option<Result<Evaluation, EvalError>>> = Vec::new();
+        let mut first_seen: HashMap<&str, usize> = HashMap::new();
+        for (ji, (_, _, key)) in jobs.iter().enumerate() {
+            match self.cache.get(key) {
+                Some(hit) => outcomes.push(Some(Ok(hit))),
+                None => {
+                    first_seen.entry(key.as_str()).or_insert(ji);
+                    outcomes.push(None);
+                }
+            }
+        }
+        snoop_numeric::probe::counter_add("engine.jobs", jobs.len() as u64);
+
+        // Phase 3: group the unique missing jobs per backend.
+        let mut items: Vec<WorkItem> = Vec::new();
+        let mut group_index: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut missing: Vec<usize> = first_seen.values().copied().collect();
+        missing.sort_unstable(); // deterministic first-seen order
+        for ji in missing {
+            let (si, bi, _) = jobs[ji];
+            match self.backends[bi].group_key(&scenarios[si]) {
+                Some(g) => {
+                    let slot = *group_index.entry((bi, g)).or_insert_with(|| {
+                        items.push(WorkItem { backend: bi, members: Vec::new() });
+                        items.len() - 1
+                    });
+                    items[slot].members.push((ji, si));
+                }
+                None => items.push(WorkItem { backend: bi, members: vec![(ji, si)] }),
+            }
+        }
+        // Order group members by system size so adjacent solves can share
+        // warm state; ties keep first-seen order.
+        for item in &mut items {
+            item.members.sort_by_key(|&(ji, si)| (scenarios[si].n, ji));
+        }
+
+        // Phase 4: execute. One work item is one executor task; members
+        // run sequentially inside it.
+        let computed: Vec<Vec<Result<Evaluation, EvalError>>> =
+            par_map(&items, &self.exec, |item| {
+                let members: Vec<&Scenario> =
+                    item.members.iter().map(|&(_, si)| &scenarios[si]).collect();
+                self.backends[item.backend].evaluate_group(&members)
+            });
+
+        // Scatter back: fill the first-seen job, cache successes, then
+        // copy to duplicate jobs.
+        for (item, results) in items.iter().zip(computed) {
+            debug_assert_eq!(item.members.len(), results.len());
+            for (&(ji, _), result) in item.members.iter().zip(results) {
+                if let Ok(eval) = &result {
+                    self.cache.insert(&jobs[ji].2, eval.clone());
+                }
+                outcomes[ji] = Some(result);
+            }
+        }
+        for ji in 0..jobs.len() {
+            if outcomes[ji].is_none() {
+                let first = first_seen[jobs[ji].2.as_str()];
+                outcomes[ji] = outcomes[first].clone();
+            }
+        }
+
+        jobs.into_iter()
+            .zip(outcomes)
+            .map(|((si, bi, key), result)| EngineResult {
+                scenario: si,
+                backend: self.backends[bi].id(),
+                key,
+                result: result.expect("every job resolved"),
+            })
+            .collect()
+    }
+
+    /// Convenience: evaluates a batch and returns only successful
+    /// evaluations (in job order), logging nothing. Callers that need the
+    /// per-job errors use [`Engine::evaluate_batch`].
+    pub fn evaluate_batch_ok(&self, scenarios: &[Scenario]) -> Vec<Evaluation> {
+        self.evaluate_batch(scenarios)
+            .into_iter()
+            .filter_map(|r| r.result.ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::backends::{GtpnBackend, MvaBackend, ResilientMvaBackend, SimBackend};
+    use super::*;
+    use snoop_protocol::ModSet;
+    use snoop_workload::params::SharingLevel;
+
+    fn scenario(n: usize) -> Scenario {
+        let mut s = Scenario::appendix_a(ModSet::new(), SharingLevel::Five, n);
+        s.sim.warmup_references = 300;
+        s.sim.measured_references = 2_000;
+        s
+    }
+
+    #[test]
+    fn batch_results_are_scenario_major_and_complete() {
+        let engine = Engine::new().with_backend(MvaBackend).with_backend(GtpnBackend::default());
+        let scenarios = [scenario(2), scenario(3)];
+        let results = engine.evaluate_batch(&scenarios);
+        assert_eq!(results.len(), 4);
+        let order: Vec<(usize, BackendId)> =
+            results.iter().map(|r| (r.scenario, r.backend)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, BackendId::Mva),
+                (0, BackendId::Gtpn),
+                (1, BackendId::Mva),
+                (1, BackendId::Gtpn)
+            ]
+        );
+        assert!(results.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn repeat_batch_is_served_entirely_from_cache() {
+        let engine = Engine::new().with_backend(MvaBackend);
+        let scenarios = [scenario(4), scenario(8)];
+        let first = engine.evaluate_batch(&scenarios);
+        assert!(first.iter().all(|r| !r.result.as_ref().unwrap().provenance.cached));
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+
+        let second = engine.evaluate_batch(&scenarios);
+        assert!(second.iter().all(|r| r.result.as_ref().unwrap().provenance.cached));
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+        // Cached values equal computed ones (equality ignores the flag).
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn duplicate_jobs_in_one_batch_compute_once_and_count_as_misses() {
+        let engine = Engine::new().with_backend(MvaBackend);
+        let scenarios = [scenario(4), scenario(8), scenario(4)];
+        let results = engine.evaluate_batch(&scenarios);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 2));
+        assert_eq!(results[0].key, results[2].key);
+        assert_eq!(results[0].result, results[2].result);
+    }
+
+    #[test]
+    fn batched_equals_one_at_a_time_at_every_thread_count() {
+        let scenarios = [scenario(2), scenario(5), scenario(3), scenario(8)];
+        let serial: Vec<EngineResult> = scenarios
+            .iter()
+            .flat_map(|s| {
+                Engine::new()
+                    .with_backend(MvaBackend)
+                    .with_backend(ResilientMvaBackend::default())
+                    .evaluate(s)
+            })
+            .collect();
+        for threads in [1, 2, 8] {
+            let engine = Engine::new()
+                .with_backend(MvaBackend)
+                .with_backend(ResilientMvaBackend::default())
+                .with_exec(ExecOptions::with_threads(threads));
+            let batched = engine.evaluate_batch(&scenarios);
+            assert_eq!(batched.len(), serial.len());
+            for (b, s) in batched.iter().zip(&serial) {
+                assert_eq!(b.key, s.key, "{threads} threads");
+                let (b, s) = (b.result.as_ref().unwrap(), s.result.as_ref().unwrap());
+                assert_eq!(b.speedup.to_bits(), s.speedup.to_bits(), "{threads} threads");
+                assert_eq!(b.r.to_bits(), s.r.to_bits(), "{threads} threads");
+                assert_eq!(b, s, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_backend_batch_returns_one_result_per_pair() {
+        let engine = Engine::new()
+            .with_backend(MvaBackend)
+            .with_backend(SimBackend::default())
+            .with_backend(GtpnBackend::default());
+        let scenarios = [scenario(2), scenario(3)];
+        let results = engine.evaluate_batch(&scenarios);
+        assert_eq!(results.len(), scenarios.len() * 3);
+        for (si, _) in scenarios.iter().enumerate() {
+            for backend in [BackendId::Mva, BackendId::Sim, BackendId::Gtpn] {
+                let matching: Vec<_> = results
+                    .iter()
+                    .filter(|r| r.scenario == si && r.backend == backend)
+                    .collect();
+                assert_eq!(matching.len(), 1, "{backend} for scenario {si}");
+                assert!(matching[0].result.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_per_job_and_not_cached() {
+        let mut tiny = scenario(3);
+        tiny.gtpn.max_states = 4; // forces a state-budget failure
+        let engine = Engine::new().with_backend(MvaBackend).with_backend(GtpnBackend::default());
+        let results = engine.evaluate_batch(&[tiny]);
+        assert!(results[0].result.is_ok());
+        assert!(matches!(
+            results[1].result,
+            Err(EvalError::Failed { backend: BackendId::Gtpn, .. })
+        ));
+        // Only the MVA success was cached; the GTPN failure is retried.
+        assert_eq!(engine.cache_stats().entries, 1);
+        let again = engine.evaluate_batch(&[tiny]);
+        assert!(again[0].result.as_ref().unwrap().provenance.cached);
+        assert!(again[1].result.is_err());
+    }
+
+    #[test]
+    fn preloaded_spill_serves_hits_across_engines() {
+        let first = Engine::new().with_backend(MvaBackend);
+        first.evaluate_batch(&[scenario(4), scenario(8)]);
+        let spill = first.cache().to_json();
+
+        let second = Engine::new().with_backend(MvaBackend);
+        assert_eq!(second.cache().load_json(&spill).unwrap(), 2);
+        let results = second.evaluate_batch(&[scenario(4), scenario(8)]);
+        assert!(results.iter().all(|r| r.result.as_ref().unwrap().provenance.cached));
+        let stats = second.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 0));
+    }
+
+    #[test]
+    fn warm_chained_resilient_backend_is_deterministic_across_threads() {
+        let scenarios = [scenario(2), scenario(4), scenario(8), scenario(16)];
+        let run = |threads: usize| {
+            let engine = Engine::new()
+                .with_backend(ResilientMvaBackend {
+                    warm_start_chains: true,
+                    ..Default::default()
+                })
+                .with_exec(ExecOptions::with_threads(threads));
+            engine.evaluate_batch(&scenarios)
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let parallel = run(threads);
+            for (a, b) in serial.iter().zip(&parallel) {
+                let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "{threads} threads");
+                assert_eq!(a.provenance.iterations, b.provenance.iterations);
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! A bounded, thread-safe, content-addressed result cache with an
+//! optional JSON spill format.
+//!
+//! Keys are `"<backend>:<content-hash>"` strings built by the engine from
+//! [`super::Scenario::content_hash`], so a cached value is valid for
+//! exactly the scenarios that would recompute it. Only successful
+//! evaluations are cached — errors are recomputed every time, so a
+//! transient failure (e.g. a deadline) cannot poison later runs.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use snoop_numeric::json::JsonValue;
+
+use super::evaluation::Evaluation;
+
+/// Schema identifier of the cache spill file.
+pub const CACHE_SCHEMA: &str = "snoop-eval-cache-v1";
+
+/// Default capacity (entries) of a [`ResultCache`].
+pub const DEFAULT_CAPACITY: usize = 16_384;
+
+/// Hit/miss accounting of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to be computed.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (`0.0` when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Evaluation>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded thread-safe map from content keys to [`Evaluation`]s.
+///
+/// Eviction is FIFO: when full, the oldest *inserted* entry leaves first.
+/// (Recency tracking would make `get` reorder state and perturb nothing
+/// but benchmarks; sweep workloads are scans, where FIFO ≡ LRU.)
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache { inner: Mutex::new(Inner::default()), capacity: capacity.max(1) }
+    }
+
+    /// Looks up `key`, counting a hit or a miss. A returned clone has
+    /// `provenance.cached = true`.
+    pub fn get(&self, key: &str) -> Option<Evaluation> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key).cloned() {
+            Some(mut eval) => {
+                inner.hits += 1;
+                eval.provenance.cached = true;
+                Some(eval)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `evaluation` under `key` (no hit/miss accounting). Inserting
+    /// an existing key refreshes the value without growing the cache.
+    pub fn insert(&self, key: &str, evaluation: Evaluation) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key.to_string(), evaluation).is_none() {
+            inner.order.push_back(key.to_string());
+            while inner.map.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                    inner.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes every entry as a [`CACHE_SCHEMA`] document, sorted by
+    /// key so the spill file is deterministic.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut keys: Vec<&String> = inner.map.keys().collect();
+        keys.sort();
+        let mut out = format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"entries\":[\n");
+        for (i, key) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("{\"key\":\"");
+            out.push_str(key);
+            out.push_str("\",\"evaluation\":");
+            out.push_str(&inner.map[*key].to_json());
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Merges entries from a [`CACHE_SCHEMA`] document produced by
+    /// [`ResultCache::to_json`]. Loaded entries do not count as hits or
+    /// misses; existing keys are kept (the live value wins). Returns the
+    /// number of entries merged in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed document or entry.
+    pub fn load_json(&self, text: &str) -> Result<usize, String> {
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(CACHE_SCHEMA) => {}
+            other => {
+                return Err(format!(
+                    "unsupported cache schema {other:?}, expected {CACHE_SCHEMA:?}"
+                ))
+            }
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing \"entries\" array")?;
+        let mut loaded = 0;
+        let mut inner = self.inner.lock().expect("cache lock");
+        for (i, entry) in entries.iter().enumerate() {
+            let key = entry
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("entry {i}: missing \"key\""))?;
+            let evaluation = entry
+                .get("evaluation")
+                .ok_or_else(|| format!("entry {i}: missing \"evaluation\""))
+                .and_then(|v| {
+                    Evaluation::from_json(v).map_err(|e| format!("entry {i}: {e}"))
+                })?;
+            if inner.map.len() >= self.capacity && !inner.map.contains_key(key) {
+                // Respect the bound even when the file outgrew it.
+                continue;
+            }
+            if inner.map.insert(key.to_string(), evaluation).is_none() {
+                inner.order.push_back(key.to_string());
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Writes the spill document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Merges the spill document at `path` if it exists; a missing file
+    /// loads zero entries (first run of a warm-cache workflow).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable or malformed files.
+    pub fn load_file(&self, path: &std::path::Path) -> Result<usize, String> {
+        if !path.exists() {
+            return Ok(0);
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        self.load_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::evaluation::{BackendId, Evaluation, Provenance};
+    use super::*;
+
+    fn eval(n: usize) -> Evaluation {
+        Evaluation {
+            backend: BackendId::Mva,
+            n,
+            r: 6.5 + n as f64,
+            speedup: 0.8 * n as f64,
+            speedup_half_width: None,
+            bus_utilization: 0.5,
+            memory_utilization: Some(0.1),
+            w_bus: Some(1.0),
+            w_mem: Some(0.1),
+            q_bus: Some(1.2),
+            provenance: Provenance::new(9, 0, 0),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = ResultCache::default();
+        assert!(cache.get("mva:1").is_none());
+        cache.insert("mva:1", eval(4));
+        let hit = cache.get("mva:1").unwrap();
+        assert!(hit.provenance.cached);
+        assert_eq!(hit, eval(4)); // equality ignores the cached flag
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = ResultCache::new(2);
+        cache.insert("a", eval(1));
+        cache.insert("b", eval(2));
+        cache.insert("c", eval(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_none(), "oldest entry should have left");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_without_growth() {
+        let cache = ResultCache::new(2);
+        cache.insert("a", eval(1));
+        cache.insert("a", eval(5));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("a").unwrap().n, 5);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn spill_round_trips_deterministically() {
+        let cache = ResultCache::default();
+        cache.insert("mva:b", eval(8));
+        cache.insert("mva:a", eval(4));
+        let text = cache.to_json();
+        assert!(text.contains(CACHE_SCHEMA));
+        // Sorted by key regardless of insertion order.
+        assert!(text.find("mva:a").unwrap() < text.find("mva:b").unwrap());
+
+        let restored = ResultCache::default();
+        assert_eq!(restored.load_json(&text).unwrap(), 2);
+        assert_eq!(restored.get("mva:a").unwrap(), eval(4));
+        assert_eq!(restored.to_json(), text);
+        // Loading counts no hits/misses (the get above counted one hit).
+        assert_eq!(restored.stats().misses, 0);
+    }
+
+    #[test]
+    fn load_rejects_other_schemas() {
+        let cache = ResultCache::default();
+        let err = cache.load_json(r#"{"schema":"nope","entries":[]}"#).unwrap_err();
+        assert!(err.contains("snoop-eval-cache-v1"), "{err}");
+    }
+
+    #[test]
+    fn missing_spill_file_is_empty_not_an_error() {
+        let cache = ResultCache::default();
+        let loaded =
+            cache.load_file(std::path::Path::new("/nonexistent/spill.json")).unwrap();
+        assert_eq!(loaded, 0);
+    }
+}

@@ -1,0 +1,698 @@
+//! [`Scenario`]: the single blessed description of one evaluation.
+//!
+//! Every model in the repository — the MVA equations, the discrete-event
+//! simulator, the GTPN — answers the same question: *given a protocol, a
+//! workload and a system size, what are the steady-state performance
+//! measures?* A `Scenario` captures that question once, with a **stable
+//! canonical serialization** (schema [`SCHEMA`]) and a 64-bit FNV-1a
+//! **content hash** over it, so results can be cached, deduplicated and
+//! compared across backends. The three `to_*` conversions here are the
+//! only blessed paths from a scenario to a concrete model configuration.
+
+use snoop_gtpn::models::coherence::CoherenceNet;
+use snoop_numeric::json::{format_f64, JsonValue};
+use snoop_protocol::ModSet;
+use snoop_sim::SimConfig;
+use snoop_workload::params::{SharingLevel, WorkloadParams};
+
+use super::evaluation::{BackendId, EvalError};
+use crate::solver::{MvaModel, SolverOptions};
+
+/// Schema identifier of the scenario batch-file format and of the
+/// canonical serialization the content hash is computed over.
+pub const SCHEMA: &str = "snoop-scenario-v1";
+
+/// Solver knobs carried by a scenario (they parameterize the MVA
+/// fixed-point iteration and are part of the content hash).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverSettings {
+    /// Maximum fixed-point iterations.
+    pub max_iterations: usize,
+    /// Relative convergence tolerance on `[w_bus, w_mem, R]`.
+    pub tolerance: f64,
+    /// Damping factor in `(0, 1]`.
+    pub damping: f64,
+}
+
+impl Default for SolverSettings {
+    fn default() -> Self {
+        let o = SolverOptions::default();
+        SolverSettings {
+            max_iterations: o.max_iterations,
+            tolerance: o.tolerance,
+            damping: o.damping,
+        }
+    }
+}
+
+/// Simulation knobs carried by a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSettings {
+    /// Root RNG seed (replication seeds are derived from it). Scenario
+    /// files store it as a JSON number, so values must stay ≤ 2^53.
+    pub seed: u64,
+    /// Warm-up references per processor.
+    pub warmup_references: usize,
+    /// Measured references per processor.
+    pub measured_references: usize,
+    /// Independent replications to aggregate.
+    pub replications: usize,
+    /// Confidence level of the Student-t intervals, in `(0, 1)`.
+    pub confidence: f64,
+}
+
+impl Default for SimSettings {
+    fn default() -> Self {
+        // Mirrors `SimConfig::for_protocol` plus the validate/bench
+        // convention of three replications at 95%.
+        SimSettings {
+            seed: 0x5eed_cafe,
+            warmup_references: 2_000,
+            measured_references: 30_000,
+            replications: 3,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// GTPN knobs carried by a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtpnSettings {
+    /// Maximum reachable states before the expansion gives up.
+    pub max_states: usize,
+}
+
+impl Default for GtpnSettings {
+    fn default() -> Self {
+        GtpnSettings { max_states: 200_000 }
+    }
+}
+
+/// A full description of one evaluation: protocol, workload, system size
+/// and per-backend knobs.
+///
+/// Construct with [`Scenario::appendix_a`] (the paper's workload preset)
+/// or [`Scenario::with_params`] (a custom workload), then adjust the
+/// public fields. The canonical serialization covers *every* field, so
+/// two scenarios hash equal exactly when every backend would produce the
+/// same answer for both.
+///
+/// # Example
+///
+/// ```
+/// use snoop_mva::engine::Scenario;
+/// use snoop_protocol::ModSet;
+/// use snoop_workload::params::SharingLevel;
+///
+/// let a = Scenario::appendix_a("WO+1+3".parse::<ModSet>().unwrap(), SharingLevel::Five, 10);
+/// let b = Scenario::appendix_a("WO+3+1".parse::<ModSet>().unwrap(), SharingLevel::Five, 10);
+/// // Mod-set spelling is canonicalized, so the content hashes agree.
+/// assert_eq!(a.content_hash(), b.content_hash());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Protocol modification set (canonicalized by construction).
+    pub protocol: ModSet,
+    /// The sharing level the workload was derived from, when it came from
+    /// the Appendix-A preset (`None` for fully custom parameters).
+    pub sharing: Option<SharingLevel>,
+    /// The workload parameters (before per-modification adjustment; the
+    /// blessed conversions apply the paper's adjustments).
+    pub params: WorkloadParams,
+    /// Number of processors.
+    pub n: usize,
+    /// MVA solver knobs.
+    pub solver: SolverSettings,
+    /// Simulation knobs.
+    pub sim: SimSettings,
+    /// GTPN knobs.
+    pub gtpn: GtpnSettings,
+}
+
+impl Scenario {
+    /// A scenario on the paper's Appendix-A workload preset.
+    pub fn appendix_a(protocol: ModSet, sharing: SharingLevel, n: usize) -> Self {
+        Scenario {
+            protocol,
+            sharing: Some(sharing),
+            params: WorkloadParams::appendix_a(sharing),
+            n,
+            solver: SolverSettings::default(),
+            sim: SimSettings::default(),
+            gtpn: GtpnSettings::default(),
+        }
+    }
+
+    /// A scenario on a custom workload.
+    pub fn with_params(protocol: ModSet, params: WorkloadParams, n: usize) -> Self {
+        Scenario {
+            protocol,
+            sharing: None,
+            params,
+            n,
+            solver: SolverSettings::default(),
+            sim: SimSettings::default(),
+            gtpn: GtpnSettings::default(),
+        }
+    }
+
+    /// The canonical serialization: one compact JSON object with a fixed
+    /// field order, mod-set spelling canonicalized through [`ModSet`]'s
+    /// `Display`, and floats in shortest round-trip form. Equal scenarios
+    /// produce byte-identical serializations regardless of how they were
+    /// constructed or spelled in a batch file.
+    pub fn canonical_json(&self) -> String {
+        let mut s = String::with_capacity(640);
+        s.push_str("{\"schema\":\"");
+        s.push_str(SCHEMA);
+        s.push_str("\",\"protocol\":\"");
+        s.push_str(&self.protocol.to_string());
+        s.push_str("\",\"sharing\":");
+        match self.sharing {
+            Some(level) => {
+                s.push('"');
+                s.push_str(sharing_code(level));
+                s.push('"');
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"n\":");
+        s.push_str(&self.n.to_string());
+        s.push_str(",\"params\":{");
+        for (i, (name, value)) in param_fields(&self.params).iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(name);
+            s.push_str("\":");
+            s.push_str(&format_f64(*value));
+        }
+        s.push_str("},\"solver\":{\"max_iterations\":");
+        s.push_str(&self.solver.max_iterations.to_string());
+        s.push_str(",\"tolerance\":");
+        s.push_str(&format_f64(self.solver.tolerance));
+        s.push_str(",\"damping\":");
+        s.push_str(&format_f64(self.solver.damping));
+        s.push_str("},\"sim\":{\"seed\":");
+        s.push_str(&self.sim.seed.to_string());
+        s.push_str(",\"warmup\":");
+        s.push_str(&self.sim.warmup_references.to_string());
+        s.push_str(",\"measured\":");
+        s.push_str(&self.sim.measured_references.to_string());
+        s.push_str(",\"replications\":");
+        s.push_str(&self.sim.replications.to_string());
+        s.push_str(",\"confidence\":");
+        s.push_str(&format_f64(self.sim.confidence));
+        s.push_str("},\"gtpn\":{\"max_states\":");
+        s.push_str(&self.gtpn.max_states.to_string());
+        s.push_str("}}");
+        s
+    }
+
+    /// 64-bit FNV-1a hash of the canonical serialization — the cache and
+    /// dedup key (combined with a backend id by the engine).
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(self.canonical_json().as_bytes())
+    }
+
+    /// Like [`Scenario::content_hash`] with the system size masked out:
+    /// scenarios with equal family hashes describe the same model at
+    /// different `N`, so a batch planner can evaluate them as one
+    /// sweep-adjacent group (shared model construction, warm starts).
+    pub fn family_hash(&self) -> u64 {
+        let mut family = *self;
+        family.n = 0;
+        family.content_hash()
+    }
+
+    /// The [`SolverOptions`] equivalent of the carried solver settings.
+    pub fn solver_options(&self) -> SolverOptions {
+        SolverOptions {
+            max_iterations: self.solver.max_iterations,
+            tolerance: self.solver.tolerance,
+            damping: self.solver.damping,
+        }
+    }
+
+    /// Blessed conversion to an MVA model (applies the paper's Appendix-A
+    /// per-modification parameter adjustments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidScenario`] when the workload fails
+    /// validation.
+    pub fn to_mva_model(&self) -> Result<MvaModel, EvalError> {
+        MvaModel::for_protocol(&self.params, self.protocol)
+            .map_err(|e| EvalError::InvalidScenario(e.to_string()))
+    }
+
+    /// Blessed conversion to a simulator configuration: the same paper
+    /// adjustments as [`Scenario::to_mva_model`], with the scenario's
+    /// seed and run lengths applied.
+    pub fn to_sim_config(&self) -> SimConfig {
+        let mut config = SimConfig::for_protocol(self.n, self.params, self.protocol);
+        config.seed = self.sim.seed;
+        config.warmup_references = self.sim.warmup_references;
+        config.measured_references = self.sim.measured_references;
+        config
+    }
+
+    /// Blessed conversion to a coherence GTPN (built from the same derived
+    /// model inputs as the MVA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidScenario`] for invalid workloads and
+    /// [`EvalError::Failed`] when net construction fails.
+    pub fn to_coherence_net(&self) -> Result<CoherenceNet, EvalError> {
+        let model = self.to_mva_model()?;
+        CoherenceNet::build(model.inputs(), self.n).map_err(|e| EvalError::Failed {
+            backend: BackendId::Gtpn,
+            reason: e.to_string(),
+        })
+    }
+
+    /// Parses a scenario batch file (schema [`SCHEMA`]): an object with
+    /// `"schema"` and a `"scenarios"` array. Each scenario needs
+    /// `"protocol"` and `"n"`; `"sharing"` (default `"5"`), `"params"`
+    /// (paper-name overrides on the Appendix-A preset), `"solver"`,
+    /// `"sim"` and `"gtpn"` are optional. Unknown keys are rejected so
+    /// typos fail loudly instead of silently evaluating the default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidScenario`] naming the offending
+    /// scenario index and field.
+    pub fn parse_batch(text: &str) -> Result<Vec<Scenario>, EvalError> {
+        let invalid = |message: String| EvalError::InvalidScenario(message);
+        let doc = JsonValue::parse(text).map_err(|e| invalid(e.to_string()))?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => {
+                return Err(invalid(format!(
+                    "unsupported schema {other:?}, expected {SCHEMA:?}"
+                )))
+            }
+            None => return Err(invalid(format!("missing \"schema\": {SCHEMA:?}"))),
+        }
+        for (key, _) in doc.as_object().unwrap_or(&[]) {
+            if !matches!(key.as_str(), "schema" | "scenarios" | "comment") {
+                return Err(invalid(format!("unknown top-level key {key:?}")));
+            }
+        }
+        let list = doc
+            .get("scenarios")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| invalid("missing \"scenarios\" array".to_string()))?;
+        if list.is_empty() {
+            return Err(invalid("\"scenarios\" array is empty".to_string()));
+        }
+        list.iter()
+            .enumerate()
+            .map(|(i, item)| {
+                Scenario::from_json(item).map_err(|e| invalid(format!("scenario {i}: {e}")))
+            })
+            .collect()
+    }
+
+    /// Serializes scenarios as a batch file ([`SCHEMA`]), one canonical
+    /// scenario object per line. `parse_batch` inverts it exactly.
+    pub fn batch_to_json(scenarios: &[Scenario]) -> String {
+        let mut out = String::from("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\"scenarios\":[\n");
+        for (i, s) in scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&s.canonical_json());
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parses one scenario object.
+    fn from_json(item: &JsonValue) -> Result<Scenario, String> {
+        let pairs = item.as_object().ok_or("expected an object")?;
+        for (key, _) in pairs {
+            if !matches!(
+                key.as_str(),
+                "schema" | "protocol" | "sharing" | "n" | "params" | "solver" | "sim" | "gtpn"
+                    | "comment"
+            ) {
+                return Err(format!("unknown key {key:?}"));
+            }
+        }
+        // Canonical scenario objects embed the schema tag; when present it
+        // must match.
+        if let Some(tag) = item.get("schema") {
+            match tag.as_str() {
+                Some(SCHEMA) => {}
+                _ => return Err(format!("schema must be {SCHEMA:?}")),
+            }
+        }
+        let protocol: ModSet = item
+            .get("protocol")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"protocol\" string")?
+            .parse()
+            .map_err(|e: snoop_protocol::ProtocolError| e.to_string())?;
+        // Absent defaults to the paper's 5%; an explicit null means "the
+        // params are custom, not an Appendix-A preset".
+        let sharing = match item.get("sharing") {
+            None => Some(SharingLevel::Five),
+            Some(JsonValue::Null) => None,
+            Some(v) => Some(parse_sharing(v)?),
+        };
+        let n = item
+            .get("n")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing or invalid \"n\" (positive integer)")?;
+        if n == 0 {
+            return Err("\"n\" must be at least 1".to_string());
+        }
+        let mut scenario =
+            Scenario::appendix_a(protocol, sharing.unwrap_or(SharingLevel::Five), n);
+        scenario.sharing = sharing;
+        if let Some(overrides) = item.get("params") {
+            apply_param_overrides(&mut scenario.params, overrides)?;
+            scenario
+                .params
+                .validate()
+                .map_err(|e| format!("params: {e}"))?;
+        }
+        if let Some(solver) = item.get("solver") {
+            let s = &mut scenario.solver;
+            read_object(solver, "solver", &mut [
+                ("max_iterations", Slot::Usize(&mut s.max_iterations)),
+                ("tolerance", Slot::F64(&mut s.tolerance)),
+                ("damping", Slot::F64(&mut s.damping)),
+            ])?;
+        }
+        if let Some(sim) = item.get("sim") {
+            let s = &mut scenario.sim;
+            read_object(sim, "sim", &mut [
+                ("seed", Slot::U64(&mut s.seed)),
+                ("warmup", Slot::Usize(&mut s.warmup_references)),
+                ("measured", Slot::Usize(&mut s.measured_references)),
+                ("replications", Slot::Usize(&mut s.replications)),
+                ("confidence", Slot::F64(&mut s.confidence)),
+            ])?;
+        }
+        if let Some(gtpn) = item.get("gtpn") {
+            let s = &mut scenario.gtpn;
+            read_object(gtpn, "gtpn", &mut [("max_states", Slot::Usize(&mut s.max_states))])?;
+        }
+        Ok(scenario)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.sharing {
+            Some(level) => write!(f, "{} at {} sharing, N = {}", self.protocol, level, self.n),
+            None => write!(f, "{} (custom workload), N = {}", self.protocol, self.n),
+        }
+    }
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical short code of a sharing level (`"1"`, `"5"`, `"20"`).
+fn sharing_code(level: SharingLevel) -> &'static str {
+    match level {
+        SharingLevel::One => "1",
+        SharingLevel::Five => "5",
+        SharingLevel::Twenty => "20",
+    }
+}
+
+fn parse_sharing(v: &JsonValue) -> Result<SharingLevel, String> {
+    let code = match v {
+        JsonValue::String(s) => s.trim_end_matches('%').to_string(),
+        JsonValue::Number(_) => v
+            .as_usize()
+            .map(|u| u.to_string())
+            .ok_or("invalid \"sharing\" number")?,
+        _ => return Err("\"sharing\" must be \"1\", \"5\" or \"20\"".to_string()),
+    };
+    match code.as_str() {
+        "1" => Ok(SharingLevel::One),
+        "5" => Ok(SharingLevel::Five),
+        "20" => Ok(SharingLevel::Twenty),
+        other => Err(format!("unknown sharing level {other:?}, expected 1, 5 or 20")),
+    }
+}
+
+/// The workload parameters in canonical (paper) order, matching
+/// `snoop_workload::file`.
+fn param_fields(p: &WorkloadParams) -> [(&'static str, f64); 16] {
+    [
+        ("tau", p.tau),
+        ("p_private", p.p_private),
+        ("p_sro", p.p_sro),
+        ("p_sw", p.p_sw),
+        ("h_private", p.h_private),
+        ("h_sro", p.h_sro),
+        ("h_sw", p.h_sw),
+        ("r_private", p.r_private),
+        ("r_sw", p.r_sw),
+        ("amod_private", p.amod_private),
+        ("amod_sw", p.amod_sw),
+        ("csupply_sro", p.csupply_sro),
+        ("csupply_sw", p.csupply_sw),
+        ("wb_csupply", p.wb_csupply),
+        ("rep_p", p.rep_p),
+        ("rep_sw", p.rep_sw),
+    ]
+}
+
+fn apply_param_overrides(params: &mut WorkloadParams, overrides: &JsonValue) -> Result<(), String> {
+    let pairs = overrides.as_object().ok_or("\"params\" must be an object")?;
+    for (name, value) in pairs {
+        let value = value
+            .as_f64()
+            .ok_or_else(|| format!("params.{name} must be a number"))?;
+        let slot = match name.as_str() {
+            "tau" => &mut params.tau,
+            "p_private" => &mut params.p_private,
+            "p_sro" => &mut params.p_sro,
+            "p_sw" => &mut params.p_sw,
+            "h_private" => &mut params.h_private,
+            "h_sro" => &mut params.h_sro,
+            "h_sw" => &mut params.h_sw,
+            "r_private" => &mut params.r_private,
+            "r_sw" => &mut params.r_sw,
+            "amod_private" => &mut params.amod_private,
+            "amod_sw" => &mut params.amod_sw,
+            "csupply_sro" => &mut params.csupply_sro,
+            "csupply_sw" => &mut params.csupply_sw,
+            "wb_csupply" => &mut params.wb_csupply,
+            "rep_p" => &mut params.rep_p,
+            "rep_sw" => &mut params.rep_sw,
+            other => return Err(format!("unknown parameter {other:?}")),
+        };
+        *slot = value;
+    }
+    Ok(())
+}
+
+/// A typed destination for one optional object field.
+enum Slot<'a> {
+    Usize(&'a mut usize),
+    U64(&'a mut u64),
+    F64(&'a mut f64),
+}
+
+/// Reads the known fields of a settings object, rejecting unknown keys.
+fn read_object(
+    value: &JsonValue,
+    section: &str,
+    slots: &mut [(&str, Slot<'_>)],
+) -> Result<(), String> {
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| format!("\"{section}\" must be an object"))?;
+    for (key, v) in pairs {
+        let Some((_, slot)) = slots.iter_mut().find(|(name, _)| name == key) else {
+            return Err(format!("unknown key {section}.{key}"));
+        };
+        match slot {
+            Slot::Usize(dest) => {
+                **dest = v
+                    .as_usize()
+                    .ok_or_else(|| format!("{section}.{key} must be a non-negative integer"))?;
+            }
+            Slot::U64(dest) => {
+                **dest = v
+                    .as_u64()
+                    .ok_or_else(|| format!("{section}.{key} must be a non-negative integer"))?;
+            }
+            Slot::F64(dest) => {
+                **dest = v
+                    .as_f64()
+                    .ok_or_else(|| format!("{section}.{key} must be a number"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wo5(n: usize) -> Scenario {
+        Scenario::appendix_a(ModSet::new(), SharingLevel::Five, n)
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_parses() {
+        let s = wo5(10);
+        let json = s.canonical_json();
+        assert!(json.starts_with("{\"schema\":\"snoop-scenario-v1\""));
+        // The canonical form is itself valid JSON.
+        JsonValue::parse(&json).unwrap();
+        assert_eq!(json, wo5(10).canonical_json());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_fields() {
+        let base = wo5(10);
+        assert_eq!(base.content_hash(), wo5(10).content_hash());
+        assert_ne!(base.content_hash(), wo5(11).content_hash());
+        let mut other = base;
+        other.sim.seed += 1;
+        assert_ne!(base.content_hash(), other.content_hash());
+        let mut tol = base;
+        tol.solver.tolerance = 1e-9;
+        assert_ne!(base.content_hash(), tol.content_hash());
+    }
+
+    #[test]
+    fn family_hash_masks_system_size_only() {
+        assert_eq!(wo5(2).family_hash(), wo5(100).family_hash());
+        let other_sharing = Scenario::appendix_a(ModSet::new(), SharingLevel::Twenty, 2);
+        assert_ne!(wo5(2).family_hash(), other_sharing.family_hash());
+    }
+
+    #[test]
+    fn batch_round_trips_through_canonical_form() {
+        let mut custom = Scenario::appendix_a(
+            "dragon".parse().unwrap(),
+            SharingLevel::Twenty,
+            8,
+        );
+        custom.sim.replications = 5;
+        custom.solver.tolerance = 1e-9;
+        // A fully custom workload (sharing = None) must survive too.
+        let bespoke = Scenario::with_params(
+            "WO+2".parse().unwrap(),
+            WorkloadParams::appendix_a(SharingLevel::One),
+            6,
+        );
+        let scenarios = vec![wo5(4), custom, bespoke];
+        let text = Scenario::batch_to_json(&scenarios);
+        let parsed = Scenario::parse_batch(&text).unwrap();
+        assert_eq!(parsed, scenarios);
+        assert_eq!(parsed[1].content_hash(), custom.content_hash());
+        assert_eq!(parsed[2].sharing, None);
+        assert_eq!(parsed[2].content_hash(), bespoke.content_hash());
+    }
+
+    #[test]
+    fn hash_is_stable_across_field_reordering_in_the_file() {
+        let a = Scenario::parse_batch(
+            r#"{"schema":"snoop-scenario-v1","scenarios":[
+                {"protocol":"WO+1","sharing":"5","n":10,"sim":{"seed":7,"replications":4}}
+            ]}"#,
+        )
+        .unwrap();
+        let b = Scenario::parse_batch(
+            r#"{"scenarios":[
+                {"n":10,"sim":{"replications":4,"seed":7},"protocol":"wo+1","sharing":5}
+            ],"schema":"snoop-scenario-v1"}"#,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0].content_hash(), b[0].content_hash());
+    }
+
+    #[test]
+    fn mod_set_spelling_cannot_poison_the_hash() {
+        let batch = |spelling: &str| {
+            Scenario::parse_batch(&format!(
+                r#"{{"schema":"snoop-scenario-v1","scenarios":[{{"protocol":"{spelling}","n":4}}]}}"#
+            ))
+            .unwrap()[0]
+        };
+        let canonical = batch("WO+1+3");
+        let reversed = batch("WO+3+1");
+        let named = batch("rwb"); // different set, must differ
+        assert_eq!(canonical.content_hash(), reversed.content_hash());
+        assert!(canonical.canonical_json().contains("\"WO+1+3\""));
+        assert_ne!(canonical.content_hash(), named.content_hash());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        let bad = |text: &str| Scenario::parse_batch(text).unwrap_err().to_string();
+        assert!(bad(r#"{"scenarios":[]}"#).contains("schema"));
+        assert!(bad(r#"{"schema":"snoop-scenario-v1","scenarios":[]}"#).contains("empty"));
+        assert!(bad(
+            r#"{"schema":"snoop-scenario-v1","scenarios":[{"protocol":"WO","n":0}]}"#
+        )
+        .contains("at least 1"));
+        assert!(bad(
+            r#"{"schema":"snoop-scenario-v1","scenarios":[{"protocol":"WO","n":2,"typo":1}]}"#
+        )
+        .contains("typo"));
+        assert!(bad(
+            r#"{"schema":"snoop-scenario-v1","scenarios":[{"protocol":"WO","n":2,"params":{"bogus":1}}]}"#
+        )
+        .contains("bogus"));
+        assert!(bad(
+            r#"{"schema":"snoop-scenario-v1","scenarios":[{"protocol":"WO","n":2,"params":{"h_private":1.5}}]}"#
+        )
+        .contains("params"));
+        assert!(bad(
+            r#"{"schema":"snoop-scenario-v1","scenarios":[{"protocol":"WO","n":2,"sharing":"7"}]}"#
+        )
+        .contains("sharing"));
+    }
+
+    #[test]
+    fn conversions_agree_with_the_legacy_construction_paths() {
+        let s = Scenario::appendix_a("WO+1".parse().unwrap(), SharingLevel::Five, 8);
+        let legacy_model = MvaModel::for_protocol(
+            &WorkloadParams::appendix_a(SharingLevel::Five),
+            s.protocol,
+        )
+        .unwrap();
+        assert_eq!(s.to_mva_model().unwrap(), legacy_model);
+        let legacy_config = SimConfig::for_protocol(
+            8,
+            WorkloadParams::appendix_a(SharingLevel::Five),
+            s.protocol,
+        );
+        assert_eq!(s.to_sim_config(), legacy_config);
+        let net = s.to_coherence_net().unwrap();
+        assert_eq!(net.n, 8);
+    }
+
+    #[test]
+    fn display_labels_are_readable() {
+        assert_eq!(wo5(10).to_string(), "WO at 5% sharing, N = 10");
+        let custom = Scenario::with_params(ModSet::new(), WorkloadParams::default(), 4);
+        assert!(custom.to_string().contains("custom workload"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Series of engine [`Evaluation`]s and the table/CSV/gnuplot renderers
+//! the CLI's `table`, `figure` and `sweep` commands print.
+//!
+//! The renderers here are byte-identical to the legacy
+//! [`crate::report`] renderers over [`crate::sweep::SpeedupSeries`] for
+//! MVA-produced points, so rewiring the CLI onto the engine changed no
+//! output.
+
+use std::fmt::Write as _;
+
+use snoop_protocol::ModSet;
+use snoop_workload::params::SharingLevel;
+
+use super::evaluation::Evaluation;
+
+/// Evaluations of one (protocol, sharing level) across system sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationSeries {
+    /// The protocol evaluated.
+    pub mods: ModSet,
+    /// The sharing level the workload came from.
+    pub sharing: SharingLevel,
+    /// One evaluation per system size, in sweep order.
+    pub points: Vec<Evaluation>,
+}
+
+/// Renders series as a Table-4.1-style fixed-width table: one row per
+/// (sharing level, protocol) with speedups across `N`.
+pub fn speedup_table(title: &str, series: &[EvaluationSeries]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if series.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let _ = write!(out, "{:<10} {:<10}", "sharing", "protocol");
+    for p in &series[0].points {
+        let _ = write!(out, " {:>7}", p.n);
+    }
+    let _ = writeln!(out);
+    for s in series {
+        let _ = write!(out, "{:<10} {:<10}", s.sharing.to_string(), s.mods.to_string());
+        for p in &s.points {
+            let _ = write!(out, " {:>7.3}", p.speedup);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders series as CSV:
+/// `protocol,sharing,n,speedup,bus_utilization,memory_utilization,w_bus,r`.
+///
+/// Measures a backend does not report render as `NaN` (the MVA fills
+/// every column).
+pub fn speedup_csv(series: &[EvaluationSeries]) -> String {
+    let mut out =
+        String::from("protocol,sharing,n,speedup,bus_utilization,memory_utilization,w_bus,r\n");
+    for s in series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                s.mods,
+                s.sharing,
+                p.n,
+                p.speedup,
+                p.bus_utilization,
+                p.memory_utilization.unwrap_or(f64::NAN),
+                p.w_bus.unwrap_or(f64::NAN),
+                p.r
+            );
+        }
+    }
+    out
+}
+
+/// Renders a gnuplot script (with inline data blocks) that draws the
+/// series as a Figure-4.1-style plot.
+pub fn gnuplot_script(title: &str, series: &[EvaluationSeries]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "set terminal svg size 800,560 dynamic");
+    let _ = writeln!(out, "set output 'figure.svg'");
+    let _ = writeln!(out, "set title {title:?}");
+    let _ = writeln!(out, "set xlabel 'Number of processors'");
+    let _ = writeln!(out, "set ylabel 'Speedup'");
+    let _ = writeln!(out, "set key bottom right");
+    let _ = writeln!(out, "set grid");
+    for (i, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "$data{i} << EOD");
+        for p in &s.points {
+            let _ = writeln!(out, "{} {}", p.n, p.speedup);
+        }
+        let _ = writeln!(out, "EOD");
+    }
+    let plots: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!("$data{i} using 1:2 with linespoints title '{} {}'", s.mods, s.sharing)
+        })
+        .collect();
+    let _ = writeln!(out, "plot {}", plots.join(", \\\n     "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::backends::MvaBackend;
+    use super::super::batch::Engine;
+    use super::super::scenario::Scenario;
+    use super::*;
+    use crate::report;
+    use crate::solver::SolverOptions;
+    use crate::sweep::speedup_series;
+
+    /// Builds the same series through the legacy sweep and the engine.
+    fn both_paths(sizes: &[usize]) -> (Vec<crate::sweep::SpeedupSeries>, Vec<EvaluationSeries>) {
+        let legacy = vec![speedup_series(
+            ModSet::new(),
+            SharingLevel::Five,
+            sizes,
+            &SolverOptions::default(),
+        )
+        .unwrap()];
+        let engine = Engine::new().with_backend(MvaBackend);
+        let scenarios: Vec<Scenario> = sizes
+            .iter()
+            .map(|&n| Scenario::appendix_a(ModSet::new(), SharingLevel::Five, n))
+            .collect();
+        let points = engine.evaluate_batch_ok(&scenarios);
+        assert_eq!(points.len(), sizes.len());
+        let series =
+            vec![EvaluationSeries { mods: ModSet::new(), sharing: SharingLevel::Five, points }];
+        (legacy, series)
+    }
+
+    #[test]
+    fn table_matches_the_legacy_renderer_byte_for_byte() {
+        let (legacy, engine) = both_paths(&[1, 5, 10]);
+        assert_eq!(
+            report::speedup_table("Table 4.1(a)", &legacy),
+            speedup_table("Table 4.1(a)", &engine)
+        );
+    }
+
+    #[test]
+    fn csv_matches_the_legacy_renderer_byte_for_byte() {
+        let (legacy, engine) = both_paths(&[1, 5, 10]);
+        assert_eq!(report::speedup_csv(&legacy), speedup_csv(&engine));
+    }
+
+    #[test]
+    fn gnuplot_matches_the_legacy_renderer_byte_for_byte() {
+        let (legacy, engine) = both_paths(&[1, 5, 10]);
+        assert_eq!(
+            report::gnuplot_script("Figure 4.1", &legacy),
+            gnuplot_script("Figure 4.1", &engine)
+        );
+    }
+
+    #[test]
+    fn empty_series_render_a_placeholder() {
+        assert!(speedup_table("t", &[]).contains("(no data)"));
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod asymptote;
 pub mod calibration;
+pub mod engine;
 pub mod equations;
 pub mod hierarchical;
 pub mod interference;

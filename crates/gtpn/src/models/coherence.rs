@@ -366,6 +366,25 @@ mod tests {
     }
 
     #[test]
+    fn oversized_net_fails_fast_instead_of_accumulating_leaves() {
+        // At N = 8 the weight races inside one settlement enumerate far
+        // more pre-dedup leaves than any reasonable state budget; the
+        // explorer must stop at the successor budget rather than grow the
+        // distribution unboundedly before interning ever sees it.
+        let i = inputs(SharingLevel::Twenty, &[]);
+        let net = CoherenceNet::build(&i, 8).unwrap();
+        let start = std::time::Instant::now();
+        let err = net
+            .solve(&ReachabilityOptions { max_states: 500, ..ReachabilityOptions::default() })
+            .unwrap_err();
+        assert!(
+            matches!(err, GtpnError::StateSpaceExplosion { limit: 500 }),
+            "expected a state-space explosion, got {err:?}"
+        );
+        assert!(start.elapsed().as_secs() < 30, "explosion must be detected promptly");
+    }
+
+    #[test]
     fn bus_queue_tracks_mva_estimate() {
         // Beyond speedup: the GTPN's time-averaged wait-place population
         // should sit near the MVA's queue estimate. The MVA's Q̄ counts

@@ -192,6 +192,14 @@ struct Explorer<'a> {
 }
 
 impl Explorer<'_> {
+    /// Most leaves one state's successor distribution may hold before the
+    /// expansion is declared an explosion. Pre-dedup leaves are allowed a
+    /// generous multiple of `max_states` because weight races reach the
+    /// same settled state along many orderings.
+    fn successor_budget(&self) -> usize {
+        self.options.max_states.saturating_mul(8)
+    }
+
     fn intern(&mut self, state: TimedState) -> Result<usize, GtpnError> {
         if let Some(&id) = self.index.get(&state) {
             return Ok(id);
@@ -383,6 +391,20 @@ impl Explorer<'_> {
             };
 
             if candidates.is_empty() {
+                // Guard the successor accumulator itself: the race
+                // enumeration below is factorial in the number of enabled
+                // transitions, so a large system can build a distribution
+                // of billions of (mostly duplicate) leaves — exhausting
+                // memory long before `intern` ever sees a state and checks
+                // `max_states`. A distribution wider than the entire
+                // permitted state space cannot contain new information
+                // (post-dedup it collapses to at most `max_states`
+                // states), so it is reported as the same explosion.
+                if out.len() >= self.successor_budget() {
+                    return Err(GtpnError::StateSpaceExplosion {
+                        limit: self.options.max_states,
+                    });
+                }
                 out.push((TimedState::new(marking, active), prob));
                 continue;
             }

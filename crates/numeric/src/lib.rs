@@ -52,6 +52,7 @@ pub mod exec;
 pub mod fault;
 pub mod fixed_point;
 pub mod histogram;
+pub mod json;
 pub mod lu;
 pub mod markov;
 pub mod matrix;

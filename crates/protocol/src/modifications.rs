@@ -334,6 +334,35 @@ mod tests {
     }
 
     #[test]
+    fn display_is_canonical_regardless_of_spelling_or_insertion_order() {
+        // The engine's content-addressed cache keys hash the `Display`
+        // form, so every spelling of the same set MUST render identically —
+        // "WO+3+1" printing differently from "WO+1+3" would poison the
+        // cache with duplicate entries for one protocol.
+        assert_eq!("WO+3+1".parse::<ModSet>().unwrap().to_string(), "WO+1+3");
+        assert_eq!("wo+4+2+1".parse::<ModSet>().unwrap().to_string(), "WO+1+2+4");
+        let forward: ModSet =
+            [Modification::ExclusiveLoad, Modification::InvalidateOnWrite].into_iter().collect();
+        let reverse: ModSet =
+            [Modification::InvalidateOnWrite, Modification::ExclusiveLoad].into_iter().collect();
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.to_string(), reverse.to_string());
+        // Every member of the power set round-trips through its canonical
+        // rendering to the same set and the same rendering.
+        for set in ModSet::power_set() {
+            let rendered = set.to_string();
+            let reparsed: ModSet = rendered.parse().unwrap();
+            assert_eq!(reparsed, set);
+            assert_eq!(reparsed.to_string(), rendered);
+            // Canonical form lists modification numbers in ascending order.
+            let numbers: Vec<u8> = set.iter().map(|m| m.number()).collect();
+            let mut sorted = numbers.clone();
+            sorted.sort_unstable();
+            assert_eq!(numbers, sorted, "{rendered}");
+        }
+    }
+
+    #[test]
     fn parse_named_protocols_as_mod_sets() {
         assert_eq!("dragon".parse::<ModSet>().unwrap(), ModSet::all());
         assert_eq!(

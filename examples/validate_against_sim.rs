@@ -1,22 +1,29 @@
 //! Cross-validate the three models the repository implements: the MVA
-//! equations, the GTPN engine, and the discrete-event simulator — the
-//! paper's methodology in one program.
+//! equations, the discrete-event simulator, and the GTPN engine — the
+//! paper's methodology in one program, driven entirely through the
+//! unified evaluation [`Engine`].
+//!
+//! One scenario description feeds every backend; each returns the common
+//! [`Evaluation`] currency, so the comparison is a table of like against
+//! like with provenance (replications, reachable states) attached.
 //!
 //! ```text
 //! cargo run --release --example validate_against_sim
 //! ```
 
-use snoop::gtpn::models::coherence::CoherenceNet;
-use snoop::gtpn::reachability::ReachabilityOptions;
-use snoop::mva::{MvaModel, SolverOptions};
+use snoop::engine::{BackendId, Engine, GtpnBackend, MvaBackend, Scenario, SimBackend};
 use snoop::protocol::ModSet;
-use snoop::sim::runner::replicate;
-use snoop::sim::SimConfig;
-use snoop::workload::params::{SharingLevel, WorkloadParams};
+use snoop::workload::params::SharingLevel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sharing = SharingLevel::Five;
-    let params = WorkloadParams::appendix_a(sharing);
+    let engine = Engine::new()
+        .with_backend(MvaBackend)
+        .with_backend(SimBackend::default());
+    // The GTPN's state space explodes quickly — the paper's point — so it
+    // gets its own engine and is only attempted for small systems.
+    let gtpn_engine = Engine::new().with_backend(GtpnBackend::default());
+    const GTPN_MAX_N: usize = 2;
 
     println!("Cross-model validation, Write-Once, 5% sharing");
     println!(
@@ -24,30 +31,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "N", "MVA", "DES (95% CI)", "GTPN", "GTPN states"
     );
 
+    let mut scenarios = Vec::new();
     for n in [1usize, 2, 4, 8] {
-        let mva = MvaModel::for_protocol(&params, ModSet::new())?
-            .solve(n, &SolverOptions::default())?;
+        let mut s = Scenario::appendix_a(ModSet::new(), sharing, n);
+        s.sim.replications = 5;
+        scenarios.push(s);
+    }
+    let small: Vec<Scenario> =
+        scenarios.iter().filter(|s| s.n <= GTPN_MAX_N).copied().collect();
 
-        let sim_config = SimConfig::for_protocol(n, params, ModSet::new());
-        let sim = replicate(&sim_config, 5, 0.95)?;
-
-        // The GTPN's state space explodes quickly — the paper's point — so
-        // only small systems are attempted.
-        let gtpn = if n <= 2 {
-            let model = MvaModel::for_protocol(&params, ModSet::new())?;
-            let net = CoherenceNet::build(model.inputs(), n)?;
-            Some(net.solve(&ReachabilityOptions::default())?)
+    let results = engine.evaluate_batch(&scenarios);
+    let mut gtpn_results = gtpn_engine.evaluate_batch(&small).into_iter();
+    for chunk in results.chunks(2) {
+        let mva = chunk[0].result.as_ref().expect("MVA solves every N");
+        let sim = chunk[1].result.as_ref().expect("DES simulates every N");
+        let (gtpn_speedup, gtpn_states) = if mva.n <= GTPN_MAX_N {
+            let r = gtpn_results.next().expect("one GTPN job per small N");
+            assert_eq!(r.backend, BackendId::Gtpn);
+            let g = r.result?;
+            (format!("{:.3}", g.speedup), g.provenance.states.to_string())
         } else {
-            None
-        };
-
-        let (gtpn_speedup, gtpn_states) = match &gtpn {
-            Some(g) => (format!("{:.3}", g.speedup), format!("{}", g.states)),
-            None => ("-".into(), "too many".into()),
+            ("-".into(), "too many".into())
         };
         println!(
             "{:>4} {:>10.3} {:>9.3} ±{:<5.3} {:>10} {:>12}",
-            n, mva.speedup, sim.speedup.mean, sim.speedup.half_width, gtpn_speedup, gtpn_states
+            mva.n,
+            mva.speedup,
+            sim.speedup,
+            sim.speedup_half_width.unwrap_or(f64::NAN),
+            gtpn_speedup,
+            gtpn_states
         );
     }
 

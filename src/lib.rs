@@ -6,6 +6,9 @@
 //!
 //! Each subsystem is re-exported under a short module name:
 //!
+//! * [`engine`] — the unified evaluation engine: [`engine::Scenario`]
+//!   descriptions, the [`engine::Evaluator`] backends over MVA /
+//!   simulation / GTPN, and the batching, caching [`engine::Engine`];
 //! * [`mva`] — the paper's customized mean-value model (equations,
 //!   solver, asymptotics, sweeps, the published Table 4.1 data, and the
 //!   multiclass / hierarchical extensions);
@@ -22,18 +25,20 @@
 //!
 //! # Example
 //!
-//! Solve the paper's model for the Illinois protocol at 5% sharing:
+//! Evaluate the Illinois protocol at 5% sharing through the engine:
 //!
 //! ```
-//! use snoop::mva::{MvaModel, SolverOptions};
+//! use snoop::engine::{Engine, MvaBackend, Scenario};
 //! use snoop::protocol::ModSet;
-//! use snoop::workload::params::{SharingLevel, WorkloadParams};
+//! use snoop::workload::params::SharingLevel;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let params = WorkloadParams::appendix_a(SharingLevel::Five);
-//! let model = MvaModel::for_protocol(&params, "illinois".parse::<ModSet>()?)?;
-//! let solution = model.solve(10, &SolverOptions::default())?;
-//! assert!(solution.speedup > 5.0 && solution.speedup < 7.0);
+//! let engine = Engine::new().with_backend(MvaBackend);
+//! let scenario = Scenario::appendix_a("illinois".parse::<ModSet>()?, SharingLevel::Five, 10);
+//! let evals = engine.evaluate_batch_ok(&[scenario]);
+//! assert!(evals[0].speedup > 5.0 && evals[0].speedup < 7.0);
+//! // The same scenario evaluated again is a content-addressed cache hit.
+//! assert!(engine.evaluate(&scenario)[0].result.as_ref().unwrap().provenance.cached);
 //! # Ok(())
 //! # }
 //! ```
@@ -45,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub use snoop_gtpn as gtpn;
+pub use snoop_mva::engine;
 pub use snoop_mva as mva;
 pub use snoop_numeric as numeric;
 pub use snoop_protocol as protocol;
