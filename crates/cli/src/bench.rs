@@ -31,6 +31,7 @@ use snoop_mva::resilient::ResilientOptions;
 use snoop_mva::sweep::resilient_figure_4_1_family;
 use snoop_numeric::exec::ExecOptions;
 use snoop_numeric::markov::{steady_state_dense, steady_state_sparse, SparseOptions};
+use snoop_numeric::probe::trace;
 use snoop_protocol::ModSet;
 use snoop_sim::runner::replicate_exec;
 use snoop_sim::SimConfig;
@@ -51,11 +52,12 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<String, String> {
     let exec = ExecOptions::with_threads(threads);
     let out_dir = args.flag_str("out-dir", ".");
     let quick = args.switch("quick");
+    let meta = run_metadata(args, exec.resolved_threads(), quick);
 
     let mut out = String::new();
-    let sweep_json = bench_sweep(&exec, quick, &mut out)?;
-    let gtpn_json = bench_gtpn(&exec, quick, &mut out)?;
-    let sim_json = bench_sim(&exec, quick, &mut out)?;
+    let sweep_json = bench_sweep(&exec, quick, &meta, &mut out)?;
+    let gtpn_json = bench_gtpn(&exec, quick, &meta, &mut out)?;
+    let sim_json = bench_sim(&exec, quick, &meta, &mut out)?;
 
     let sweep_path = format!("{out_dir}/BENCH_sweep.json");
     let gtpn_path = format!("{out_dir}/BENCH_gtpn.json");
@@ -74,12 +76,54 @@ fn millis(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1_000.0
 }
 
+/// Escapes a flag value for a JSON string literal (run ids and git shas
+/// are normally plain, but a hostile value must not corrupt the file).
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The run-metadata lines shared by the three `BENCH_*.json` files:
+/// schema tag, thread count, quick-mode flag and the optional
+/// `--run-id` / `--git-sha` passthrough, so `snoop perf diff` verdicts
+/// are attributable to a specific run.
+fn run_metadata(args: &ParsedArgs, threads: usize, quick: bool) -> String {
+    let mut meta = String::new();
+    let _ = writeln!(meta, "  \"schema\": \"snoop-bench-v1\",");
+    let _ = writeln!(meta, "  \"threads\": {threads},");
+    let _ = writeln!(meta, "  \"quick\": {quick},");
+    for key in ["run-id", "git-sha"] {
+        let value = args.flag_str(key, "");
+        if !value.is_empty() {
+            let _ = writeln!(
+                meta,
+                "  \"{}\": \"{}\",",
+                key.replace('-', "_"),
+                json_escape(&value)
+            );
+        }
+    }
+    meta
+}
+
 /// Times the Figure 4.1 resilient sweep grid, serial vs. parallel.
 fn bench_sweep(
     exec: &ExecOptions,
     quick: bool,
+    meta: &str,
     out: &mut String,
 ) -> Result<String, String> {
+    let _trace = trace::span("bench.sweep");
     let sizes: Vec<usize> = if quick {
         vec![1, 2, 4, 8]
     } else {
@@ -88,13 +132,18 @@ fn bench_sweep(
     let options = ResilientOptions::default();
 
     let start = Instant::now();
-    let serial = resilient_figure_4_1_family(&sizes, &options, true, &ExecOptions::SERIAL)
-        .map_err(|e| e.to_string())?;
+    let serial = {
+        let _t = trace::span("bench.sweep.serial");
+        resilient_figure_4_1_family(&sizes, &options, true, &ExecOptions::SERIAL)
+            .map_err(|e| e.to_string())?
+    };
     let serial_ms = millis(start);
 
     let start = Instant::now();
-    let parallel = resilient_figure_4_1_family(&sizes, &options, true, exec)
-        .map_err(|e| e.to_string())?;
+    let parallel = {
+        let _t = trace::span("bench.sweep.parallel");
+        resilient_figure_4_1_family(&sizes, &options, true, exec).map_err(|e| e.to_string())?
+    };
     let parallel_ms = millis(start);
 
     let bit_identical = serial == parallel;
@@ -111,12 +160,12 @@ fn bench_sweep(
     );
 
     let mut json = String::from("{\n");
+    json.push_str(meta);
     let _ = writeln!(json, "  \"benchmark\": \"figure_4_1_resilient_sweep\",");
     let _ = writeln!(json, "  \"grid_cells\": {},", serial.len());
     let _ = writeln!(json, "  \"sizes\": {},", sizes.len());
     let _ = writeln!(json, "  \"max_n\": {},", sizes.last().copied().unwrap_or(0));
     let _ = writeln!(json, "  \"total_iterations\": {total_iterations},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"serial_ms\": {serial_ms:.3},");
     let _ = writeln!(json, "  \"parallel_ms\": {parallel_ms:.3},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
@@ -130,8 +179,10 @@ fn bench_sweep(
 fn bench_gtpn(
     exec: &ExecOptions,
     quick: bool,
+    meta: &str,
     out: &mut String,
 ) -> Result<String, String> {
+    let _trace = trace::span("bench.gtpn");
     // N = 3 is the largest Write-Once graph the dense LU baseline can
     // factor in bench-friendly time (its cost grows as states³); `--quick`
     // drops to N = 2.
@@ -146,14 +197,20 @@ fn bench_gtpn(
 
     let serial_options = ReachabilityOptions { threads: 1, ..ReachabilityOptions::default() };
     let start = Instant::now();
-    let graph = explore(&net.net, &serial_options).map_err(|e| e.to_string())?;
+    let graph = {
+        let _t = trace::span("bench.gtpn.explore_serial");
+        explore(&net.net, &serial_options).map_err(|e| e.to_string())?
+    };
     let explore_serial_ms = millis(start);
 
     let threads = exec.resolved_threads();
     let parallel_options =
         ReachabilityOptions { threads: exec.threads, ..ReachabilityOptions::default() };
     let start = Instant::now();
-    let graph_parallel = explore(&net.net, &parallel_options).map_err(|e| e.to_string())?;
+    let graph_parallel = {
+        let _t = trace::span("bench.gtpn.explore_parallel");
+        explore(&net.net, &parallel_options).map_err(|e| e.to_string())?
+    };
     let explore_parallel_ms = millis(start);
     let explore_identical = graph == graph_parallel;
 
@@ -164,7 +221,10 @@ fn bench_gtpn(
     }
 
     let start = Instant::now();
-    let dense = steady_state_dense(&p).map_err(|e| e.to_string())?;
+    let dense = {
+        let _t = trace::span("bench.gtpn.steady_state_dense");
+        steady_state_dense(&p).map_err(|e| e.to_string())?
+    };
     let dense_ms = millis(start);
 
     // Force the iterative path (the configuration every graph above the
@@ -175,8 +235,10 @@ fn bench_gtpn(
         ..SparseOptions::default()
     };
     let start = Instant::now();
-    let sparse =
-        steady_state_sparse(&p, Some(&initial), &sparse_options).map_err(|e| e.to_string())?;
+    let sparse = {
+        let _t = trace::span("bench.gtpn.steady_state_sparse");
+        steady_state_sparse(&p, Some(&initial), &sparse_options).map_err(|e| e.to_string())?
+    };
     let sparse_ms = millis(start);
 
     let max_diff = dense
@@ -202,11 +264,11 @@ fn bench_gtpn(
     );
 
     let mut json = String::from("{\n");
+    json.push_str(meta);
     let _ = writeln!(json, "  \"benchmark\": \"write_once_gtpn\",");
     let _ = writeln!(json, "  \"n\": {n},");
     let _ = writeln!(json, "  \"states\": {},", graph.len());
     let _ = writeln!(json, "  \"nnz\": {},", p.nnz());
-    let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"explore_serial_ms\": {explore_serial_ms:.3},");
     let _ = writeln!(json, "  \"explore_parallel_ms\": {explore_parallel_ms:.3},");
     let _ = writeln!(json, "  \"explore_bit_identical\": {explore_identical},");
@@ -220,7 +282,13 @@ fn bench_gtpn(
 }
 
 /// Times independent simulation replications, serial vs. parallel.
-fn bench_sim(exec: &ExecOptions, quick: bool, out: &mut String) -> Result<String, String> {
+fn bench_sim(
+    exec: &ExecOptions,
+    quick: bool,
+    meta: &str,
+    out: &mut String,
+) -> Result<String, String> {
+    let _trace = trace::span("bench.sim");
     let mut config = SimConfig::for_protocol(
         8,
         WorkloadParams::appendix_a(SharingLevel::Five),
@@ -231,14 +299,19 @@ fn bench_sim(exec: &ExecOptions, quick: bool, out: &mut String) -> Result<String
     let replications = 4;
 
     let start = Instant::now();
-    let serial = replicate_exec(&config, replications, 0.95, &ExecOptions::SERIAL)
-        .map_err(|e| e.to_string())?;
+    let serial = {
+        let _t = trace::span("bench.sim.serial");
+        replicate_exec(&config, replications, 0.95, &ExecOptions::SERIAL)
+            .map_err(|e| e.to_string())?
+    };
     let serial_ms = millis(start);
 
     let threads = exec.resolved_threads();
     let start = Instant::now();
-    let parallel =
-        replicate_exec(&config, replications, 0.95, exec).map_err(|e| e.to_string())?;
+    let parallel = {
+        let _t = trace::span("bench.sim.parallel");
+        replicate_exec(&config, replications, 0.95, exec).map_err(|e| e.to_string())?
+    };
     let parallel_ms = millis(start);
 
     let bit_identical = serial
@@ -257,11 +330,11 @@ fn bench_sim(exec: &ExecOptions, quick: bool, out: &mut String) -> Result<String
     );
 
     let mut json = String::from("{\n");
+    json.push_str(meta);
     let _ = writeln!(json, "  \"benchmark\": \"sim_replications\",");
     let _ = writeln!(json, "  \"n\": {},", config.n);
     let _ = writeln!(json, "  \"replications\": {replications},");
     let _ = writeln!(json, "  \"measured_references\": {},", config.measured_references);
-    let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"serial_ms\": {serial_ms:.3},");
     let _ = writeln!(json, "  \"parallel_ms\": {parallel_ms:.3},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");

@@ -32,6 +32,7 @@ commands:
   table      reproduce Table 4.1            --panel a | b | c | util
   figure     reproduce Figure 4.1           --csv for machine-readable output
   eval       batch-evaluate scenarios       --scenarios FILE.json --backends mva,sim
+  perf       perf-regression gate           diff BASELINE CURRENT [--threshold-pct 10]
   validate   MVA vs discrete-event sim      --n 8 --protocol WO --sharing 5
   gtpn       MVA vs GTPN (small N)          --n 2 --protocol WO --sharing 5
   stress     Section 4.3 stress test        --protocol WO --n 10
@@ -49,6 +50,7 @@ commands:
   waits      bus-wait distribution (DES)    --n 8 --sharing 5
   bench      emit BENCH_{sweep,gtpn,sim}.json timing data
              --threads 4 --out-dir . [--quick] [--metrics-out FILE]
+             [--run-id ID] [--git-sha SHA]
   help       this text
 
 protocols: WO, WO+1, WO+1+4, … or write-once, illinois, berkeley, dragon,
@@ -64,8 +66,14 @@ every thread count).
 observability: --metrics-out FILE on figure, validate, gtpn, eval,
 sensitivity and bench writes solver metrics JSON (span timers, counters,
 convergence summaries; schema snoop-metrics-v1) and prints a profile
-table to stderr. Collection is observational only — outputs stay
-bit-identical.
+table to stderr; --trace-out FILE on the same commands writes a Chrome
+trace-event timeline (open in chrome://tracing or Perfetto) with one
+span per engine batch job, tagged with scenario hash, backend and cache
+hit/miss. Collection is observational only — outputs stay bit-identical.
+perf gate: `snoop perf diff BASELINE CURRENT` compares two BENCH_*.json
+or metrics files stage by stage and exits nonzero when a stage's time
+regressed beyond --threshold-pct (default 10; --min-ms floors the
+absolute delta that can count as a regression).
 engine: eval runs a snoop-scenario-v1 batch file through the unified
 evaluation engine; --backends is a comma list of mva, mva-resilient,
 sim, gtpn and --cache FILE persists the content-addressed result cache
@@ -74,31 +82,70 @@ deprecated spellings (still accepted as hidden aliases): `sweep --max-n`
 (use --n) and the positional panel of `table` (use --panel).
 ";
 
+/// A command failure: the message to print, and whether the generic
+/// "run `snoop help` for usage" hint should follow it (a perf-gate
+/// regression is a *verdict*, not a usage error, so it suppresses the
+/// hint).
+#[derive(Debug)]
+pub struct Failure {
+    /// The user-facing error text.
+    pub message: String,
+    /// Whether `main` should append the usage hint.
+    pub usage_hint: bool,
+}
+
+impl Failure {
+    /// A failure that is not a usage error (no help hint).
+    pub fn verdict(message: String) -> Self {
+        Failure { message, usage_hint: false }
+    }
+
+    /// Whether the message contains `needle` (test convenience, mirrors
+    /// `str::contains`).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle)
+    }
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure { message, usage_hint: true }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// Dispatches a command line; returns the text to print.
 ///
 /// # Errors
 ///
-/// Returns a user-facing message for unknown commands or bad flags.
-pub fn run(argv: &[String]) -> Result<String, String> {
+/// Returns a user-facing [`Failure`] for unknown commands or bad flags.
+pub fn run(argv: &[String]) -> Result<String, Failure> {
     if argv.is_empty() {
         return Ok(HELP.to_string());
     }
     let args = ParsedArgs::parse(argv)?;
-    match args.command.as_str() {
+    let result = match args.command.as_str() {
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         "solve" => cmd_solve(&args),
         "sweep" => cmd_sweep(&args),
         "table" => cmd_table(&args),
-        "figure" => with_metrics(&args, || cmd_figure(&args)),
-        "eval" => with_metrics(&args, || cmd_eval(&args)),
-        "validate" => with_metrics(&args, || cmd_validate(&args)),
-        "gtpn" => with_metrics(&args, || cmd_gtpn(&args)),
+        "figure" => with_observability(&args, || cmd_figure(&args)),
+        "eval" => with_observability(&args, || cmd_eval(&args)),
+        "perf" => return crate::perf::cmd_perf(&args),
+        "validate" => with_observability(&args, || cmd_validate(&args)),
+        "gtpn" => with_observability(&args, || cmd_gtpn(&args)),
         "stress" => cmd_stress(&args),
         "trace" => cmd_trace(&args),
         "protocol" => cmd_protocol(&args),
         "dot" => cmd_dot(&args),
         "asymptote" => cmd_asymptote(&args),
-        "sensitivity" => with_metrics(&args, || cmd_sensitivity(&args)),
+        "sensitivity" => with_observability(&args, || cmd_sensitivity(&args)),
         "convergence" => cmd_convergence(&args),
         "calibrate" => cmd_calibrate(&args),
         "multiclass" => cmd_multiclass(&args),
@@ -106,35 +153,58 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "measure" => cmd_measure(&args),
         "traffic" => cmd_traffic(&args),
         "waits" => cmd_waits(&args),
-        "bench" => with_metrics(&args, || crate::bench::cmd_bench(&args)),
+        "bench" => with_observability(&args, || crate::bench::cmd_bench(&args)),
         other => Err(format!("unknown command {other:?}")),
-    }
+    };
+    result.map_err(Failure::from)
 }
 
-/// Runs `body` with the probe registry collecting when `--metrics-out
-/// PATH` was given: the metrics JSON (schema
-/// [`snoop_numeric::probe::SCHEMA`]) is written to PATH afterwards and
-/// the `snoop profile` table goes to stderr. Without the flag, `body`
-/// runs untouched with collection disabled.
-fn with_metrics<F>(args: &ParsedArgs, body: F) -> Result<String, String>
+/// Runs `body` with the requested observability layers collecting:
+///
+/// * `--metrics-out PATH` — the probe registry collects and the metrics
+///   JSON (schema [`snoop_numeric::probe::SCHEMA`]) is written to PATH
+///   afterwards; the `snoop profile` table goes to stderr.
+/// * `--trace-out PATH` — the timeline tracer collects and the Chrome
+///   trace-event JSON (schema [`snoop_numeric::probe::trace::SCHEMA`])
+///   is written to PATH afterwards; an event-count summary goes to
+///   stderr.
+///
+/// Without either flag, `body` runs untouched with collection disabled.
+fn with_observability<F>(args: &ParsedArgs, body: F) -> Result<String, String>
 where
     F: FnOnce() -> Result<String, String>,
 {
-    let path = args.flag_str("metrics-out", "");
-    if path.is_empty() {
+    let metrics_path = args.flag_str("metrics-out", "");
+    let trace_path = args.flag_str("trace-out", "");
+    if metrics_path.is_empty() && trace_path.is_empty() {
         return body();
     }
-    // The session guard serializes concurrent collectors (tests share
-    // this process) and disables collection again on drop.
-    let session = snoop_numeric::probe::session();
+    // The session guards serialize concurrent collectors (tests share
+    // this process) and disable collection again on drop.
+    let metrics_session = (!metrics_path.is_empty()).then(snoop_numeric::probe::session);
+    let trace_session =
+        (!trace_path.is_empty()).then(snoop_numeric::probe::trace::session);
     let result = body();
-    let snapshot = snoop_numeric::probe::snapshot();
-    drop(session);
     if result.is_ok() {
-        std::fs::write(&path, snapshot.to_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprint!("{}", snapshot.render_table());
+        if trace_session.is_some() {
+            let trace = snoop_numeric::probe::trace::drain();
+            std::fs::write(&trace_path, trace.to_chrome_json())
+                .map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+            eprintln!(
+                "trace: {} events ({} spans dropped) -> {trace_path}",
+                trace.events.len(),
+                trace.dropped
+            );
+        }
+        if metrics_session.is_some() {
+            let snapshot = snoop_numeric::probe::snapshot();
+            std::fs::write(&metrics_path, snapshot.to_json())
+                .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+            eprint!("{}", snapshot.render_table());
+        }
     }
+    drop(trace_session);
+    drop(metrics_session);
     result
 }
 
@@ -861,7 +931,7 @@ fn cmd_asymptote(_args: &ParsedArgs) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn run_tokens(tokens: &[&str]) -> Result<String, String> {
+    fn run_tokens(tokens: &[&str]) -> Result<String, Failure> {
         run(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -1046,20 +1116,30 @@ mod tests {
             "2",
             "--out-dir",
             dir.to_str().unwrap(),
+            "--run-id",
+            "nightly-17",
         ])
         .unwrap();
         assert!(out.contains("bit-identical: true"), "{out}");
         let sweep = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
         assert!(sweep.contains("\"benchmark\": \"figure_4_1_resilient_sweep\""));
         assert!(sweep.contains("\"bit_identical\": true"));
+        // Run metadata: schema tag, thread count, quick-mode flag and the
+        // --run-id passthrough, present in every BENCH file exactly once.
+        assert!(sweep.contains("\"schema\": \"snoop-bench-v1\""));
         assert!(sweep.contains("\"threads\": 2"));
+        assert_eq!(sweep.matches("\"threads\"").count(), 1, "{sweep}");
+        assert!(sweep.contains("\"quick\": true"));
+        assert!(sweep.contains("\"run_id\": \"nightly-17\""));
         let gtpn = std::fs::read_to_string(dir.join("BENCH_gtpn.json")).unwrap();
         assert!(gtpn.contains("\"benchmark\": \"write_once_gtpn\""));
         assert!(gtpn.contains("\"explore_bit_identical\": true"));
         assert!(gtpn.contains("\"states\": 204"));
+        assert!(gtpn.contains("\"schema\": \"snoop-bench-v1\""));
         let sim = std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap();
         assert!(sim.contains("\"benchmark\": \"sim_replications\""));
         assert!(sim.contains("\"bit_identical\": true"));
+        assert!(sim.contains("\"schema\": \"snoop-bench-v1\""));
     }
 
     #[test]

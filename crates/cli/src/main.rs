@@ -18,6 +18,7 @@ use std::process::ExitCode;
 mod args;
 mod bench;
 mod commands;
+mod perf;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -26,9 +27,18 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("snoop: {message}");
-            eprintln!("run `snoop help` for usage");
+        Err(failure) => {
+            if failure.usage_hint {
+                eprintln!("snoop: {}", failure.message);
+                eprintln!("run `snoop help` for usage");
+            } else {
+                // A gate verdict (e.g. a perf regression): the full
+                // report goes to stdout like a successful run's would,
+                // with a one-line summary on stderr.
+                print!("{}", failure.message);
+                let summary = failure.message.trim_end().lines().last().unwrap_or("failed");
+                eprintln!("snoop: {summary}");
+            }
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,290 @@
+//! The `perf` subcommand: a mechanical regression gate over timing
+//! files.
+//!
+//! `snoop perf diff <baseline> <current>` loads two timing files —
+//! either `BENCH_*.json` emitted by `snoop bench` (flat objects whose
+//! `*_ms` keys are stage timings) or `snoop-metrics-v1` files emitted
+//! by `--metrics-out` (span paths with `total_ms`) — prints a per-stage
+//! delta table, and fails (nonzero exit, no usage hint) when any stage
+//! regressed beyond `--threshold-pct` (default 10%). `--min-ms` floors
+//! the absolute delta that can count as a regression, so microsecond
+//! jitter on trivial stages cannot flake a CI gate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use snoop_numeric::json::JsonValue;
+
+use crate::args::ParsedArgs;
+use crate::commands::Failure;
+
+/// Dispatches `snoop perf <subcommand>`.
+///
+/// # Errors
+///
+/// Usage errors for unknown subcommands or unreadable files; a no-hint
+/// [`Failure`] verdict when the gate trips.
+pub fn cmd_perf(args: &ParsedArgs) -> Result<String, Failure> {
+    match args.positional.first().map(String::as_str) {
+        Some("diff") => cmd_perf_diff(args),
+        Some(other) => {
+            Err(format!("unknown perf subcommand {other:?}, expected `diff`").into())
+        }
+        None => Err("perf needs a subcommand: snoop perf diff <baseline> <current>"
+            .to_string()
+            .into()),
+    }
+}
+
+fn cmd_perf_diff(args: &ParsedArgs) -> Result<String, Failure> {
+    let [_, baseline_path, current_path] = args.positional.as_slice() else {
+        return Err(
+            "perf diff needs exactly two files: snoop perf diff <baseline> <current>"
+                .to_string()
+                .into(),
+        );
+    };
+    let threshold_pct: f64 = args.flag_num("threshold-pct", 10.0)?;
+    let min_ms: f64 = args.flag_num("min-ms", 0.0)?;
+    if !(threshold_pct.is_finite() && threshold_pct >= 0.0) {
+        return Err(format!("--threshold-pct must be finite and >= 0, got {threshold_pct}").into());
+    }
+    let baseline = load_stages(baseline_path)?;
+    let current = load_stages(current_path)?;
+
+    // Union of stage names, sorted (BTreeMap keys already are).
+    let mut names: Vec<&String> = baseline.keys().collect();
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            names.push(name);
+        }
+    }
+    names.sort();
+
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(5).max(5);
+    let mut out = format!(
+        "perf diff: {baseline_path} -> {current_path} (threshold {threshold_pct}%)\n"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<width$}  {:>12}  {:>12}  {:>12}  {:>9}",
+        "stage", "baseline ms", "current ms", "delta ms", "delta %"
+    );
+    let mut regressed: Vec<String> = Vec::new();
+    for name in names {
+        match (baseline.get(name), current.get(name)) {
+            (Some(base), Some(cur)) => {
+                let delta = cur - base;
+                let pct = if *base > 0.0 { delta / base * 100.0 } else { 0.0 };
+                let is_regression =
+                    *base > 0.0 && pct > threshold_pct && delta >= min_ms;
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {base:>12.3}  {cur:>12.3}  {delta:>+12.3}  {pct:>+8.1}%{}",
+                    if is_regression { "  REGRESSED" } else { "" }
+                );
+                if is_regression {
+                    regressed.push(name.clone());
+                }
+            }
+            (Some(base), None) => {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {base:>12.3}  {:>12}  {:>12}  {:>9}",
+                    "-", "-", "removed"
+                );
+            }
+            (None, Some(cur)) => {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {:>12}  {cur:>12.3}  {:>12}  {:>9}",
+                    "-", "-", "added"
+                );
+            }
+            (None, None) => unreachable!("name came from one of the maps"),
+        }
+    }
+    if regressed.is_empty() {
+        let _ = writeln!(
+            out,
+            "ok: no stage regressed beyond {threshold_pct}% \
+             ({} stage(s) compared)",
+            baseline.keys().filter(|k| current.contains_key(*k)).count()
+        );
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "perf regression: {} stage(s) beyond {threshold_pct}%: {}",
+            regressed.len(),
+            regressed.join(", ")
+        );
+        Err(Failure::verdict(out))
+    }
+}
+
+/// Loads the per-stage timings of one file: `snoop-metrics-v1` span
+/// `total_ms` keyed by path, or any flat JSON object's finite `*_ms`
+/// number fields (the `BENCH_*.json` shape).
+fn load_stages(path: &str) -> Result<BTreeMap<String, f64>, Failure> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::from(format!("cannot read {path}: {e}")))?;
+    let doc = JsonValue::parse(&text)
+        .map_err(|e| Failure::from(format!("{path}: invalid JSON: {e}")))?;
+    let mut stages = BTreeMap::new();
+    if doc.get("schema").and_then(JsonValue::as_str)
+        == Some(snoop_numeric::probe::SCHEMA)
+    {
+        let spans = doc
+            .get("spans")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| Failure::from(format!("{path}: metrics file has no spans")))?;
+        for (span_path, span) in spans {
+            if let Some(total) = span.get("total_ms").and_then(JsonValue::as_f64) {
+                if total.is_finite() {
+                    stages.insert(span_path.clone(), total);
+                }
+            }
+        }
+    } else {
+        let fields = doc
+            .as_object()
+            .ok_or_else(|| Failure::from(format!("{path}: expected a JSON object")))?;
+        for (key, value) in fields {
+            if key.ends_with("_ms") {
+                if let Some(v) = value.as_f64() {
+                    if v.is_finite() {
+                        stages.insert(key.clone(), v);
+                    }
+                }
+            }
+        }
+    }
+    if stages.is_empty() {
+        return Err(Failure::from(format!(
+            "{path}: no timed stages found (expected snoop-metrics-v1 spans \
+             or BENCH-style `*_ms` fields)"
+        )));
+    }
+    Ok(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, Failure> {
+        crate::commands::run(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const BENCH_A: &str = r#"{"benchmark": "x", "threads": 2, "serial_ms": 100.0, "parallel_ms": 50.0, "bit_identical": true}"#;
+
+    #[test]
+    fn identical_inputs_pass() {
+        let dir = temp_dir("snoop_perf_identical");
+        let a = write(&dir, "a.json", BENCH_A);
+        let b = write(&dir, "b.json", BENCH_A);
+        let out = run_tokens(&["perf", "diff", &a, &b]).unwrap();
+        assert!(out.contains("ok: no stage regressed"), "{out}");
+        assert!(out.contains("serial_ms"), "{out}");
+        assert!(out.contains("+0.0%"), "{out}");
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails_without_usage_hint() {
+        let dir = temp_dir("snoop_perf_regressed");
+        let a = write(&dir, "a.json", BENCH_A);
+        let b = write(
+            &dir,
+            "b.json",
+            r#"{"benchmark": "x", "threads": 2, "serial_ms": 100.0, "parallel_ms": 80.0, "bit_identical": true}"#,
+        );
+        let err = run_tokens(&["perf", "diff", &a, &b, "--threshold-pct", "25"])
+            .unwrap_err();
+        assert!(!err.usage_hint, "a gate verdict is not a usage error");
+        assert!(err.contains("REGRESSED"), "{err}");
+        assert!(err.contains("parallel_ms"), "{err}");
+        let serial_row = err
+            .message
+            .lines()
+            .find(|l| l.trim_start().starts_with("serial_ms"))
+            .unwrap();
+        assert!(!serial_row.contains("REGRESSED"), "unregressed stage flagged: {err}");
+        assert!(err.contains("perf regression: 1 stage(s)"), "{err}");
+        // The same pair passes with a generous threshold.
+        assert!(run_tokens(&["perf", "diff", &a, &b, "--threshold-pct", "80"]).is_ok());
+    }
+
+    #[test]
+    fn min_ms_floors_absolute_jitter() {
+        let dir = temp_dir("snoop_perf_min_ms");
+        let a = write(&dir, "a.json", r#"{"tiny_ms": 0.010}"#);
+        let b = write(&dir, "b.json", r#"{"tiny_ms": 0.020}"#);
+        // 100% relative regression, but only 0.01 ms absolute.
+        assert!(run_tokens(&["perf", "diff", &a, &b, "--threshold-pct", "10"]).is_err());
+        assert!(run_tokens(&[
+            "perf", "diff", &a, &b, "--threshold-pct", "10", "--min-ms", "1",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn metrics_files_diff_by_span_path() {
+        let dir = temp_dir("snoop_perf_metrics");
+        let metrics = r#"{
+  "schema": "snoop-metrics-v1",
+  "spans": {
+    "engine.batch": {"calls": 1, "total_ms": 10.0, "mean_ms": 10.0},
+    "engine.batch/engine.mva": {"calls": 4, "total_ms": 8.0, "mean_ms": 2.0}
+  },
+  "counters": {},
+  "events": {}
+}"#;
+        let a = write(&dir, "m1.json", metrics);
+        let b = write(&dir, "m2.json", metrics);
+        let out = run_tokens(&["perf", "diff", &a, &b]).unwrap();
+        assert!(out.contains("engine.batch/engine.mva"), "{out}");
+    }
+
+    #[test]
+    fn added_and_removed_stages_never_regress() {
+        let dir = temp_dir("snoop_perf_added");
+        let a = write(&dir, "a.json", r#"{"old_ms": 5.0, "both_ms": 1.0}"#);
+        let b = write(&dir, "b.json", r#"{"new_ms": 5.0, "both_ms": 1.0}"#);
+        let out = run_tokens(&["perf", "diff", &a, &b]).unwrap();
+        assert!(out.contains("removed"), "{out}");
+        assert!(out.contains("added"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors_keep_the_hint() {
+        assert!(run_tokens(&["perf"]).unwrap_err().usage_hint);
+        assert!(run_tokens(&["perf", "bogus"]).unwrap_err().usage_hint);
+        assert!(run_tokens(&["perf", "diff", "/nonexistent/a"])
+            .unwrap_err()
+            .usage_hint);
+        let err =
+            run_tokens(&["perf", "diff", "/nonexistent/a", "/nonexistent/b"]).unwrap_err();
+        assert!(err.contains("/nonexistent/a"), "{err}");
+    }
+
+    #[test]
+    fn files_without_timings_are_rejected() {
+        let dir = temp_dir("snoop_perf_untimed");
+        let a = write(&dir, "a.json", r#"{"benchmark": "x", "states": 204}"#);
+        let err = run_tokens(&["perf", "diff", &a, &a]).unwrap_err();
+        assert!(err.contains("no timed stages"), "{err}");
+    }
+}

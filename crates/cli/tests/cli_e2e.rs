@@ -97,6 +97,133 @@ fn eval_without_scenarios_fails_cleanly() {
 }
 
 #[test]
+fn eval_trace_out_emits_valid_chrome_trace() {
+    use snoop_numeric::json::JsonValue;
+
+    let dir = std::env::temp_dir().join("snoop_trace_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let _ = std::fs::remove_file(&trace_path);
+    let scenarios = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/example.json");
+
+    let out = snoop(&[
+        "eval",
+        "--scenarios",
+        scenarios,
+        "--backends",
+        "mva",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace:"), "{stderr}");
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = JsonValue::parse(&text).expect("trace file is valid JSON");
+    assert_eq!(
+        doc.get("otherData").and_then(|d| d.get("schema")).and_then(JsonValue::as_str),
+        Some("snoop-trace-v1")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has no events");
+
+    // Every event is well-formed, timestamps are monotone, and per-thread
+    // begin/end events nest like a stack.
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut saw_job_begin = false;
+    let mut saw_cache_arg = false;
+    for event in events {
+        let name = event.get("name").and_then(JsonValue::as_str).expect("name").to_string();
+        let phase = event.get("ph").and_then(JsonValue::as_str).expect("ph");
+        let ts = event.get("ts").and_then(JsonValue::as_f64).expect("ts");
+        let tid = event.get("tid").and_then(JsonValue::as_u64).expect("tid");
+        assert!(ts >= last_ts, "timestamps not monotone at {name}");
+        last_ts = ts;
+        let stack = stacks.entry(tid).or_default();
+        match phase {
+            "B" => {
+                if name == "engine.job" {
+                    saw_job_begin = true;
+                    let args = event.get("args").expect("engine.job args");
+                    let scenario =
+                        args.get("scenario").and_then(JsonValue::as_str).expect("scenario arg");
+                    assert_eq!(scenario.len(), 16, "scenario hash is 16 hex digits");
+                    assert_eq!(
+                        args.get("backend").and_then(JsonValue::as_str),
+                        Some("mva")
+                    );
+                }
+                stack.push(name);
+            }
+            "E" => {
+                let open = stack.pop().unwrap_or_else(|| panic!("E without B: {name}"));
+                assert_eq!(open, name, "mismatched span nesting on tid {tid}");
+                if name == "engine.job" {
+                    let cache = event
+                        .get("args")
+                        .and_then(|a| a.get("cache"))
+                        .and_then(JsonValue::as_str)
+                        .expect("cache arg on engine.job end");
+                    assert!(cache == "hit" || cache == "miss", "cache={cache}");
+                    saw_cache_arg = true;
+                }
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} has unmatched begins: {stack:?}");
+    }
+    assert!(saw_job_begin, "no engine.job span in trace");
+    assert!(saw_cache_arg, "no cache hit/miss arg in trace");
+}
+
+#[test]
+fn perf_diff_gate_passes_and_fails_end_to_end() {
+    let dir = std::env::temp_dir().join("snoop_perf_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let same = dir.join("same.json");
+    let slow = dir.join("slow.json");
+    std::fs::write(&base, r#"{"serial_ms": 100.0, "parallel_ms": 40.0}"#).unwrap();
+    std::fs::write(&same, r#"{"serial_ms": 100.0, "parallel_ms": 40.0}"#).unwrap();
+    std::fs::write(&slow, r#"{"serial_ms": 101.0, "parallel_ms": 90.0}"#).unwrap();
+
+    let ok = snoop(&["perf", "diff", base.to_str().unwrap(), same.to_str().unwrap()]);
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("ok: no stage regressed"), "{stdout}");
+
+    let bad = snoop(&[
+        "perf",
+        "diff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--threshold-pct",
+        "25",
+    ]);
+    assert!(!bad.status.success());
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    // The delta table goes to stdout even on failure; only the offending
+    // stage is flagged.
+    assert!(stdout.contains("delta %"), "{stdout}");
+    assert!(stdout.contains("parallel_ms"), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    let serial_row =
+        stdout.lines().find(|l| l.trim_start().starts_with("serial_ms")).unwrap();
+    assert!(!serial_row.contains("REGRESSED"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("perf regression"), "{stderr}");
+    assert!(!stderr.contains("snoop help"), "gate verdicts are not usage errors");
+}
+
+#[test]
 fn dot_output_pipes_cleanly() {
     let out = snoop(&["dot", "--protocol", "berkeley"]);
     assert!(out.status.success());

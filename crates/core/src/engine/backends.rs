@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use snoop_gtpn::reachability::ReachabilityOptions;
 use snoop_numeric::exec::ExecOptions;
+use snoop_numeric::probe::trace;
 use snoop_sim::runner::replicate_exec;
 
 use super::evaluation::{BackendId, EvalError, Evaluation, Provenance};
@@ -18,6 +19,25 @@ use super::scenario::Scenario;
 use crate::resilient::ResilientOptions;
 use crate::solver::MvaModel;
 use crate::MvaError;
+
+/// Opens the standard per-solve timeline span: named after the backend,
+/// tagged with the scenario's content hash, family hash and system size.
+fn solve_trace(backend: BackendId, scenario: &Scenario) -> trace::TraceSpan {
+    let name = match backend {
+        BackendId::Mva => "solve.mva",
+        BackendId::ResilientMva => "solve.mva-resilient",
+        BackendId::Sim => "solve.sim",
+        BackendId::Gtpn => "solve.gtpn",
+    };
+    trace::span_with(name, || {
+        vec![
+            ("scenario", format!("{:016x}", scenario.content_hash())),
+            ("family", format!("{:016x}", scenario.family_hash())),
+            ("backend", backend.to_string()),
+            ("n", scenario.n.to_string()),
+        ]
+    })
+}
 
 /// A model backend that can evaluate scenarios.
 ///
@@ -98,6 +118,7 @@ impl Evaluator for MvaBackend {
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, EvalError> {
         let started = Instant::now();
         let _span = snoop_numeric::probe::span("engine.mva");
+        let _trace = solve_trace(BackendId::Mva, scenario);
         let model = scenario.to_mva_model()?;
         let solution = model
             .solve(scenario.n, &scenario.solver_options())
@@ -134,6 +155,7 @@ impl Evaluator for MvaBackend {
             .iter()
             .map(|scenario| {
                 let started = Instant::now();
+                let _trace = solve_trace(BackendId::Mva, scenario);
                 let solution = model
                     .solve(scenario.n, &scenario.solver_options())
                     .map_err(|e| EvalError::Failed {
@@ -237,6 +259,7 @@ impl Evaluator for ResilientMvaBackend {
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, EvalError> {
         let started = Instant::now();
         let _span = snoop_numeric::probe::span("engine.mva_resilient");
+        let _trace = solve_trace(BackendId::ResilientMva, scenario);
         let model = scenario.to_mva_model()?;
         self.package(model.solve_resilient(scenario.n, &self.options(scenario)), started)
     }
@@ -268,6 +291,8 @@ impl Evaluator for ResilientMvaBackend {
             .iter()
             .map(|scenario| {
                 let started = Instant::now();
+                let mut member_trace = solve_trace(BackendId::ResilientMva, scenario);
+                member_trace.arg("warm", seed.is_some().to_string());
                 let result = self.solve_chained(&model, scenario, seed);
                 seed = result
                     .as_ref()
@@ -296,6 +321,7 @@ impl Evaluator for SimBackend {
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, EvalError> {
         let started = Instant::now();
         let _span = snoop_numeric::probe::span("engine.sim");
+        let _trace = solve_trace(BackendId::Sim, scenario);
         let config = scenario.to_sim_config();
         config
             .validate()
@@ -356,6 +382,7 @@ impl Evaluator for GtpnBackend {
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, EvalError> {
         let started = Instant::now();
         let _span = snoop_numeric::probe::span("engine.gtpn");
+        let _trace = solve_trace(BackendId::Gtpn, scenario);
         if scenario.n == 0 {
             return Err(EvalError::InvalidScenario("need at least one processor".to_string()));
         }

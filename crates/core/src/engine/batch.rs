@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use snoop_numeric::exec::{par_map, ExecOptions};
+use snoop_numeric::probe::trace;
 
 use super::backends::Evaluator;
 use super::cache::{CacheStats, ResultCache};
@@ -143,6 +144,13 @@ impl Engine {
     /// not available when the batch started.
     pub fn evaluate_batch(&self, scenarios: &[Scenario]) -> Vec<EngineResult> {
         let _span = snoop_numeric::probe::span("engine.batch");
+        let _trace = trace::span_with("engine.batch", || {
+            vec![
+                ("scenarios", scenarios.len().to_string()),
+                ("backends", self.backends.len().to_string()),
+            ]
+        });
+        let stats_before = self.cache.stats();
         // Phase 1: enumerate jobs scenario-major.
         let mut jobs: Vec<(usize, usize, String)> = Vec::new();
         for (si, scenario) in scenarios.iter().enumerate() {
@@ -153,12 +161,28 @@ impl Engine {
         }
 
         // Phase 2: consult the cache; keep the first job per missing key.
+        // Every job gets a timeline span tagged with its identity and
+        // cache outcome (the compute time of misses shows up later under
+        // the `engine.group` / backend spans).
         let mut outcomes: Vec<Option<Result<Evaluation, EvalError>>> = Vec::new();
         let mut first_seen: HashMap<&str, usize> = HashMap::new();
-        for (ji, (_, _, key)) in jobs.iter().enumerate() {
+        for (ji, (si, bi, key)) in jobs.iter().enumerate() {
+            let scenario = &scenarios[*si];
+            let mut job_trace = trace::span_with("engine.job", || {
+                vec![
+                    ("scenario", format!("{:016x}", scenario.content_hash())),
+                    ("family", format!("{:016x}", scenario.family_hash())),
+                    ("backend", self.backends[*bi].id().to_string()),
+                    ("n", scenario.n.to_string()),
+                ]
+            });
             match self.cache.get(key) {
-                Some(hit) => outcomes.push(Some(Ok(hit))),
+                Some(hit) => {
+                    job_trace.arg("cache", "hit".to_string());
+                    outcomes.push(Some(Ok(hit)));
+                }
                 None => {
+                    job_trace.arg("cache", "miss".to_string());
                     first_seen.entry(key.as_str()).or_insert(ji);
                     outcomes.push(None);
                 }
@@ -196,6 +220,13 @@ impl Engine {
             par_map(&items, &self.exec, |item| {
                 let members: Vec<&Scenario> =
                     item.members.iter().map(|&(_, si)| &scenarios[si]).collect();
+                let _trace = trace::span_with("engine.group", || {
+                    vec![
+                        ("backend", self.backends[item.backend].id().to_string()),
+                        ("members", members.len().to_string()),
+                        ("family", format!("{:016x}", members[0].family_hash())),
+                    ]
+                });
                 self.backends[item.backend].evaluate_group(&members)
             });
 
@@ -215,6 +246,25 @@ impl Engine {
                 let first = first_seen[jobs[ji].2.as_str()];
                 outcomes[ji] = outcomes[first].clone();
             }
+        }
+
+        // Fold this batch's cache accounting into the metrics snapshot
+        // (counters are monotonic, so only the deltas are added).
+        if snoop_numeric::probe::enabled() {
+            let stats_after = self.cache.stats();
+            snoop_numeric::probe::counter_add(
+                "engine.cache.hits",
+                stats_after.hits.saturating_sub(stats_before.hits),
+            );
+            snoop_numeric::probe::counter_add(
+                "engine.cache.misses",
+                stats_after.misses.saturating_sub(stats_before.misses),
+            );
+            snoop_numeric::probe::counter_add(
+                "engine.cache.evictions",
+                stats_after.evictions.saturating_sub(stats_before.evictions),
+            );
+            snoop_numeric::probe::record("engine.cache.entries", stats_after.entries as f64);
         }
 
         jobs.into_iter()

@@ -15,7 +15,11 @@
 //!   (residual trajectories, wave sizes) with running count / sum /
 //!   min / max over *all* samples, even those rotated out of the ring.
 //!   Non-finite samples are dropped so every emitted statistic is
-//!   finite.
+//!   finite, and counted per recorder as `dropped_non_finite` so
+//!   silent data loss is visible in the snapshot.
+//!
+//! The child [`trace`] module adds the *timeline* view: per-thread
+//! begin/end event buffers drained into Chrome trace-event JSON.
 //!
 //! The registry is **disabled by default** and every instrumentation
 //! call is a single relaxed atomic load when disabled, so instrumented
@@ -40,6 +44,8 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+pub mod trace;
 
 /// Identifier of the JSON layout emitted by [`Snapshot::to_json`].
 pub const SCHEMA: &str = "snoop-metrics-v1";
@@ -75,7 +81,10 @@ pub struct EventStats {
     pub recent: Vec<f64>,
     /// Samples rotated out of the ring.
     pub dropped: u64,
-    /// Total samples recorded (recent + dropped).
+    /// Non-finite samples rejected by [`record`] / [`record_many`];
+    /// these never enter `count`, `sum`, `min` or `max`.
+    pub dropped_non_finite: u64,
+    /// Total finite samples recorded (recent + dropped).
     pub count: u64,
     /// Sum over all samples ever recorded.
     pub sum: f64,
@@ -97,6 +106,7 @@ impl EventStats {
 struct Ring {
     values: VecDeque<f64>,
     dropped: u64,
+    dropped_non_finite: u64,
     count: u64,
     sum: f64,
     min: f64,
@@ -108,6 +118,7 @@ impl Ring {
         Ring {
             values: VecDeque::new(),
             dropped: 0,
+            dropped_non_finite: 0,
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -222,14 +233,16 @@ pub fn counter_add(name: &str, delta: u64) {
 }
 
 /// Records one sample into the named event ring. Non-finite samples
-/// are dropped. No-op while collection is disabled.
+/// are dropped and counted in [`EventStats::dropped_non_finite`].
+/// No-op while collection is disabled.
 pub fn record(name: &str, value: f64) {
     record_many(name, std::slice::from_ref(&value));
 }
 
 /// Records a batch of samples into the named event ring under a single
-/// registry lock. Non-finite samples are dropped. No-op while
-/// collection is disabled.
+/// registry lock. Non-finite samples are dropped and counted in
+/// [`EventStats::dropped_non_finite`]. No-op while collection is
+/// disabled.
 pub fn record_many(name: &str, values: &[f64]) {
     if !enabled() {
         return;
@@ -242,6 +255,8 @@ pub fn record_many(name: &str, values: &[f64]) {
     for &v in values {
         if v.is_finite() {
             ring.push(v);
+        } else {
+            ring.dropped_non_finite += 1;
         }
     }
 }
@@ -319,6 +334,7 @@ pub fn snapshot() -> Snapshot {
                     EventStats {
                         recent: r.values.iter().copied().collect(),
                         dropped: r.dropped,
+                        dropped_non_finite: r.dropped_non_finite,
                         count: r.count,
                         sum: r.sum,
                         min: r.min,
@@ -351,7 +367,8 @@ impl Snapshot {
     ///
     /// Layout: `{"schema", "spans": {path: {"calls", "total_ms",
     /// "mean_ms"}}, "counters": {name: value}, "events": {name:
-    /// {"count", "dropped", "mean", "min", "max", "recent": [...]}}}`.
+    /// {"count", "dropped", "dropped_non_finite", "mean", "min",
+    /// "max", "recent": [...]}}}`.
     /// Keys are sorted, every duration and statistic is finite and
     /// durations are non-negative, so downstream checks can validate
     /// the file without a JSON library.
@@ -392,11 +409,13 @@ impl Snapshot {
             }
             let _ = writeln!(
                 json,
-                "    \"{}\": {{\"count\": {}, \"dropped\": {}, \"mean\": {:.9e}, \
+                "    \"{}\": {{\"count\": {}, \"dropped\": {}, \
+                 \"dropped_non_finite\": {}, \"mean\": {:.9e}, \
                  \"min\": {min:.9e}, \"max\": {max:.9e}, \"recent\": [{recent}]}}{comma}",
                 json_escape(name),
                 e.count,
                 e.dropped,
+                e.dropped_non_finite,
                 e.mean()
             );
         }
@@ -440,16 +459,17 @@ impl Snapshot {
                 self.events.iter().map(|(n, _)| n.len()).max().unwrap_or(5).max(5);
             let _ = writeln!(
                 out,
-                "  {:<width$}  {:>8}  {:>12}  {:>12}  {:>12}",
-                "event", "count", "mean", "min", "max"
+                "  {:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>8}",
+                "event", "count", "mean", "min", "max", "drop-nf"
             );
             for (name, e) in &self.events {
                 let (min, max) = if e.count == 0 { (0.0, 0.0) } else { (e.min, e.max) };
                 let _ = writeln!(
                     out,
-                    "  {name:<width$}  {:>8}  {:>12.5}  {min:>12.5}  {max:>12.5}",
+                    "  {name:<width$}  {:>8}  {:>12.5}  {min:>12.5}  {max:>12.5}  {:>8}",
                     e.count,
-                    e.mean()
+                    e.mean(),
+                    e.dropped_non_finite
                 );
             }
         }
@@ -537,14 +557,84 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_samples_are_dropped() {
+    fn non_finite_samples_are_dropped_and_counted() {
         let _session = session();
-        record_many("probe_test_finite", &[1.0, f64::NAN, f64::INFINITY, 2.0]);
+        record_many(
+            "probe_test_finite",
+            &[1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 2.0],
+        );
+        record("probe_test_finite", f64::NAN);
         let snap = snapshot();
         let e = find_event(&snap, "probe_test_finite").unwrap();
         assert_eq!(e.count, 2);
         assert_eq!(e.min, 1.0);
         assert_eq!(e.max, 2.0);
+        assert_eq!(e.dropped_non_finite, 4);
+        let json = snap.to_json();
+        assert!(json.contains("\"dropped_non_finite\": 4"), "{json}");
+        let table = snap.render_table();
+        assert!(table.contains("drop-nf"), "{table}");
+    }
+
+    #[test]
+    fn concurrent_updates_from_8_threads_lose_nothing() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 10_000;
+        let _session = session();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for i in 0..OPS {
+                        counter_add("probe_test_contended_counter", 1);
+                        record("probe_test_contended_event", (i % 16) as f64);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(
+            find_counter(&snap, "probe_test_contended_counter"),
+            Some(THREADS as u64 * OPS)
+        );
+        let e = find_event(&snap, "probe_test_contended_event").unwrap();
+        assert_eq!(e.count, THREADS as u64 * OPS);
+        assert_eq!(e.dropped + e.recent.len() as u64, e.count);
+        assert_eq!(e.min, 0.0);
+        assert_eq!(e.max, 15.0);
+    }
+
+    #[test]
+    fn span_stack_survives_panic_unwind() {
+        let _session = session();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("probe_test_unwind_outer");
+            let _inner = span("probe_test_unwind_inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // The unwound guards must have popped their stack entries, so a
+        // fresh span lands on a *top-level* path, not nested under the
+        // panicked spans.
+        {
+            let _after = span("probe_test_unwind_after");
+        }
+        let snap = snapshot();
+        assert_eq!(find_span(&snap, "probe_test_unwind_after").unwrap().count, 1);
+        assert!(
+            snap.spans
+                .iter()
+                .all(|(p, _)| !p.contains("probe_test_unwind_outer/probe_test_unwind_after")),
+            "span stack leaked panicked frames: {:?}",
+            snap.spans.iter().map(|(p, _)| p).collect::<Vec<_>>()
+        );
+        // Both unwound spans still recorded their (partial) durations.
+        assert_eq!(find_span(&snap, "probe_test_unwind_outer").unwrap().count, 1);
+        assert_eq!(
+            find_span(&snap, "probe_test_unwind_outer/probe_test_unwind_inner")
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]
@@ -587,5 +677,30 @@ mod tests {
     fn json_escapes_hostile_names() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("tab\tname"), "tab\\u0009name");
+        assert_eq!(json_escape("nl\nname"), "nl\\u000aname");
+        assert_eq!(json_escape("cr\rname"), "cr\\u000dname");
+        assert_eq!(json_escape("nul\u{0}name"), "nul\\u0000name");
+    }
+
+    #[test]
+    fn snapshot_json_with_hostile_names_parses() {
+        let _session = session();
+        {
+            let _span = span("probe_test_hostile\nspan\t\"quoted\"");
+        }
+        counter_add("probe_test_hostile\rcounter\\path", 1);
+        record("probe_test_hostile\u{1}event", 0.5);
+        let json = snapshot().to_json();
+        let doc = crate::json::JsonValue::parse(&json)
+            .unwrap_or_else(|e| panic!("snapshot JSON must stay parseable: {e}\n{json}"));
+        assert_eq!(
+            doc.get("schema").and_then(crate::json::JsonValue::as_str),
+            Some(SCHEMA)
+        );
+        let counters = doc.get("counters").unwrap();
+        assert!(
+            counters.get("probe_test_hostile\rcounter\\path").is_some(),
+            "escaped name must round-trip through the parser"
+        );
     }
 }

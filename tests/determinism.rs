@@ -206,6 +206,80 @@ fn metrics_collection_does_not_change_any_output_bit() {
 }
 
 #[test]
+fn tracing_does_not_change_any_engine_output_bit() {
+    // Tracing, like the probe registry, is strictly observational: with a
+    // trace session active, the engine must produce bit-identical
+    // evaluations at every thread count — on a fresh cache each time, so
+    // every backend genuinely re-solves under the recorder.
+    use snoop::engine::{
+        Engine, GtpnBackend, MvaBackend, ResilientMvaBackend, Scenario, SimBackend,
+    };
+    use snoop::numeric::probe::trace;
+
+    let quick = |protocol: &str, sharing: SharingLevel, n: usize| {
+        let mut s = Scenario::appendix_a(protocol.parse::<ModSet>().unwrap(), sharing, n);
+        s.sim.warmup_references = 300;
+        s.sim.measured_references = 1_000;
+        s.sim.replications = 2;
+        s
+    };
+    let scenarios = vec![
+        quick("WO", SharingLevel::Five, 2),
+        quick("WO+3", SharingLevel::Twenty, 2),
+        quick("WO+1", SharingLevel::Five, 3),
+    ];
+
+    let fresh_engine = |threads: usize| {
+        Engine::new()
+            .with_backend(MvaBackend)
+            .with_backend(ResilientMvaBackend::default())
+            .with_backend(SimBackend::default())
+            .with_backend(GtpnBackend::default())
+            .with_exec(ExecOptions::with_threads(threads))
+    };
+
+    // Reference run: serial, tracing off.
+    assert!(!trace::enabled());
+    let reference = fresh_engine(1).evaluate_batch(&scenarios);
+    assert!(reference.iter().all(|r| r.result.is_ok()));
+
+    let _session = trace::session();
+    for threads in THREAD_COUNTS {
+        let traced = fresh_engine(threads).evaluate_batch(&scenarios);
+        assert_eq!(reference.len(), traced.len());
+        for (a, b) in reference.iter().zip(&traced) {
+            assert_eq!(a.backend, b.backend);
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(
+                a.speedup.to_bits(),
+                b.speedup.to_bits(),
+                "{} N={}: {threads} threads with tracing diverged",
+                a.backend,
+                a.n
+            );
+            assert_eq!(a.r.to_bits(), b.r.to_bits());
+            assert_eq!(a.bus_utilization.to_bits(), b.bus_utilization.to_bits());
+        }
+    }
+
+    // And the recorder did actually see the work: every begin has its
+    // end, and the per-job spans are present.
+    let collected = trace::drain();
+    assert!(!collected.events.is_empty(), "no trace events collected");
+    let begins = collected.events.iter().filter(|e| e.phase == 'B').count();
+    let ends = collected.events.iter().filter(|e| e.phase == 'E').count();
+    assert_eq!(begins, ends, "unmatched begin/end events");
+    assert!(
+        collected.events.iter().any(|e| e.name == "engine.job"),
+        "no engine.job span collected"
+    );
+    assert!(
+        collected.events.iter().any(|e| e.name.starts_with("solve.")),
+        "no solve.* span collected"
+    );
+}
+
+#[test]
 fn sim_replications_identical_across_thread_counts() {
     let mut config = SimConfig::for_protocol(
         4,
