@@ -2,11 +2,12 @@
 //! `String` so the dispatcher (and the tests) stay side-effect free.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use snoop_mva::asymptote::asymptotic;
 use snoop_mva::engine::{
-    self, BackendId, Engine, EvalError, EvaluationSeries, GtpnBackend, MvaBackend,
-    ResilientMvaBackend, Scenario, SimBackend,
+    self, BackendId, DiskStore, Engine, EvalError, EvaluationSeries, GtpnBackend, MvaBackend,
+    ResilientMvaBackend, Scenario, SimBackend, StoreConfig,
 };
 use snoop_mva::paper::{table_4_1, TABLE_N};
 use snoop_mva::report::comparison_table;
@@ -78,6 +79,13 @@ engine: eval runs a snoop-scenario-v1 batch file through the unified
 evaluation engine; --backends is a comma list of mva, mva-resilient,
 sim, gtpn and --cache FILE persists the content-addressed result cache
 across runs (a repeated run is served entirely from the cache).
+durable store: eval --store DIR keeps every computed result in a
+crash-safe sharded on-disk store (write-temp-then-rename, per-entry
+checksums, corrupt entries quarantined and recomputed, advisory claims
+so concurrent workers divide a sweep). A killed sweep rerun with
+--resume executes only the scenarios not yet in the store (and prints
+the resume plan); --store-verify scans every entry before the run;
+--store-max-entries K evicts the oldest entries beyond K.
 deprecated spellings (still accepted as hidden aliases): `sweep --max-n`
 (use --n) and the positional panel of `table` (use --panel).
 ";
@@ -461,19 +469,59 @@ fn cmd_figure(args: &ParsedArgs) -> Result<String, String> {
     }
 }
 
-/// `snoop eval --scenarios FILE.json [--backends mva,sim] [--cache FILE]`:
+/// Loads and parses the `--scenarios` batch file, turning every failure
+/// into a usage-style error: a missing file says so plainly, and a
+/// malformed file points at the offending line and column with the
+/// source line quoted — never a panic, never a bare `Err` debug print.
+fn scenarios_from_file(path: &str) -> Result<Vec<Scenario>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read --scenarios file {path}: {e}"))?;
+    match Scenario::parse_batch(&text) {
+        Ok(scenarios) => Ok(scenarios),
+        Err(batch_error) => {
+            // If the document is not JSON at all, re-parse to recover the
+            // failure offset and render a line/column context hint
+            // (parse_batch reports schema-level problems only).
+            if let Err(json_error) = snoop_numeric::json::JsonValue::parse(&text) {
+                let (line, col, source) = locate_offset(&text, json_error.offset);
+                return Err(format!(
+                    "{path}:{line}:{col}: invalid JSON in --scenarios file: {}\n  {source}\n  {:>col$}",
+                    json_error.message, "^",
+                ));
+            }
+            Err(format!("{path}: {batch_error}"))
+        }
+    }
+}
+
+/// Converts a byte offset into `(line, column, source-line)` for error
+/// context, both 1-based; the offset is clamped into the text.
+fn locate_offset(text: &str, offset: usize) -> (usize, usize, String) {
+    let mut offset = offset.min(text.len());
+    while offset > 0 && !text.is_char_boundary(offset) {
+        offset -= 1;
+    }
+    let before = &text[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let col = offset - line_start + 1;
+    let source = text[line_start..].lines().next().unwrap_or("").to_string();
+    (line, col, source)
+}
+
+/// `snoop eval --scenarios FILE.json [--backends mva,sim] [--cache FILE]
+/// [--store DIR [--resume] [--store-verify] [--store-max-entries K]]`:
 /// runs a `snoop-scenario-v1` batch through the unified engine.
 ///
 /// Stdout is deterministic (no timings), so a repeat run with the same
-/// cache file is byte-identical; the cache statistics go to stderr.
+/// cache file or store is byte-identical; cache and store statistics go
+/// to stderr.
 fn cmd_eval(args: &ParsedArgs) -> Result<String, String> {
     let path = args.flag_str("scenarios", "");
     if path.is_empty() {
         return Err("eval needs --scenarios FILE.json (schema snoop-scenario-v1)".to_string());
     }
-    let text =
-        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let scenarios = Scenario::parse_batch(&text).map_err(|e| format!("{path}: {e}"))?;
+    let scenarios = scenarios_from_file(&path)?;
 
     let mut backends = Vec::new();
     for token in args.flag_str("backends", "mva").split(',') {
@@ -500,14 +548,62 @@ fn cmd_eval(args: &ParsedArgs) -> Result<String, String> {
         };
     }
 
+    // The durable store tier: --store DIR attaches it, --store-verify
+    // runs a full integrity scan first, --resume reports how much of the
+    // batch is already on disk (the engine then computes only the rest).
+    let store_dir = args.flag_str("store", "");
+    if store_dir.is_empty() {
+        for flag in ["resume", "store-verify"] {
+            if args.switch(flag) {
+                return Err(format!("--{flag} needs --store DIR"));
+            }
+        }
+    } else {
+        let max_entries: usize = args.flag_num("store-max-entries", 0)?;
+        let config = StoreConfig {
+            max_entries: (max_entries > 0).then_some(max_entries),
+            ..StoreConfig::default()
+        };
+        let store =
+            Arc::new(DiskStore::open_config(&store_dir, config).map_err(|e| e.to_string())?);
+        if args.switch("store-verify") {
+            let report = store.recover();
+            eprintln!(
+                "store: verified {} entr{}: {} intact, {} quarantined",
+                report.scanned,
+                if report.scanned == 1 { "y" } else { "ies" },
+                report.intact,
+                report.quarantined
+            );
+        }
+        if args.switch("resume") {
+            let total = scenarios.len() * backends.len();
+            let stored = scenarios
+                .iter()
+                .flat_map(|s| backends.iter().map(move |id| Engine::job_key(*id, s)))
+                .filter(|key| store.contains(key))
+                .count();
+            eprintln!("resume: {stored} of {total} job(s) already in store");
+        }
+        engine = engine.with_store(store);
+    }
+
     let cache_path = args.flag_str("cache", "");
     if !cache_path.is_empty() {
-        let loaded = engine
+        let outcome = engine
             .cache()
             .load_file(std::path::Path::new(&cache_path))
             .map_err(|e| format!("{cache_path}: {e}"))?;
-        eprintln!("cache: loaded {loaded} entr{} from {cache_path}",
-            if loaded == 1 { "y" } else { "ies" });
+        let rejected = if outcome.rejected > 0 {
+            format!(" (rejected {})", outcome.rejected)
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "cache: loaded {} entr{}{rejected} from {cache_path}",
+            outcome.loaded,
+            if outcome.loaded == 1 { "y" } else { "ies" }
+        );
     }
 
     let results = engine.evaluate_batch(&scenarios);
@@ -548,6 +644,17 @@ fn cmd_eval(args: &ParsedArgs) -> Result<String, String> {
         stats.evictions,
         stats.hit_rate() * 100.0
     );
+    if let Some(store) = engine.store() {
+        let s = store.stats();
+        eprintln!(
+            "store: hits={} misses={} writes={} quarantined={} ({} entries at {store_dir})",
+            s.hits,
+            s.misses,
+            s.writes,
+            s.quarantined,
+            store.len()
+        );
+    }
     Ok(out)
 }
 
@@ -1353,6 +1460,86 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("quantum"), "{err}");
+    }
+
+    #[test]
+    fn eval_missing_scenarios_file_is_a_usage_error() {
+        let err =
+            run_tokens(&["eval", "--scenarios", "/nonexistent/batch.json"]).unwrap_err();
+        assert!(err.contains("cannot read --scenarios file"), "{err}");
+        assert!(err.message.contains("/nonexistent/batch.json"), "{err}");
+    }
+
+    #[test]
+    fn eval_malformed_scenarios_file_points_at_line_and_column() {
+        let dir = std::env::temp_dir().join("snoop_eval_malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{\"schema\":\"snoop-scenario-v1\",\n\"scenarios\":[\n{oops}\n]}\n")
+            .unwrap();
+        let err = run_tokens(&["eval", "--scenarios", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains(":3:"), "line number in {err}");
+        assert!(err.contains("invalid JSON in --scenarios file"), "{err}");
+        assert!(err.contains("{oops}"), "source line quoted in {err}");
+        assert!(err.contains("^"), "caret hint in {err}");
+        // Schema-level problems (valid JSON, wrong shape) still name the file.
+        std::fs::write(&path, "{\"schema\":\"snoop-scenario-v1\"}").unwrap();
+        let err = run_tokens(&["eval", "--scenarios", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("scenarios"), "{err}");
+        assert!(err.message.contains("broken.json"), "{err}");
+    }
+
+    #[test]
+    fn eval_resume_and_verify_require_a_store() {
+        let dir = std::env::temp_dir().join("snoop_eval_resume_no_store");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.json");
+        std::fs::write(
+            &path,
+            "{\"schema\":\"snoop-scenario-v1\",\"scenarios\":[{\"protocol\":\"WO\",\"n\":2}]}",
+        )
+        .unwrap();
+        for flag in ["--resume", "--store-verify"] {
+            let err = run_tokens(&["eval", "--scenarios", path.to_str().unwrap(), flag])
+                .unwrap_err();
+            assert!(err.contains("--store DIR"), "{err}");
+        }
+    }
+
+    #[test]
+    fn eval_store_round_trip_is_byte_identical() {
+        use snoop_mva::engine::Scenario;
+        use snoop_protocol::ModSet;
+        use snoop_workload::params::SharingLevel;
+        let dir = std::env::temp_dir().join("snoop_eval_store_cmd_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let scenarios_path = dir.join("scenarios.json");
+        std::fs::write(
+            &scenarios_path,
+            Scenario::batch_to_json(&[
+                Scenario::appendix_a(ModSet::new(), SharingLevel::Five, 4),
+                Scenario::appendix_a(ModSet::new(), SharingLevel::Twenty, 8),
+            ]),
+        )
+        .unwrap();
+        let store_dir = dir.join("store");
+        let tokens = [
+            "eval",
+            "--scenarios",
+            scenarios_path.to_str().unwrap(),
+            "--store",
+            store_dir.to_str().unwrap(),
+        ];
+        let first = run_tokens(&tokens).unwrap();
+        assert!(store_dir.join("snoop-store.version").exists());
+        // Second run (fresh engine, fresh in-memory cache) serves from
+        // the store; --resume and --store-verify are accepted and stdout
+        // stays byte-identical.
+        let mut resumed = tokens.to_vec();
+        resumed.extend(["--resume", "--store-verify"]);
+        let second = run_tokens(&resumed).unwrap();
+        assert_eq!(first, second);
     }
 
     #[test]

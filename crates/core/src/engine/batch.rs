@@ -22,9 +22,12 @@
 //! job one at a time — at 1, 2 or 8 threads.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use snoop_numeric::exec::{par_map, ExecOptions};
+use snoop_numeric::json::JsonValue;
 use snoop_numeric::probe::trace;
+use snoop_store::DiskStore;
 
 use super::backends::Evaluator;
 use super::cache::{CacheStats, ResultCache};
@@ -75,6 +78,10 @@ struct WorkItem {
 pub struct Engine {
     backends: Vec<Box<dyn Evaluator>>,
     cache: ResultCache,
+    /// Optional second cache tier: the durable on-disk store. Misses in
+    /// the in-memory cache read through to it; computed results write
+    /// through as each group completes, so a killed sweep keeps them.
+    store: Option<Arc<DiskStore>>,
     exec: ExecOptions,
 }
 
@@ -88,7 +95,12 @@ impl Engine {
     /// An engine with no backends, a default-capacity cache and serial
     /// execution.
     pub fn new() -> Self {
-        Engine { backends: Vec::new(), cache: ResultCache::default(), exec: ExecOptions::SERIAL }
+        Engine {
+            backends: Vec::new(),
+            cache: ResultCache::default(),
+            store: None,
+            exec: ExecOptions::SERIAL,
+        }
     }
 
     /// Adds a backend. Batch results are ordered scenario-major, then by
@@ -108,6 +120,23 @@ impl Engine {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = ResultCache::new(capacity);
         self
+    }
+
+    /// Attaches a durable store as a second cache tier. In-memory misses
+    /// read through to it; each computed group writes through as soon as
+    /// it completes, so a killed sweep keeps everything finished so far.
+    /// Several engine processes may share one store: each takes advisory
+    /// claims on the groups it computes, and groups claimed by a live
+    /// peer are deferred — served from the store if the peer published
+    /// them in time, recomputed locally otherwise (never waited on).
+    pub fn with_store(mut self, store: Arc<DiskStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
     }
 
     /// The registered backends' identities, in registration order.
@@ -151,6 +180,7 @@ impl Engine {
             ]
         });
         let stats_before = self.cache.stats();
+        let store_before = self.store.as_ref().map(|s| s.stats());
         // Phase 1: enumerate jobs scenario-major.
         let mut jobs: Vec<(usize, usize, String)> = Vec::new();
         for (si, scenario) in scenarios.iter().enumerate() {
@@ -181,11 +211,20 @@ impl Engine {
                     job_trace.arg("cache", "hit".to_string());
                     outcomes.push(Some(Ok(hit)));
                 }
-                None => {
-                    job_trace.arg("cache", "miss".to_string());
-                    first_seen.entry(key.as_str()).or_insert(ji);
-                    outcomes.push(None);
-                }
+                // In-memory miss: read through to the durable store. A
+                // store hit fills the in-memory tier, so later duplicates
+                // in this batch hit there.
+                None => match self.store_get(key) {
+                    Some(eval) => {
+                        job_trace.arg("cache", "store".to_string());
+                        outcomes.push(Some(Ok(eval)));
+                    }
+                    None => {
+                        job_trace.arg("cache", "miss".to_string());
+                        first_seen.entry(key.as_str()).or_insert(ji);
+                        outcomes.push(None);
+                    }
+                },
             }
         }
         snoop_numeric::probe::counter_add("engine.jobs", jobs.len() as u64);
@@ -214,39 +253,106 @@ impl Engine {
             item.members.sort_by_key(|&(ji, si)| (scenarios[si].n, ji));
         }
 
-        // Phase 4: execute. One work item is one executor task; members
-        // run sequentially inside it.
-        let computed: Vec<Vec<Result<Evaluation, EvalError>>> =
-            par_map(&items, &self.exec, |item| {
-                let members: Vec<&Scenario> =
-                    item.members.iter().map(|&(_, si)| &scenarios[si]).collect();
-                let _trace = trace::span_with("engine.group", || {
-                    vec![
-                        ("backend", self.backends[item.backend].id().to_string()),
-                        ("members", members.len().to_string()),
-                        ("family", format!("{:016x}", members[0].family_hash())),
-                    ]
-                });
-                self.backends[item.backend].evaluate_group(&members)
-            });
-
-        // Scatter back: fill the first-seen job, cache successes, then
-        // copy to duplicate jobs.
-        for (item, results) in items.iter().zip(computed) {
-            debug_assert_eq!(item.members.len(), results.len());
-            for (&(ji, _), result) in item.members.iter().zip(results) {
-                if let Ok(eval) = &result {
-                    self.cache.insert(&jobs[ji].2, eval.clone());
+        // When a store is shared, take an advisory claim per work item
+        // (token: the first member's job key — unique per item and
+        // identical across processes running the same batch). Items a
+        // live peer already claimed are deferred, not duplicated.
+        let (run_now, deferred, claims) = match &self.store {
+            Some(store) => {
+                let mut now = Vec::new();
+                let mut later = Vec::new();
+                let mut claims = Vec::new();
+                for item in items {
+                    match store.try_claim(&jobs[item.members[0].0].2) {
+                        Some(claim) => {
+                            claims.push(claim);
+                            now.push(item);
+                        }
+                        None => later.push(item),
+                    }
                 }
-                outcomes[ji] = Some(result);
+                (now, later, claims)
             }
+            None => (items, Vec::new(), Vec::new()),
+        };
+
+        // Phase 4: execute. One work item is one executor task; members
+        // run sequentially inside it. Persistence happens *inside* the
+        // task, per group, so a process killed mid-batch keeps every
+        // group completed before the kill (the durability boundary the
+        // --resume mode builds on).
+        let mut executed_members = 0u64;
+        let execute = |item: &WorkItem| {
+            let members: Vec<&Scenario> =
+                item.members.iter().map(|&(_, si)| &scenarios[si]).collect();
+            let _trace = trace::span_with("engine.group", || {
+                vec![
+                    ("backend", self.backends[item.backend].id().to_string()),
+                    ("members", members.len().to_string()),
+                    ("family", format!("{:016x}", members[0].family_hash())),
+                ]
+            });
+            let results = self.backends[item.backend].evaluate_group(&members);
+            for (&(ji, _), result) in item.members.iter().zip(&results) {
+                if let Ok(eval) = result {
+                    self.cache.insert(&jobs[ji].2, eval.clone());
+                    if let Some(store) = &self.store {
+                        // Publish failures (ENOSPC, torn write) are
+                        // absorbed: the result still returns in-memory,
+                        // it just won't survive this process.
+                        let _ = store.put(&jobs[ji].2, eval.to_json().as_bytes());
+                    }
+                }
+            }
+            results
+        };
+        let computed: Vec<Vec<Result<Evaluation, EvalError>>> =
+            par_map(&run_now, &self.exec, &execute);
+        drop(claims);
+
+        // Scatter the computed groups back to their first-seen jobs.
+        let mut scatter = |items: &[WorkItem],
+                           computed: Vec<Vec<Result<Evaluation, EvalError>>>,
+                           outcomes: &mut Vec<Option<Result<Evaluation, EvalError>>>| {
+            for (item, results) in items.iter().zip(computed) {
+                debug_assert_eq!(item.members.len(), results.len());
+                executed_members += item.members.len() as u64;
+                for (&(ji, _), result) in item.members.iter().zip(results) {
+                    outcomes[ji] = Some(result);
+                }
+            }
+        };
+        scatter(&run_now, computed, &mut outcomes);
+
+        // Deferred items: a peer claimed them, so first poll the store —
+        // anything the peer already published is served; anything still
+        // missing is computed here (claims are advisory, a dead peer
+        // must never stall the batch).
+        if !deferred.is_empty() {
+            let mut still_missing: Vec<WorkItem> = Vec::new();
+            for mut item in deferred {
+                item.members.retain(|&(ji, _)| match self.store_get(&jobs[ji].2) {
+                    Some(eval) => {
+                        outcomes[ji] = Some(Ok(eval));
+                        false
+                    }
+                    None => true,
+                });
+                if !item.members.is_empty() {
+                    still_missing.push(item);
+                }
+            }
+            let recomputed = par_map(&still_missing, &self.exec, &execute);
+            scatter(&still_missing, recomputed, &mut outcomes);
         }
+
         for ji in 0..jobs.len() {
             if outcomes[ji].is_none() {
                 let first = first_seen[jobs[ji].2.as_str()];
                 outcomes[ji] = outcomes[first].clone();
             }
         }
+        snoop_numeric::probe::counter_add("engine.computed", executed_members);
 
         // Fold this batch's cache accounting into the metrics snapshot
         // (counters are monotonic, so only the deltas are added).
@@ -265,6 +371,25 @@ impl Engine {
                 stats_after.evictions.saturating_sub(stats_before.evictions),
             );
             snoop_numeric::probe::record("engine.cache.entries", stats_after.entries as f64);
+            if let (Some(store), Some(before)) = (&self.store, store_before) {
+                let after = store.stats();
+                snoop_numeric::probe::counter_add(
+                    "store.hits",
+                    after.hits.saturating_sub(before.hits),
+                );
+                snoop_numeric::probe::counter_add(
+                    "store.misses",
+                    after.misses.saturating_sub(before.misses),
+                );
+                snoop_numeric::probe::counter_add(
+                    "store.writes",
+                    after.writes.saturating_sub(before.writes),
+                );
+                snoop_numeric::probe::counter_add(
+                    "store.quarantined",
+                    after.quarantined.saturating_sub(before.quarantined),
+                );
+            }
         }
 
         jobs.into_iter()
@@ -276,6 +401,31 @@ impl Engine {
                 result: result.expect("every job resolved"),
             })
             .collect()
+    }
+
+    /// Looks `key` up in the durable store (when attached), decoding the
+    /// stored JSON back into an [`Evaluation`] and filling the in-memory
+    /// tier. The store itself quarantines checksum-level damage; an
+    /// entry that passes the checksum but no longer parses (schema
+    /// drift) reads as a miss and is recomputed and overwritten.
+    fn store_get(&self, key: &str) -> Option<Evaluation> {
+        let store = self.store.as_ref()?;
+        let bytes = store.get(key)?;
+        let eval = std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|text| JsonValue::parse(text).ok())
+            .and_then(|doc| Evaluation::from_json(&doc).ok());
+        match eval {
+            Some(mut eval) => {
+                self.cache.insert(key, eval.clone());
+                eval.provenance.cached = true;
+                Some(eval)
+            }
+            None => {
+                snoop_numeric::probe::counter_add("store.decode_errors", 1);
+                None
+            }
+        }
     }
 
     /// Convenience: evaluates a batch and returns only successful
@@ -428,11 +578,135 @@ mod tests {
         let spill = first.cache().to_json();
 
         let second = Engine::new().with_backend(MvaBackend);
-        assert_eq!(second.cache().load_json(&spill).unwrap(), 2);
+        assert_eq!(second.cache().load_json(&spill).unwrap().loaded, 2);
         let results = second.evaluate_batch(&[scenario(4), scenario(8)]);
         assert!(results.iter().all(|r| r.result.as_ref().unwrap().provenance.cached));
         let stats = second.cache_stats();
         assert_eq!((stats.hits, stats.misses), (2, 0));
+    }
+
+    fn fresh_store_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("snoop-engine-store-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_tier_serves_bit_identical_results_across_engines() {
+        let dir = fresh_store_dir("roundtrip");
+        let scenarios = [scenario(4), scenario(8)];
+
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        let first = Engine::new().with_backend(MvaBackend).with_store(Arc::clone(&store));
+        let a = first.evaluate_batch(&scenarios);
+        assert_eq!(store.stats().writes, 2, "write-through persists every success");
+
+        // A separate engine (fresh in-memory cache, fresh store handle —
+        // i.e. another process) computes nothing: everything reads
+        // through from disk, bit-identical.
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        let second = Engine::new().with_backend(MvaBackend).with_store(Arc::clone(&store));
+        let b = second.evaluate_batch(&scenarios);
+        assert_eq!(store.stats().hits, 2);
+        assert_eq!(store.stats().writes, 0, "nothing recomputed");
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.result.as_ref().unwrap(), y.result.as_ref().unwrap());
+            assert_eq!(x, y);
+            assert_eq!(x.speedup.to_bits(), y.speedup.to_bits());
+            assert_eq!(x.r.to_bits(), y.r.to_bits());
+            assert!(y.provenance.cached, "store hits carry the cached flag");
+        }
+
+        // Within the second engine, a repeat batch hits the in-memory
+        // tier, not the disk again.
+        second.evaluate_batch(&scenarios);
+        assert_eq!(store.stats().hits, 2);
+    }
+
+    #[test]
+    fn corrupt_store_entry_is_quarantined_and_recomputed() {
+        let dir = fresh_store_dir("corrupt");
+        let scenarios = [scenario(4)];
+        {
+            let store = Arc::new(DiskStore::open(&dir).unwrap());
+            let engine = Engine::new().with_backend(MvaBackend).with_store(store);
+            engine.evaluate_batch(&scenarios);
+        }
+        // Flip one payload bit in the only entry on disk.
+        let entry = walk_entries(&dir.join("shards")).pop().expect("one entry");
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        std::fs::write(&entry, &bytes).unwrap();
+
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        let engine = Engine::new().with_backend(MvaBackend).with_store(Arc::clone(&store));
+        let results = engine.evaluate_batch(&scenarios);
+        assert!(results[0].result.is_ok());
+        assert!(!results[0].result.as_ref().unwrap().provenance.cached, "recomputed");
+        let s = store.stats();
+        assert_eq!((s.quarantined, s.writes), (1, 1), "damage costs one recompute");
+        // The re-published entry serves the next engine.
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        let engine = Engine::new().with_backend(MvaBackend).with_store(Arc::clone(&store));
+        assert!(engine.evaluate_batch(&scenarios)[0]
+            .result
+            .as_ref()
+            .unwrap()
+            .provenance
+            .cached);
+    }
+
+    fn walk_entries(shards: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let mut found = Vec::new();
+        for shard in std::fs::read_dir(shards).unwrap() {
+            for file in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+                let path = file.unwrap().path();
+                if path.extension().is_some_and(|e| e == "entry") {
+                    found.push(path);
+                }
+            }
+        }
+        found
+    }
+
+    #[test]
+    fn store_publish_failures_do_not_fail_the_batch() {
+        use snoop_numeric::fault::{StorageFault, StoragePlan};
+        let dir = fresh_store_dir("enospc");
+        let store = DiskStore::open_with(
+            &dir,
+            snoop_store::StoreConfig::default(),
+            snoop_store::FaultyFs::real(
+                StoragePlan::new().with_fault(StorageFault::Enospc { op: 1 }),
+            ),
+        )
+        .unwrap();
+        let store = Arc::new(store);
+        let engine = Engine::new().with_backend(MvaBackend).with_store(Arc::clone(&store));
+        let results = engine.evaluate_batch(&[scenario(4)]);
+        assert!(results[0].result.is_ok(), "the result still returns in-memory");
+        assert_eq!(store.stats().write_errors, 1);
+        // The next batch re-persists it (the write fault was one-shot).
+        let second = Engine::new().with_backend(MvaBackend).with_store(Arc::clone(&store));
+        assert!(second.evaluate_batch(&[scenario(4)])[0].result.is_ok());
+        assert_eq!(store.stats().writes, 1);
+    }
+
+    #[test]
+    fn groups_claimed_by_a_dead_peer_are_still_computed() {
+        let dir = fresh_store_dir("claims");
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        let s = scenario(4);
+        // A "peer" claims the group and never publishes (died mid-work,
+        // within the staleness window).
+        let _held = store.try_claim(&Engine::job_key(BackendId::Mva, &s)).unwrap();
+        let engine = Engine::new().with_backend(MvaBackend).with_store(Arc::clone(&store));
+        let results = engine.evaluate_batch(&[s]);
+        let eval = results[0].result.as_ref().unwrap();
+        assert!(!eval.provenance.cached, "deferred group was computed locally");
+        assert_eq!(store.stats().claims_refused, 1);
+        assert_eq!(store.stats().writes, 1, "and persisted");
     }
 
     #[test]

@@ -14,11 +14,67 @@ use snoop_numeric::json::JsonValue;
 
 use super::evaluation::Evaluation;
 
-/// Schema identifier of the cache spill file.
-pub const CACHE_SCHEMA: &str = "snoop-eval-cache-v1";
+/// Schema identifier written to cache spill files.
+pub const CACHE_SCHEMA: &str = "snoop-cache-v1";
+
+/// Schema identifier written by earlier releases; still accepted on load
+/// (the entry format is unchanged, only the tag was renamed).
+pub const LEGACY_CACHE_SCHEMA: &str = "snoop-eval-cache-v1";
 
 /// Default capacity (entries) of a [`ResultCache`].
 pub const DEFAULT_CAPACITY: usize = 16_384;
+
+/// Why a spill document was rejected outright (entry-level damage does
+/// not reject the document — damaged entries are counted in
+/// [`LoadOutcome::rejected`] and the rest load).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLoadError {
+    /// The document is not valid JSON.
+    Parse {
+        /// Byte offset of the first parse failure.
+        offset: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// The document carries no `"schema"` string.
+    MissingSchema,
+    /// The document's schema tag is not one this build reads.
+    UnsupportedSchema {
+        /// The tag found in the document.
+        found: String,
+    },
+    /// The document has no `"entries"` array.
+    MissingEntries,
+}
+
+impl std::fmt::Display for CacheLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLoadError::Parse { offset, message } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            CacheLoadError::MissingSchema => {
+                write!(f, "missing \"schema\" tag, expected {CACHE_SCHEMA:?}")
+            }
+            CacheLoadError::UnsupportedSchema { found } => {
+                write!(f, "unsupported cache schema {found:?}, expected {CACHE_SCHEMA:?}")
+            }
+            CacheLoadError::MissingEntries => write!(f, "missing \"entries\" array"),
+        }
+    }
+}
+
+impl std::error::Error for CacheLoadError {}
+
+/// What a spill load did: entries merged in, entries refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadOutcome {
+    /// Entries merged into the cache.
+    pub loaded: usize,
+    /// Entries rejected (malformed key or evaluation). The document
+    /// still loads: one damaged entry costs that entry, not the spill.
+    pub rejected: usize,
+}
 
 /// Hit/miss accounting of a [`ResultCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -153,51 +209,52 @@ impl ResultCache {
         out
     }
 
-    /// Merges entries from a [`CACHE_SCHEMA`] document produced by
-    /// [`ResultCache::to_json`]. Loaded entries do not count as hits or
-    /// misses; existing keys are kept (the live value wins). Returns the
-    /// number of entries merged in.
+    /// Merges entries from a [`CACHE_SCHEMA`] (or [`LEGACY_CACHE_SCHEMA`])
+    /// document produced by [`ResultCache::to_json`]. Loaded entries do
+    /// not count as hits or misses; existing keys are kept (the live
+    /// value wins). Malformed *entries* are counted in
+    /// [`LoadOutcome::rejected`] and skipped — one damaged entry costs
+    /// that entry, never the document.
     ///
     /// # Errors
     ///
-    /// Returns a message describing the malformed document or entry.
-    pub fn load_json(&self, text: &str) -> Result<usize, String> {
-        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    /// Returns a typed [`CacheLoadError`] for document-level problems:
+    /// unparseable JSON, a missing or unknown schema tag, or a missing
+    /// entries array.
+    pub fn load_json(&self, text: &str) -> Result<LoadOutcome, CacheLoadError> {
+        let doc = JsonValue::parse(text)
+            .map_err(|e| CacheLoadError::Parse { offset: e.offset, message: e.message })?;
         match doc.get("schema").and_then(JsonValue::as_str) {
-            Some(CACHE_SCHEMA) => {}
-            other => {
-                return Err(format!(
-                    "unsupported cache schema {other:?}, expected {CACHE_SCHEMA:?}"
-                ))
+            Some(CACHE_SCHEMA) | Some(LEGACY_CACHE_SCHEMA) => {}
+            Some(found) => {
+                return Err(CacheLoadError::UnsupportedSchema { found: found.to_string() })
             }
+            None => return Err(CacheLoadError::MissingSchema),
         }
         let entries = doc
             .get("entries")
             .and_then(JsonValue::as_array)
-            .ok_or("missing \"entries\" array")?;
-        let mut loaded = 0;
+            .ok_or(CacheLoadError::MissingEntries)?;
+        let mut outcome = LoadOutcome::default();
         let mut inner = self.inner.lock().expect("cache lock");
-        for (i, entry) in entries.iter().enumerate() {
-            let key = entry
-                .get("key")
-                .and_then(JsonValue::as_str)
-                .ok_or_else(|| format!("entry {i}: missing \"key\""))?;
-            let evaluation = entry
-                .get("evaluation")
-                .ok_or_else(|| format!("entry {i}: missing \"evaluation\""))
-                .and_then(|v| {
-                    Evaluation::from_json(v).map_err(|e| format!("entry {i}: {e}"))
-                })?;
+        for entry in entries {
+            let key = entry.get("key").and_then(JsonValue::as_str);
+            let evaluation =
+                entry.get("evaluation").and_then(|v| Evaluation::from_json(v).ok());
+            let (Some(key), Some(evaluation)) = (key, evaluation) else {
+                outcome.rejected += 1;
+                continue;
+            };
             if inner.map.len() >= self.capacity && !inner.map.contains_key(key) {
                 // Respect the bound even when the file outgrew it.
                 continue;
             }
             if inner.map.insert(key.to_string(), evaluation).is_none() {
                 inner.order.push_back(key.to_string());
-                loaded += 1;
+                outcome.loaded += 1;
             }
         }
-        Ok(loaded)
+        Ok(outcome)
     }
 
     /// Writes the spill document to `path`.
@@ -215,9 +272,9 @@ impl ResultCache {
     /// # Errors
     ///
     /// Returns a message for unreadable or malformed files.
-    pub fn load_file(&self, path: &std::path::Path) -> Result<usize, String> {
+    pub fn load_file(&self, path: &std::path::Path) -> Result<LoadOutcome, String> {
         if !path.exists() {
-            return Ok(0);
+            return Ok(LoadOutcome::default());
         }
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
@@ -293,7 +350,7 @@ mod tests {
         assert!(text.find("mva:a").unwrap() < text.find("mva:b").unwrap());
 
         let restored = ResultCache::default();
-        assert_eq!(restored.load_json(&text).unwrap(), 2);
+        assert_eq!(restored.load_json(&text).unwrap(), LoadOutcome { loaded: 2, rejected: 0 });
         assert_eq!(restored.get("mva:a").unwrap(), eval(4));
         assert_eq!(restored.to_json(), text);
         // Loading counts no hits/misses (the get above counted one hit).
@@ -301,10 +358,61 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_other_schemas() {
+    fn load_rejects_other_schemas_with_typed_errors() {
         let cache = ResultCache::default();
+        assert_eq!(
+            cache.load_json(r#"{"schema":"nope","entries":[]}"#),
+            Err(CacheLoadError::UnsupportedSchema { found: "nope".into() })
+        );
+        assert_eq!(
+            cache.load_json(r#"{"entries":[]}"#),
+            Err(CacheLoadError::MissingSchema)
+        );
+        assert_eq!(
+            cache.load_json(&format!(r#"{{"schema":"{CACHE_SCHEMA}"}}"#)),
+            Err(CacheLoadError::MissingEntries)
+        );
+        assert!(matches!(
+            cache.load_json("{not json"),
+            Err(CacheLoadError::Parse { .. })
+        ));
+        // The schema tags show up in the rendered diagnostics.
         let err = cache.load_json(r#"{"schema":"nope","entries":[]}"#).unwrap_err();
-        assert!(err.contains("snoop-eval-cache-v1"), "{err}");
+        assert!(err.to_string().contains("snoop-cache-v1"), "{err}");
+    }
+
+    #[test]
+    fn legacy_schema_tag_still_loads() {
+        let cache = ResultCache::default();
+        cache.insert("mva:x", eval(2));
+        let legacy = cache.to_json().replace(CACHE_SCHEMA, LEGACY_CACHE_SCHEMA);
+        let restored = ResultCache::default();
+        assert_eq!(
+            restored.load_json(&legacy).unwrap(),
+            LoadOutcome { loaded: 1, rejected: 0 }
+        );
+        // New spills carry the new tag.
+        assert!(restored.to_json().contains("\"schema\":\"snoop-cache-v1\""));
+    }
+
+    #[test]
+    fn damaged_entries_are_counted_and_skipped_not_fatal() {
+        let cache = ResultCache::default();
+        cache.insert("mva:good", eval(3));
+        let spill = cache.to_json();
+        // Splice in two damaged entries around the good one: one with no
+        // key, one whose evaluation is not an object.
+        let damaged = spill.replace(
+            "\"entries\":[\n",
+            "\"entries\":[\n{\"evaluation\":{}},{\"key\":\"mva:bad\",\"evaluation\":7},\n",
+        );
+        let restored = ResultCache::default();
+        assert_eq!(
+            restored.load_json(&damaged).unwrap(),
+            LoadOutcome { loaded: 1, rejected: 2 }
+        );
+        assert_eq!(restored.get("mva:good").unwrap(), eval(3));
+        assert!(restored.get("mva:bad").is_none());
     }
 
     #[test]
@@ -312,6 +420,6 @@ mod tests {
         let cache = ResultCache::default();
         let loaded =
             cache.load_file(std::path::Path::new("/nonexistent/spill.json")).unwrap();
-        assert_eq!(loaded, 0);
+        assert_eq!(loaded, LoadOutcome::default());
     }
 }

@@ -52,7 +52,13 @@ pub mod series;
 
 pub use backends::{Evaluator, GtpnBackend, MvaBackend, ResilientMvaBackend, SimBackend};
 pub use batch::{Engine, EngineResult};
-pub use cache::{CacheStats, ResultCache, CACHE_SCHEMA, DEFAULT_CAPACITY};
+pub use cache::{
+    CacheLoadError, CacheStats, LoadOutcome, ResultCache, CACHE_SCHEMA, DEFAULT_CAPACITY,
+    LEGACY_CACHE_SCHEMA,
+};
+// The durable second cache tier (re-exported so engine users don't need
+// a direct snoop-store dependency).
+pub use snoop_store::{DiskStore, RecoveryReport, StoreConfig, StoreError, StoreStats};
 pub use evaluation::{BackendId, EvalError, Evaluation, Provenance};
 pub use scenario::{GtpnSettings, Scenario, SimSettings, SolverSettings, SCHEMA};
 pub use series::EvaluationSeries;

@@ -181,7 +181,7 @@ fn cache_spills_to_json_and_reloads_for_a_fully_cached_run() {
     assert_eq!(first.cache_stats().entries, 3);
 
     let second = Engine::new().with_backend(MvaBackend);
-    assert_eq!(second.cache().load_file(&path).unwrap(), 3);
+    assert_eq!(second.cache().load_file(&path).unwrap().loaded, 3);
     let b = second.evaluate_batch(&scenarios);
     let stats = second.cache_stats();
     assert_eq!((stats.hits, stats.misses), (3, 0), "run two is 100% cache hits");
