@@ -1,6 +1,6 @@
 //! The `bench` subcommand: machine-readable timing JSON.
 //!
-//! Emits three files so the perf trajectory of the suite is tracked from
+//! Emits four files so the perf trajectory of the suite is tracked from
 //! one PR to the next:
 //!
 //! * `BENCH_sweep.json` — the full Figure 4.1 resilient sweep grid, serial
@@ -11,6 +11,16 @@
 //!   timing, dense LU vs. sparse Aitken-accelerated power iteration.
 //! * `BENCH_sim.json` — independent simulation replications, serial vs.
 //!   parallel, with a bit-identical check.
+//! * `BENCH_exec.json` — executor microbenchmark: per-item `par_map`
+//!   dispatch cost against the persistent worker pool, serial vs.
+//!   parallel over trivial jobs, so scheduling overhead is tracked
+//!   separately from solver work.
+//!
+//! `--stage sweep|gtpn|sim|exec` limits a run to one stage (default
+//! `all`); every emitted file carries the same run metadata, including
+//! `host_parallelism` (the machine's available cores, independent of
+//! `--threads`/`SNOOP_THREADS`) so CI can decide whether measured
+//! speedups are meaningful on the runner that produced them.
 //!
 //! With `--metrics-out FILE` (handled by the dispatcher) the run also
 //! emits per-stage solver metrics: because every stage above exercises
@@ -29,7 +39,7 @@ use snoop_gtpn::models::coherence::CoherenceNet;
 use snoop_gtpn::reachability::{explore, ReachabilityOptions};
 use snoop_mva::resilient::ResilientOptions;
 use snoop_mva::sweep::resilient_figure_4_1_family;
-use snoop_numeric::exec::ExecOptions;
+use snoop_numeric::exec::{hardware_parallelism, par_map, ExecOptions};
 use snoop_numeric::markov::{steady_state_dense, steady_state_sparse, SparseOptions};
 use snoop_numeric::probe::trace;
 use snoop_protocol::ModSet;
@@ -41,7 +51,8 @@ use snoop_workload::timing::TimingModel;
 
 use crate::args::ParsedArgs;
 
-/// Runs both benchmarks and writes the JSON files into `--out-dir`.
+/// Runs the selected benchmark stages (default: all) and writes their
+/// JSON files into `--out-dir`.
 ///
 /// # Errors
 ///
@@ -52,25 +63,38 @@ pub fn cmd_bench(args: &ParsedArgs) -> Result<String, String> {
     let exec = ExecOptions::with_threads(threads);
     let out_dir = args.flag_str("out-dir", ".");
     let quick = args.switch("quick");
+    let stage = args.flag_str("stage", "all");
+    if !matches!(stage.as_str(), "all" | "sweep" | "gtpn" | "sim" | "exec") {
+        return Err(format!(
+            "unknown --stage {stage:?}, expected sweep, gtpn, sim, exec or all"
+        ));
+    }
     let meta = run_metadata(args, exec.resolved_threads(), quick);
 
     let mut out = String::new();
-    let sweep_json = bench_sweep(&exec, quick, &meta, &mut out)?;
-    let gtpn_json = bench_gtpn(&exec, quick, &meta, &mut out)?;
-    let sim_json = bench_sim(&exec, quick, &meta, &mut out)?;
-
-    let sweep_path = format!("{out_dir}/BENCH_sweep.json");
-    let gtpn_path = format!("{out_dir}/BENCH_gtpn.json");
-    let sim_path = format!("{out_dir}/BENCH_sim.json");
-    std::fs::write(&sweep_path, sweep_json)
-        .map_err(|e| format!("cannot write {sweep_path}: {e}"))?;
-    std::fs::write(&gtpn_path, gtpn_json)
-        .map_err(|e| format!("cannot write {gtpn_path}: {e}"))?;
-    std::fs::write(&sim_path, sim_json)
-        .map_err(|e| format!("cannot write {sim_path}: {e}"))?;
-    let _ = writeln!(out, "wrote {sweep_path} and {gtpn_path} and {sim_path}");
+    let mut written: Vec<String> = Vec::new();
+    let stages: [(&str, StageFn); 4] = [
+        ("sweep", bench_sweep),
+        ("gtpn", bench_gtpn),
+        ("sim", bench_sim),
+        ("exec", bench_exec),
+    ];
+    for (name, run) in stages {
+        if stage != "all" && stage != name {
+            continue;
+        }
+        let json = run(&exec, quick, &meta, &mut out)?;
+        let path = format!("{out_dir}/BENCH_{name}.json");
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        written.push(path);
+    }
+    let _ = writeln!(out, "wrote {}", written.join(" and "));
     Ok(out)
 }
+
+/// One benchmark stage: runs, appends its human summary to `out`, and
+/// returns the JSON document to write.
+type StageFn = fn(&ExecOptions, bool, &str, &mut String) -> Result<String, String>;
 
 fn millis(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1_000.0
@@ -93,14 +117,17 @@ fn json_escape(value: &str) -> String {
     out
 }
 
-/// The run-metadata lines shared by the three `BENCH_*.json` files:
-/// schema tag, thread count, quick-mode flag and the optional
-/// `--run-id` / `--git-sha` passthrough, so `snoop perf diff` verdicts
-/// are attributable to a specific run.
+/// The run-metadata lines shared by the `BENCH_*.json` files: schema
+/// tag, thread count, the host's actual hardware parallelism (so CI can
+/// tell whether a measured speedup is meaningful — a 4-thread run on a
+/// 1-core runner cannot go faster than serial), quick-mode flag and the
+/// optional `--run-id` / `--git-sha` passthrough, so `snoop perf diff`
+/// verdicts are attributable to a specific run.
 fn run_metadata(args: &ParsedArgs, threads: usize, quick: bool) -> String {
     let mut meta = String::new();
     let _ = writeln!(meta, "  \"schema\": \"snoop-bench-v1\",");
     let _ = writeln!(meta, "  \"threads\": {threads},");
+    let _ = writeln!(meta, "  \"host_parallelism\": {},", hardware_parallelism());
     let _ = writeln!(meta, "  \"quick\": {quick},");
     for key in ["run-id", "git-sha"] {
         let value = args.flag_str(key, "");
@@ -213,6 +240,7 @@ fn bench_gtpn(
     };
     let explore_parallel_ms = millis(start);
     let explore_identical = graph == graph_parallel;
+    let explore_speedup = explore_serial_ms / explore_parallel_ms.max(1e-9);
 
     let p = transition_matrix(&graph).map_err(|e| e.to_string())?;
     let mut initial = vec![0.0; graph.len()];
@@ -252,7 +280,7 @@ fn bench_gtpn(
         out,
         "gtpn:  N={n} write-once, {} states, {} nnz; explore serial \
          {explore_serial_ms:.1} ms, {threads}-thread {explore_parallel_ms:.1} ms \
-         (identical: {explore_identical})",
+         ({explore_speedup:.2}x, identical: {explore_identical})",
         graph.len(),
         p.nnz()
     );
@@ -271,6 +299,7 @@ fn bench_gtpn(
     let _ = writeln!(json, "  \"nnz\": {},", p.nnz());
     let _ = writeln!(json, "  \"explore_serial_ms\": {explore_serial_ms:.3},");
     let _ = writeln!(json, "  \"explore_parallel_ms\": {explore_parallel_ms:.3},");
+    let _ = writeln!(json, "  \"explore_speedup\": {explore_speedup:.3},");
     let _ = writeln!(json, "  \"explore_bit_identical\": {explore_identical},");
     let _ = writeln!(json, "  \"dense_ms\": {dense_ms:.3},");
     let _ = writeln!(json, "  \"sparse_ms\": {sparse_ms:.3},");
@@ -339,6 +368,72 @@ fn bench_sim(
     let _ = writeln!(json, "  \"parallel_ms\": {parallel_ms:.3},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"bit_identical\": {bit_identical}");
+    json.push_str("}\n");
+    Ok(json)
+}
+
+/// Microbenchmarks `par_map` dispatch against the persistent worker
+/// pool: many repetitions of a map over trivial jobs, so the measured
+/// cost is scheduling (chunk claiming, wakeup, result scatter), not
+/// work. Reported as nanoseconds per item; the first call warms the
+/// pool so thread spawning is excluded — exactly the steady state the
+/// solver layers run in.
+fn bench_exec(
+    exec: &ExecOptions,
+    quick: bool,
+    meta: &str,
+    out: &mut String,
+) -> Result<String, String> {
+    let _trace = trace::span("bench.exec");
+    let items: Vec<u64> = (0..4096).collect();
+    let repetitions: usize = if quick { 50 } else { 400 };
+    let threads = exec.resolved_threads();
+    let job = |&x: &u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+
+    // Anti-DCE accumulator (wrapping: the sums overflow by design).
+    let fold = |mapped: Vec<u64>| mapped.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+
+    // Warm-up: the first parallel call spawns the pool's workers.
+    let mut checksum: u64 = fold(par_map(&items, exec, job));
+
+    let start = Instant::now();
+    for _ in 0..repetitions {
+        checksum ^= fold(par_map(&items, &ExecOptions::SERIAL, job));
+    }
+    let serial_ms = millis(start);
+
+    let start = Instant::now();
+    for _ in 0..repetitions {
+        checksum ^= fold(par_map(&items, exec, job));
+    }
+    let parallel_ms = millis(start);
+
+    let total_jobs = (repetitions * items.len()) as f64;
+    let serial_ns_per_job = serial_ms * 1e6 / total_jobs;
+    let parallel_ns_per_job = parallel_ms * 1e6 / total_jobs;
+    // Scheduling cost the pool adds on top of the work itself. Negative
+    // on multicore hosts (the work parallelizes); clamped at zero so the
+    // field gates cleanly as overhead.
+    let dispatch_ns_per_job = (parallel_ns_per_job - serial_ns_per_job).max(0.0);
+
+    let _ = writeln!(
+        out,
+        "exec:  {} items x {repetitions} reps, serial {serial_ns_per_job:.1} ns/job, \
+         {threads}-thread {parallel_ns_per_job:.1} ns/job \
+         (dispatch overhead {dispatch_ns_per_job:.1} ns/job, checksum {checksum:#x})",
+        items.len()
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(meta);
+    let _ = writeln!(json, "  \"benchmark\": \"exec_dispatch\",");
+    let _ = writeln!(json, "  \"items\": {},", items.len());
+    let _ = writeln!(json, "  \"repetitions\": {repetitions},");
+    let _ = writeln!(json, "  \"serial_ms\": {serial_ms:.3},");
+    let _ = writeln!(json, "  \"parallel_ms\": {parallel_ms:.3},");
+    let _ = writeln!(json, "  \"serial_ns_per_job\": {serial_ns_per_job:.3},");
+    let _ = writeln!(json, "  \"parallel_ns_per_job\": {parallel_ns_per_job:.3},");
+    let _ = writeln!(json, "  \"dispatch_ns_per_job\": {dispatch_ns_per_job:.3}");
     json.push_str("}\n");
     Ok(json)
 }

@@ -49,9 +49,9 @@ commands:
   measure    measure workload params from a trace simulation  --n 4
   traffic    bus-traffic decomposition      --protocol WO --sharing 5
   waits      bus-wait distribution (DES)    --n 8 --sharing 5
-  bench      emit BENCH_{sweep,gtpn,sim}.json timing data
-             --threads 4 --out-dir . [--quick] [--metrics-out FILE]
-             [--run-id ID] [--git-sha SHA]
+  bench      emit BENCH_{sweep,gtpn,sim,exec}.json timing data
+             --threads 4 --out-dir . [--quick] [--stage sweep|gtpn|sim|exec|all]
+             [--metrics-out FILE] [--run-id ID] [--git-sha SHA]
   help       this text
 
 protocols: WO, WO+1, WO+1+4, … or write-once, illinois, berkeley, dragon,
@@ -74,7 +74,9 @@ hit/miss. Collection is observational only — outputs stay bit-identical.
 perf gate: `snoop perf diff BASELINE CURRENT` compares two BENCH_*.json
 or metrics files stage by stage and exits nonzero when a stage's time
 regressed beyond --threshold-pct (default 10; --min-ms floors the
-absolute delta that can count as a regression).
+absolute delta that can count as a regression). Fields named *speedup*
+are higher-is-better: they regress when the ratio drops beyond the
+threshold instead.
 engine: eval runs a snoop-scenario-v1 batch file through the unified
 evaluation engine; --backends is a comma list of mva, mva-resilient,
 sim, gtpn and --cache FILE persists the content-addressed result cache
@@ -1247,6 +1249,47 @@ mod tests {
         assert!(sim.contains("\"benchmark\": \"sim_replications\""));
         assert!(sim.contains("\"bit_identical\": true"));
         assert!(sim.contains("\"schema\": \"snoop-bench-v1\""));
+        let exec = std::fs::read_to_string(dir.join("BENCH_exec.json")).unwrap();
+        assert!(exec.contains("\"benchmark\": \"exec_dispatch\""));
+        assert!(exec.contains("\"dispatch_ns_per_job\""));
+        // Every file records the host's hardware parallelism so CI can
+        // tell whether a measured speedup is meaningful on that runner.
+        for json in [&sweep, &gtpn, &sim, &exec] {
+            assert!(json.contains("\"host_parallelism\": "), "{json}");
+        }
+    }
+
+    #[test]
+    fn bench_stage_flag_limits_the_run() {
+        let dir = std::env::temp_dir().join("snoop_bench_stage_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = run_tokens(&[
+            "bench",
+            "--quick",
+            "--threads",
+            "2",
+            "--stage",
+            "exec",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("exec:"), "{out}");
+        assert!(dir.join("BENCH_exec.json").exists());
+        // Only the requested stage's file is written.
+        for skipped in ["BENCH_sweep.json", "BENCH_gtpn.json", "BENCH_sim.json"] {
+            assert!(!dir.join(skipped).exists(), "{skipped} written despite --stage exec");
+        }
+        let err = run_tokens(&[
+            "bench",
+            "--stage",
+            "bogus",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--stage"), "{err}");
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //!
 //! `snoop perf diff <baseline> <current>` loads two timing files —
 //! either `BENCH_*.json` emitted by `snoop bench` (flat objects whose
-//! `*_ms` keys are stage timings) or `snoop-metrics-v1` files emitted
+//! `*_ms` keys are stage timings and whose `*speedup*` keys are
+//! parallel-efficiency ratios) or `snoop-metrics-v1` files emitted
 //! by `--metrics-out` (span paths with `total_ms`) — prints a per-stage
 //! delta table, and fails (nonzero exit, no usage hint) when any stage
-//! regressed beyond `--threshold-pct` (default 10%). `--min-ms` floors
-//! the absolute delta that can count as a regression, so microsecond
-//! jitter on trivial stages cannot flake a CI gate.
+//! regressed beyond `--threshold-pct` (default 10%). Timings regress
+//! upward; speedup ratios are higher-is-better and regress downward.
+//! `--min-ms` floors the absolute delta that can count as a timing
+//! regression, so microsecond jitter on trivial stages cannot flake a
+//! CI gate (it does not apply to the dimensionless speedup fields).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -76,8 +79,14 @@ fn cmd_perf_diff(args: &ParsedArgs) -> Result<String, Failure> {
             (Some(base), Some(cur)) => {
                 let delta = cur - base;
                 let pct = if *base > 0.0 { delta / base * 100.0 } else { 0.0 };
-                let is_regression =
-                    *base > 0.0 && pct > threshold_pct && delta >= min_ms;
+                // Speedup ratios are higher-is-better: they regress when
+                // the ratio *drops* beyond the threshold. The `--min-ms`
+                // floor is a time quantity, so it only applies to timings.
+                let is_regression = if higher_is_better(name) {
+                    *base > 0.0 && pct < -threshold_pct
+                } else {
+                    *base > 0.0 && pct > threshold_pct && delta >= min_ms
+                };
                 let _ = writeln!(
                     out,
                     "  {name:<width$}  {base:>12.3}  {cur:>12.3}  {delta:>+12.3}  {pct:>+8.1}%{}",
@@ -123,9 +132,15 @@ fn cmd_perf_diff(args: &ParsedArgs) -> Result<String, Failure> {
     }
 }
 
-/// Loads the per-stage timings of one file: `snoop-metrics-v1` span
+/// Whether a stage's metric improves upward (speedup ratios) rather than
+/// downward (timings).
+fn higher_is_better(name: &str) -> bool {
+    name.contains("speedup")
+}
+
+/// Loads the per-stage metrics of one file: `snoop-metrics-v1` span
 /// `total_ms` keyed by path, or any flat JSON object's finite `*_ms`
-/// number fields (the `BENCH_*.json` shape).
+/// timing and `*speedup*` ratio fields (the `BENCH_*.json` shape).
 fn load_stages(path: &str) -> Result<BTreeMap<String, f64>, Failure> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| Failure::from(format!("cannot read {path}: {e}")))?;
@@ -151,7 +166,7 @@ fn load_stages(path: &str) -> Result<BTreeMap<String, f64>, Failure> {
             .as_object()
             .ok_or_else(|| Failure::from(format!("{path}: expected a JSON object")))?;
         for (key, value) in fields {
-            if key.ends_with("_ms") {
+            if key.ends_with("_ms") || higher_is_better(key) {
                 if let Some(v) = value.as_f64() {
                     if v.is_finite() {
                         stages.insert(key.clone(), v);
@@ -266,6 +281,25 @@ mod tests {
         let out = run_tokens(&["perf", "diff", &a, &b]).unwrap();
         assert!(out.contains("removed"), "{out}");
         assert!(out.contains("added"), "{out}");
+    }
+
+    #[test]
+    fn speedup_fields_regress_downward_not_upward() {
+        let dir = temp_dir("snoop_perf_speedup");
+        let a = write(&dir, "a.json", r#"{"serial_ms": 100.0, "speedup": 2.0}"#);
+        let b = write(&dir, "b.json", r#"{"serial_ms": 100.0, "speedup": 1.0}"#);
+        // A 2.0 -> 1.0 speedup drop is a regression...
+        let err = run_tokens(&["perf", "diff", &a, &b, "--threshold-pct", "25"]).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+        assert!(err.contains("REGRESSED"), "{err}");
+        // ...that --min-ms (a time floor) does not shield...
+        assert!(run_tokens(&[
+            "perf", "diff", &a, &b, "--threshold-pct", "25", "--min-ms", "100",
+        ])
+        .is_err());
+        // ...while a 1.0 -> 2.0 rise (which a lower-is-better rule would
+        // flag as +100%) passes.
+        assert!(run_tokens(&["perf", "diff", &b, &a, "--threshold-pct", "25"]).is_ok());
     }
 
     #[test]

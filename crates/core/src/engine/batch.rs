@@ -307,7 +307,7 @@ impl Engine {
             results
         };
         let computed: Vec<Vec<Result<Evaluation, EvalError>>> =
-            par_map(&run_now, &self.exec, &execute);
+            par_map(&run_now, &self.exec, execute);
         drop(claims);
 
         // Scatter the computed groups back to their first-seen jobs.
@@ -342,7 +342,7 @@ impl Engine {
                     still_missing.push(item);
                 }
             }
-            let recomputed = par_map(&still_missing, &self.exec, &execute);
+            let recomputed = par_map(&still_missing, &self.exec, execute);
             scatter(&still_missing, recomputed, &mut outcomes);
         }
 

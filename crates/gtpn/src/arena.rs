@@ -1,0 +1,256 @@
+//! Bump-allocated storage and FNV-indexed interning for timed states.
+//!
+//! The reachability expansion interns every settled successor it sees —
+//! for the N = 3 Write-Once net that is thousands of lookups against a
+//! thousand-plus distinct states, and the intern table *is* the
+//! expansion's inner loop once stepping is cheap. The previous
+//! `HashMap<TimedState, usize>` paid for that layout three times over:
+//! SipHash over each state on every lookup, a full `TimedState` clone
+//! (two heap allocations) per inserted key on top of the copy kept in
+//! `states`, and pointer-chasing equality checks between scattered
+//! allocations.
+//!
+//! [`StateArena`] keeps exactly one copy of every state in two bump
+//! buffers — markings are fixed-width (`n_places` words per state) so
+//! they pack into one contiguous `Vec<u32>` addressed by id, active
+//! firings into a shared `Vec<ActiveFiring>` with per-state spans — and
+//! indexes them with an open-addressed table keyed by a word-wise
+//! FNV-1a hash that is cached per state, so a probe is one `u64`
+//! compare before any slice comparison happens.
+
+use crate::marking::{ActiveFiring, Remaining, TimedState};
+
+/// FNV-1a offset basis / prime, applied word-wise (the inputs are small
+/// integer words, not bytes; word-wise keeps the hash cheap while mixing
+/// every input word through the full 64-bit state).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_mix(hash: u64, word: u64) -> u64 {
+    (hash ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Packs an active firing into one hashable/comparable word:
+/// transition index in the high bits, a tag separating the countdown
+/// and memoryless variants, and the countdown itself in the low bits.
+#[inline]
+fn encode_firing(f: &ActiveFiring) -> u64 {
+    let (tag, ticks) = match f.remaining {
+        Remaining::Ticks(k) => (1u64, u64::from(k)),
+        Remaining::Memoryless => (2u64, 0),
+    };
+    ((f.transition as u64) << 35) | (tag << 33) | ticks
+}
+
+/// Word-wise FNV-1a over a state's marking and (sorted) active firings.
+#[inline]
+fn hash_state(marking: &[u32], active: &[ActiveFiring]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &tokens in marking {
+        hash = fnv_mix(hash, u64::from(tokens));
+    }
+    // Length separator: (marking, active) concatenations must not alias.
+    hash = fnv_mix(hash, 0x9e37_79b9_7f4a_7c15);
+    for firing in active {
+        hash = fnv_mix(hash, encode_firing(firing));
+    }
+    hash
+}
+
+/// The interned state store: bump buffers plus the open-addressed index.
+pub(crate) struct StateArena {
+    /// Marking width — every state stores exactly this many words.
+    n_places: usize,
+    /// All markings, `n_places` words per state, addressed by id.
+    markings: Vec<u32>,
+    /// All active firings, bump-allocated; spans index into this.
+    active: Vec<ActiveFiring>,
+    /// Per-state `(start, len)` into `active`.
+    active_spans: Vec<(usize, usize)>,
+    /// Cached state hashes, parallel to `active_spans`.
+    hashes: Vec<u64>,
+    /// Open-addressed (linear probing) table of `id + 1`; `0` is empty.
+    /// Length is always a power of two.
+    table: Vec<u32>,
+}
+
+/// Initial index size; doubles whenever occupancy crosses 70%.
+const INITIAL_TABLE: usize = 1024;
+
+impl StateArena {
+    pub(crate) fn new(n_places: usize) -> Self {
+        StateArena {
+            n_places,
+            markings: Vec::new(),
+            active: Vec::new(),
+            active_spans: Vec::new(),
+            hashes: Vec::new(),
+            table: vec![0; INITIAL_TABLE],
+        }
+    }
+
+    /// Number of interned states.
+    pub(crate) fn len(&self) -> usize {
+        self.active_spans.len()
+    }
+
+    /// The marking of state `id`.
+    #[inline]
+    pub(crate) fn marking(&self, id: usize) -> &[u32] {
+        &self.markings[id * self.n_places..(id + 1) * self.n_places]
+    }
+
+    /// The active firings of state `id` (in the normalized sorted order).
+    #[inline]
+    pub(crate) fn active(&self, id: usize) -> &[ActiveFiring] {
+        let (start, len) = self.active_spans[id];
+        &self.active[start..start + len]
+    }
+
+    /// Looks `state` up, returning its hash (for a subsequent
+    /// [`StateArena::insert`]) and its id when already interned.
+    pub(crate) fn lookup(&self, state: &TimedState) -> (u64, Option<usize>) {
+        let hash = hash_state(&state.marking, &state.active);
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == 0 {
+                return (hash, None);
+            }
+            let id = (entry - 1) as usize;
+            if self.hashes[id] == hash
+                && self.marking(id) == &state.marking[..]
+                && self.active(id) == &state.active[..]
+            {
+                return (hash, Some(id));
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Interns a state known (via [`StateArena::lookup`]) to be absent,
+    /// returning its new id. `state.marking` must be `n_places` wide and
+    /// `state.active` normalized (sorted) — both hold for every state
+    /// the explorer settles.
+    pub(crate) fn insert(&mut self, hash: u64, state: &TimedState) -> usize {
+        debug_assert_eq!(state.marking.len(), self.n_places);
+        let id = self.active_spans.len();
+        self.markings.extend_from_slice(&state.marking);
+        let start = self.active.len();
+        self.active.extend_from_slice(&state.active);
+        self.active_spans.push((start, state.active.len()));
+        self.hashes.push(hash);
+
+        // Keep occupancy below 70% so probe chains stay short.
+        if (id + 1) * 10 >= self.table.len() * 7 {
+            self.grow_table();
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        while self.table[slot] != 0 {
+            slot = (slot + 1) & mask;
+        }
+        self.table[slot] = u32::try_from(id + 1).expect("state count exceeds u32 index range");
+        id
+    }
+
+    fn grow_table(&mut self) {
+        let new_len = self.table.len() * 2;
+        let mask = new_len - 1;
+        let mut table = vec![0u32; new_len];
+        for id in 0..self.hashes.len() {
+            let mut slot = (self.hashes[id] as usize) & mask;
+            while table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = (id + 1) as u32;
+        }
+        self.table = table;
+    }
+
+    /// Materializes the owned per-state representation the public
+    /// [`crate::reachability::StateGraph`] exposes.
+    pub(crate) fn into_states(self) -> Vec<TimedState> {
+        let mut states = Vec::with_capacity(self.len());
+        for id in 0..self.len() {
+            // Active firings were stored in normalized order, so the
+            // struct literal (which skips `TimedState::new`'s re-sort)
+            // reproduces the canonical state exactly.
+            states.push(TimedState {
+                marking: self.marking(id).to_vec(),
+                active: self.active(id).to_vec(),
+            });
+        }
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(marking: &[u32], active: &[(usize, Remaining)]) -> TimedState {
+        TimedState::new(
+            marking.to_vec(),
+            active
+                .iter()
+                .map(|&(transition, remaining)| ActiveFiring { transition, remaining })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut arena = StateArena::new(3);
+        let a = state(&[1, 0, 2], &[(0, Remaining::Ticks(2))]);
+        let (hash, found) = arena.lookup(&a);
+        assert!(found.is_none());
+        let id = arena.insert(hash, &a);
+        assert_eq!(arena.lookup(&a), (hash, Some(id)));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.marking(id), &[1, 0, 2]);
+        assert_eq!(arena.active(id), &a.active[..]);
+    }
+
+    #[test]
+    fn distinguishes_remaining_variants_and_markings() {
+        let mut arena = StateArena::new(2);
+        let variants = [
+            state(&[1, 0], &[(0, Remaining::Ticks(1))]),
+            state(&[1, 0], &[(0, Remaining::Ticks(2))]),
+            state(&[1, 0], &[(0, Remaining::Memoryless)]),
+            state(&[0, 1], &[(0, Remaining::Ticks(1))]),
+            state(&[1, 0], &[]),
+            state(&[1, 0], &[(1, Remaining::Ticks(1))]),
+        ];
+        for s in &variants {
+            let (hash, found) = arena.lookup(s);
+            assert!(found.is_none(), "{s:?} collided");
+            arena.insert(hash, s);
+        }
+        assert_eq!(arena.len(), variants.len());
+        for (i, s) in variants.iter().enumerate() {
+            assert_eq!(arena.lookup(s).1, Some(i), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn survives_table_growth() {
+        let mut arena = StateArena::new(2);
+        let states: Vec<TimedState> = (0..5000u32)
+            .map(|i| state(&[i, i / 3], &[(i as usize % 7, Remaining::Ticks(i % 5 + 1))]))
+            .collect();
+        for s in &states {
+            let (hash, found) = arena.lookup(s);
+            assert!(found.is_none());
+            arena.insert(hash, s);
+        }
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(arena.lookup(s).1, Some(i));
+        }
+        let materialized = arena.into_states();
+        assert_eq!(materialized, states);
+    }
+}

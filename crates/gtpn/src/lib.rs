@@ -49,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
+
 pub mod chain;
 pub mod dot;
 pub mod marking;

@@ -17,10 +17,11 @@
 //! time unit and the embedded Markov chain's stationary distribution *is*
 //! the time-average distribution.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 use snoop_numeric::exec::{par_map, ExecOptions};
 
+use crate::arena::StateArena;
 use crate::marking::{ActiveFiring, Remaining, TimedState};
 use crate::net::{Firing, Net};
 use crate::GtpnError;
@@ -107,12 +108,14 @@ pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, G
     // Observational only: the probe registry is write-only from here, so
     // metrics collection cannot change visit order or state IDs.
     let _probe_span = snoop_numeric::probe::span("gtpn_reachability");
-    let mut explorer = Explorer { net, options, index: HashMap::new(), states: Vec::new() };
+    let mut explorer =
+        Explorer { net, options, arena: StateArena::new(net.initial_marking().len()) };
 
     // Settle the initial marking (zero-time activity only; firing counts
     // during the transient settle are not attributed to any state).
     let mut initial_counts = vec![0.0; net.transitions().len()];
     let mut settled = Vec::new();
+    let mut settle_work = Vec::new();
     explorer.settle(
         net.initial_marking(),
         Vec::new(),
@@ -120,11 +123,12 @@ pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, G
         0,
         &mut initial_counts,
         &mut settled,
+        &mut settle_work,
     )?;
     let initial: Vec<(usize, f64)> = {
         let mut acc: Vec<(usize, f64)> = Vec::new();
         for (state, prob) in settled {
-            let id = explorer.intern(state)?;
+            let id = explorer.intern(&state)?;
             match acc.iter_mut().find(|(s, _)| *s == id) {
                 Some((_, p)) => *p += prob,
                 None => acc.push((id, prob)),
@@ -135,29 +139,36 @@ pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, G
 
     // Breadth-first wave expansion: step the whole frontier (in parallel
     // when it is wide enough), then intern successors in frontier order.
-    // `step` reads only the net and the options, never the state index, so
-    // the intern call sequence — and with it every state ID — matches the
-    // one-state-at-a-time serial expansion exactly.
+    // `step` reads only the net, the options and the stepped state's
+    // arena slices, never the intern index, so the intern call sequence —
+    // and with it every state ID — matches the one-state-at-a-time serial
+    // expansion exactly.
     let exec = ExecOptions::with_threads(options.threads);
     let mut edges: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut firing_rates: Vec<Vec<f64>> = Vec::new();
     let mut next_unexpanded = 0usize;
-    while next_unexpanded < explorer.states.len() {
-        let wave_end = explorer.states.len();
-        let wave: Vec<TimedState> = explorer.states[next_unexpanded..wave_end].to_vec();
+    while next_unexpanded < explorer.arena.len() {
+        let wave_end = explorer.arena.len();
+        let wave: Vec<usize> = (next_unexpanded..wave_end).collect();
         snoop_numeric::probe::counter_add("gtpn.reachability_waves", 1);
         snoop_numeric::probe::record("gtpn.wave_size", wave.len() as f64);
         let outcomes: Vec<Result<StepOutcome, GtpnError>> =
             if wave.len() >= PARALLEL_WAVE_MIN && exec.resolved_threads() > 1 {
-                par_map(&wave, &exec, |state| explorer.step(state))
+                par_map(&wave, &exec, |&id| {
+                    explorer.step(explorer.arena.marking(id), explorer.arena.active(id))
+                })
             } else {
-                wave.iter().map(|state| explorer.step(state)).collect()
+                wave.iter()
+                    .map(|&id| {
+                        explorer.step(explorer.arena.marking(id), explorer.arena.active(id))
+                    })
+                    .collect()
             };
         for outcome in outcomes {
             let (dist, counts) = outcome?;
             let mut row: Vec<(usize, f64)> = Vec::new();
             for (s, p) in dist {
-                let id = explorer.intern(s)?;
+                let id = explorer.intern(&s)?;
                 match row.iter_mut().find(|(t, _)| *t == id) {
                     Some((_, q)) => *q += p,
                     None => row.push((id, p)),
@@ -176,19 +187,41 @@ pub fn explore(net: &Net, options: &ReachabilityOptions) -> Result<StateGraph, G
         next_unexpanded = wave_end;
     }
 
-    snoop_numeric::probe::counter_add("gtpn.states", explorer.states.len() as u64);
-    Ok(StateGraph { states: explorer.states, edges, firing_rates, initial })
+    snoop_numeric::probe::counter_add("gtpn.states", explorer.arena.len() as u64);
+    Ok(StateGraph { states: explorer.arena.into_states(), edges, firing_rates, initial })
 }
 
 /// Successor distribution and expected per-transition firing counts of
 /// one tick.
 type StepOutcome = (Vec<(TimedState, f64)>, Vec<f64>);
 
+/// A queued zero-time settling branch: marking, active firings, branch
+/// probability, zero-time firings so far.
+type SettleItem = (Vec<u32>, Vec<ActiveFiring>, f64, usize);
+
+/// Per-thread scratch for [`Explorer::step`]: the classification lists
+/// and the geometric-branch partitions are reused across every state a
+/// worker steps (pool threads are persistent, so these warm up once per
+/// process), replacing the per-successor `Vec` clones the recursion used
+/// to make.
+#[derive(Default)]
+struct StepScratch {
+    advanced: Vec<ActiveFiring>,
+    det_completions: Vec<usize>,
+    geometrics: Vec<usize>,
+    completed_geo: Vec<usize>,
+    surviving_geo: Vec<usize>,
+    settle_work: Vec<SettleItem>,
+}
+
+thread_local! {
+    static STEP_SCRATCH: RefCell<StepScratch> = RefCell::new(StepScratch::default());
+}
+
 struct Explorer<'a> {
     net: &'a Net,
     options: &'a ReachabilityOptions,
-    index: HashMap<TimedState, usize>,
-    states: Vec<TimedState>,
+    arena: StateArena,
 }
 
 impl Explorer<'_> {
@@ -200,51 +233,59 @@ impl Explorer<'_> {
         self.options.max_states.saturating_mul(8)
     }
 
-    fn intern(&mut self, state: TimedState) -> Result<usize, GtpnError> {
-        if let Some(&id) = self.index.get(&state) {
+    fn intern(&mut self, state: &TimedState) -> Result<usize, GtpnError> {
+        let (hash, found) = self.arena.lookup(state);
+        if let Some(id) = found {
             return Ok(id);
         }
-        if self.states.len() >= self.options.max_states {
+        if self.arena.len() >= self.options.max_states {
             return Err(GtpnError::StateSpaceExplosion { limit: self.options.max_states });
         }
-        let id = self.states.len();
-        self.states.push(state.clone());
-        self.index.insert(state, id);
-        Ok(id)
+        Ok(self.arena.insert(hash, state))
     }
 
-    /// One tick from a settled state: returns the successor distribution
-    /// and the expected firing counts.
-    fn step(&self, state: &TimedState) -> Result<StepOutcome, GtpnError> {
+    /// One tick from a settled state (given as its marking and active
+    /// slices): returns the successor distribution and the expected
+    /// firing counts.
+    fn step(&self, marking: &[u32], active: &[ActiveFiring]) -> Result<StepOutcome, GtpnError> {
         let mut counts = vec![0.0; self.net.transitions().len()];
         let mut out = Vec::new();
 
-        // Split active firings into deterministic (advance their clocks)
-        // and geometric (branch over completion subsets).
-        let mut advanced: Vec<ActiveFiring> = Vec::new();
-        let mut det_completions: Vec<usize> = Vec::new();
-        let mut geometrics: Vec<usize> = Vec::new();
-        for f in &state.active {
-            match f.remaining {
-                Remaining::Ticks(1) => det_completions.push(f.transition),
-                Remaining::Ticks(k) => advanced
-                    .push(ActiveFiring { transition: f.transition, remaining: Remaining::Ticks(k - 1) }),
-                Remaining::Memoryless => geometrics.push(f.transition),
-            }
-        }
+        STEP_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.advanced.clear();
+            scratch.det_completions.clear();
+            scratch.geometrics.clear();
+            scratch.completed_geo.clear();
+            scratch.surviving_geo.clear();
 
-        self.branch_geometrics(
-            state,
-            &advanced,
-            &det_completions,
-            &geometrics,
-            0,
-            Vec::new(),
-            Vec::new(),
-            1.0,
-            &mut counts,
-            &mut out,
-        )?;
+            // Split active firings into deterministic (advance their
+            // clocks) and geometric (branch over completion subsets).
+            for f in active {
+                match f.remaining {
+                    Remaining::Ticks(1) => scratch.det_completions.push(f.transition),
+                    Remaining::Ticks(k) => scratch.advanced.push(ActiveFiring {
+                        transition: f.transition,
+                        remaining: Remaining::Ticks(k - 1),
+                    }),
+                    Remaining::Memoryless => scratch.geometrics.push(f.transition),
+                }
+            }
+
+            self.branch_geometrics(
+                marking,
+                &scratch.advanced,
+                &scratch.det_completions,
+                &scratch.geometrics,
+                0,
+                &mut scratch.completed_geo,
+                &mut scratch.surviving_geo,
+                1.0,
+                &mut counts,
+                &mut out,
+                &mut scratch.settle_work,
+            )
+        })?;
         Ok((out, counts))
     }
 
@@ -252,20 +293,24 @@ impl Explorer<'_> {
     /// tick, then applies completions and settles. `completed_geo` and
     /// `surviving_geo` partition the first `i` entries of `geometrics`
     /// (kept as separate lists so several concurrent firings of the same
-    /// transition are counted individually).
+    /// transition are counted individually); both are push/pop
+    /// backtracking buffers — each recursion level appends its choice
+    /// before descending and removes it after, so no per-branch clones
+    /// are made.
     #[allow(clippy::too_many_arguments)]
     fn branch_geometrics(
         &self,
-        state: &TimedState,
+        marking: &[u32],
         advanced: &[ActiveFiring],
         det_completions: &[usize],
         geometrics: &[usize],
         i: usize,
-        completed_geo: Vec<usize>,
-        surviving_geo: Vec<usize>,
+        completed_geo: &mut Vec<usize>,
+        surviving_geo: &mut Vec<usize>,
         prob: f64,
         counts: &mut [f64],
         out: &mut Vec<(TimedState, f64)>,
+        settle_work: &mut Vec<SettleItem>,
     ) -> Result<(), GtpnError> {
         if prob < self.options.probability_floor {
             return Ok(());
@@ -277,44 +322,47 @@ impl Explorer<'_> {
                 _ => unreachable!("memoryless firing of non-geometric transition"),
             };
             // Branch: completes.
-            let mut with = completed_geo.clone();
-            with.push(t);
+            completed_geo.push(t);
             self.branch_geometrics(
-                state,
+                marking,
                 advanced,
                 det_completions,
                 geometrics,
                 i + 1,
-                with,
-                surviving_geo.clone(),
+                completed_geo,
+                surviving_geo,
                 prob * p,
                 counts,
                 out,
+                settle_work,
             )?;
+            completed_geo.pop();
             // Branch: keeps firing.
             if p < 1.0 {
-                let mut survives = surviving_geo;
-                survives.push(t);
+                surviving_geo.push(t);
                 self.branch_geometrics(
-                    state,
+                    marking,
                     advanced,
                     det_completions,
                     geometrics,
                     i + 1,
                     completed_geo,
-                    survives,
+                    surviving_geo,
                     prob * (1.0 - p),
                     counts,
                     out,
+                    settle_work,
                 )?;
+                surviving_geo.pop();
             }
             return Ok(());
         }
 
         // All geometric outcomes decided: build the post-tick marking.
-        let mut marking = state.marking.clone();
-        let mut active = advanced.to_vec();
-        for &t in &surviving_geo {
+        let mut marking = marking.to_vec();
+        let mut active = Vec::with_capacity(advanced.len() + surviving_geo.len());
+        active.extend_from_slice(advanced);
+        for &t in surviving_geo.iter() {
             active.push(ActiveFiring { transition: t, remaining: Remaining::Memoryless });
         }
         for &t in det_completions.iter().chain(completed_geo.iter()) {
@@ -327,16 +375,17 @@ impl Explorer<'_> {
             }
         }
 
-        let mut settled = Vec::new();
-        self.settle(marking, active, prob, 0, counts, &mut settled)?;
-        out.extend(settled);
-        Ok(())
+        self.settle(marking, active, prob, 0, counts, out, settle_work)
     }
 
     /// Zero-time activity: immediate firings (priority then weight race),
     /// then timed starts (weight race), until quiescent. Iterative with an
     /// explicit worklist — livelocked nets would otherwise recurse until
-    /// the stack overflows before the firing budget triggers.
+    /// the stack overflows before the firing budget triggers. The worklist
+    /// itself (`work`) is caller-provided scratch so its allocation is
+    /// reused across every leaf of a step; it is always drained (or
+    /// abandoned on error) before returning.
+    #[allow(clippy::too_many_arguments)]
     fn settle(
         &self,
         marking: Vec<u32>,
@@ -345,9 +394,11 @@ impl Explorer<'_> {
         zero_time_firings: usize,
         counts: &mut [f64],
         out: &mut Vec<(TimedState, f64)>,
+        work: &mut Vec<SettleItem>,
     ) -> Result<(), GtpnError> {
-        type WorkItem = (Vec<u32>, Vec<ActiveFiring>, f64, usize);
-        let mut work: Vec<WorkItem> = vec![(marking, active, prob, zero_time_firings)];
+        work.clear();
+        work.push((marking, active, prob, zero_time_firings));
+        let mut candidates: Vec<usize> = Vec::new();
 
         while let Some((marking, active, prob, fired)) = work.pop() {
             if prob < self.options.probability_floor {
@@ -365,30 +416,33 @@ impl Explorer<'_> {
                         Some(best_priority.map_or(t.priority, |b: u32| b.max(t.priority)));
                 }
             }
-            let candidates: Vec<usize> = if let Some(prio) = best_priority {
-                self.net
-                    .transitions()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| {
-                        matches!(t.firing, Firing::Immediate)
-                            && t.priority == prio
-                            && t.enabled(&marking)
-                    })
-                    .map(|(i, _)| i)
-                    .collect()
+            candidates.clear();
+            if let Some(prio) = best_priority {
+                candidates.extend(
+                    self.net
+                        .transitions()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            matches!(t.firing, Firing::Immediate)
+                                && t.priority == prio
+                                && t.enabled(&marking)
+                        })
+                        .map(|(i, _)| i),
+                );
             } else {
                 // No immediates: race the enabled timed transitions to start.
-                self.net
-                    .transitions()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| {
-                        !matches!(t.firing, Firing::Immediate) && t.enabled(&marking)
-                    })
-                    .map(|(i, _)| i)
-                    .collect()
-            };
+                candidates.extend(
+                    self.net
+                        .transitions()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            !matches!(t.firing, Firing::Immediate) && t.enabled(&marking)
+                        })
+                        .map(|(i, _)| i),
+                );
+            }
 
             if candidates.is_empty() {
                 // Guard the successor accumulator itself: the race
@@ -411,32 +465,56 @@ impl Explorer<'_> {
 
             let total_weight: f64 =
                 candidates.iter().map(|&i| self.net.transitions()[i].weight).sum();
-            for &ti in &candidates {
-                let t = &self.net.transitions()[ti];
-                let branch_prob = prob * t.weight / total_weight;
+            // All but the last branch clone the pre-fire marking/active;
+            // the last one takes them by move (push order — and therefore
+            // the settle visit order — is unchanged).
+            let (&last, rest) = candidates.split_last().expect("candidates is non-empty");
+            for &ti in rest {
+                let branch_prob = prob * self.net.transitions()[ti].weight / total_weight;
                 let mut m = marking.clone();
-                for &(p, k) in &t.inputs {
-                    m[p.index()] -= k;
-                }
                 let mut a = active.clone();
-                match t.firing {
-                    Firing::Immediate => {
-                        counts[ti] += branch_prob;
-                        for &(p, k) in &t.outputs {
-                            m[p.index()] = m[p.index()].saturating_add(k);
-                            if m[p.index()] > self.options.token_bound {
-                                return Err(GtpnError::UnboundedPlace { place: p.index() });
-                            }
-                        }
-                    }
-                    Firing::Deterministic(d) => {
-                        a.push(ActiveFiring { transition: ti, remaining: Remaining::Ticks(d) });
-                    }
-                    Firing::Geometric(_) => {
-                        a.push(ActiveFiring { transition: ti, remaining: Remaining::Memoryless });
+                self.fire_candidate(ti, branch_prob, &mut m, &mut a, counts)?;
+                work.push((m, a, branch_prob, fired + 1));
+            }
+            let branch_prob = prob * self.net.transitions()[last].weight / total_weight;
+            let mut m = marking;
+            let mut a = active;
+            self.fire_candidate(last, branch_prob, &mut m, &mut a, counts)?;
+            work.push((m, a, branch_prob, fired + 1));
+        }
+        Ok(())
+    }
+
+    /// Applies one zero-time candidate firing: consumes its input tokens,
+    /// then either deposits outputs (immediate) or starts the timer /
+    /// memoryless firing (timed).
+    fn fire_candidate(
+        &self,
+        ti: usize,
+        branch_prob: f64,
+        marking: &mut [u32],
+        active: &mut Vec<ActiveFiring>,
+        counts: &mut [f64],
+    ) -> Result<(), GtpnError> {
+        let t = &self.net.transitions()[ti];
+        for &(p, k) in &t.inputs {
+            marking[p.index()] -= k;
+        }
+        match t.firing {
+            Firing::Immediate => {
+                counts[ti] += branch_prob;
+                for &(p, k) in &t.outputs {
+                    marking[p.index()] = marking[p.index()].saturating_add(k);
+                    if marking[p.index()] > self.options.token_bound {
+                        return Err(GtpnError::UnboundedPlace { place: p.index() });
                     }
                 }
-                work.push((m, a, branch_prob, fired + 1));
+            }
+            Firing::Deterministic(d) => {
+                active.push(ActiveFiring { transition: ti, remaining: Remaining::Ticks(d) });
+            }
+            Firing::Geometric(_) => {
+                active.push(ActiveFiring { transition: ti, remaining: Remaining::Memoryless });
             }
         }
         Ok(())

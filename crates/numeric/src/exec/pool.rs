@@ -1,0 +1,185 @@
+//! The persistent worker pool behind [`super::par_map`].
+//!
+//! Before this module existed every `par_map` call paid a full
+//! `thread::scope` spawn/join cycle — measurable overhead (tens of
+//! microseconds per call) that dominated the ~2.5 ms batches the sweep
+//! and engine layers submit many times per run. The pool amortizes that
+//! cost to a one-time lazy initialization: workers are spawned on first
+//! use, then parked on a condvar between jobs.
+//!
+//! # Architecture
+//!
+//! * A global [`Pool`] behind a `OnceLock` holds an injector queue of
+//!   [`JobCore`]s and a count of spawned/idle workers.
+//! * A *job* is a type-erased view of a caller-stack `JobData` (see
+//!   `super`): a raw data pointer plus a monomorphized `run` function
+//!   that claims chunks from the job's atomic cursor until it is empty.
+//! * [`Pool::submit`] publishes a job with a fixed number of *attach
+//!   slots*; each idle worker that dequeues it consumes one slot and
+//!   runs the claim loop. The submitting thread is always a full
+//!   participant: it runs the same loop inline, so a job completes even
+//!   if every worker is busy elsewhere (this also makes *nested*
+//!   submission deadlock-free — a worker submitting from inside a job
+//!   simply does the nested work itself when no peer is free).
+//! * [`Pool::detach`] revokes unconsumed attach slots and then blocks
+//!   until every attached worker has left the claim loop, which is the
+//!   borrow-safety boundary: `JobData` lives on the submitter's stack
+//!   and no worker touches it after `detach` returns.
+//!
+//! # Safety argument
+//!
+//! The raw `data` pointer in [`JobCore`] dangles once the submitting
+//! `par_map` frame returns. It is only ever dereferenced by `run`,
+//! which is called exactly once per consumed attach slot, and `detach`
+//! removes the job from the queue (no further slots can be consumed)
+//! and waits for `active == 0` (every consumed slot has finished)
+//! before the frame returns. Attach — slot consumption *and* the
+//! `active` increment — happens under the pool mutex, so `detach`'s
+//! queue removal under the same mutex cannot race with a half-attached
+//! worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard ceiling on spawned pool workers. Parked threads are cheap, but a
+/// runaway caller (nested submissions from many user threads) must not
+/// create threads without bound.
+const MAX_POOL_WORKERS: usize = 256;
+
+/// One published unit of work: a type-erased claim loop over a
+/// caller-stack `JobData`.
+pub(super) struct JobCore {
+    /// Points at the submitting frame's `JobData<T, U, F>`.
+    data: *const (),
+    /// Monomorphized claim loop; must not unwind (it catches panics).
+    run: unsafe fn(*const ()),
+    /// Attach slots remaining; decremented under the pool mutex.
+    slots: AtomicUsize,
+    /// Workers currently inside `run` (the submitter runs inline and is
+    /// not counted).
+    active: AtomicUsize,
+    /// Pairs with `active` for the completion wait in [`Pool::detach`].
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `data`/`run` are only used per the protocol documented in the
+// module header; the submitter keeps the pointee alive until `detach`
+// proves no worker can touch it again. The generic shim restores the
+// `T: Sync`, `U: Send`, `F: Sync` bounds that make cross-thread access
+// of the pointee sound.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+impl JobCore {
+    pub(super) fn new(data: *const (), run: unsafe fn(*const ())) -> Self {
+        JobCore {
+            data,
+            run,
+            slots: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Arc<JobCore>>,
+    spawned: usize,
+    idle: usize,
+}
+
+/// The process-wide worker pool.
+pub(super) struct Pool {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// The lazily-initialized global pool. No threads are spawned until the
+/// first [`Pool::submit`].
+pub(super) fn global() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), spawned: 0, idle: 0 }),
+        work_available: Condvar::new(),
+    })
+}
+
+impl Pool {
+    /// Publishes `job` with `attachers` attach slots and wakes workers,
+    /// spawning new ones (up to [`MAX_POOL_WORKERS`]) when fewer than
+    /// `attachers` are idle.
+    pub(super) fn submit(&'static self, job: Arc<JobCore>, attachers: usize) {
+        debug_assert!(attachers > 0);
+        job.slots.store(attachers, Ordering::Release);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let deficit = attachers.saturating_sub(state.idle);
+        let headroom = MAX_POOL_WORKERS.saturating_sub(state.spawned);
+        for _ in 0..deficit.min(headroom) {
+            // A failed spawn is absorbed: the submitter still completes
+            // the job itself.
+            if std::thread::Builder::new()
+                .name("snoop-exec".into())
+                .spawn(move || worker_loop(global()))
+                .is_ok()
+            {
+                state.spawned += 1;
+            }
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.work_available.notify_all();
+    }
+
+    /// Revokes `job`'s unconsumed attach slots and blocks until every
+    /// attached worker has finished its claim loop. After this returns,
+    /// no pool thread holds a reference into the submitter's stack.
+    pub(super) fn detach(&self, job: &Arc<JobCore>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = state.queue.iter().position(|queued| Arc::ptr_eq(queued, job)) {
+            state.queue.remove(pos);
+        }
+        drop(state);
+        let mut guard = job.done.lock().unwrap_or_else(|e| e.into_inner());
+        while job.active.load(Ordering::Acquire) > 0 {
+            guard = job.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Dequeues one attach slot, if any job is pending. The slot decrement
+/// and the `active` increment happen under the pool mutex (see module
+/// header for why).
+fn try_claim(state: &mut PoolState) -> Option<Arc<JobCore>> {
+    let front = state.queue.front()?;
+    let job = Arc::clone(front);
+    job.active.fetch_add(1, Ordering::AcqRel);
+    if job.slots.fetch_sub(1, Ordering::AcqRel) == 1 {
+        state.queue.pop_front();
+    }
+    Some(job)
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if let Some(job) = try_claim(&mut state) {
+            drop(state);
+            // SAFETY: the attach protocol guarantees `data` is alive
+            // until this worker's completion is observed by `detach`.
+            unsafe { (job.run)(job.data) };
+            if job.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = job.done.lock().unwrap_or_else(|e| e.into_inner());
+                job.done_cv.notify_all();
+            }
+            state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+        } else {
+            state.idle += 1;
+            state = pool.work_available.wait(state).unwrap_or_else(|e| e.into_inner());
+            state.idle -= 1;
+        }
+    }
+}

@@ -263,22 +263,26 @@ pub fn steady_state_sparse(
     normalize(&mut pi);
 
     let alpha = options.damping.clamp(f64::MIN_POSITIVE, 1.0);
-    // Ring of the last three iterates for Aitken Δ².
+    // `π^T P` on the CSR of P is a column-scatter; transposing once turns
+    // every sweep into the unrolled row-gather kernel with the damped
+    // update and convergence residual fused into the same pass
+    // (`CsrMatrix::power_sweep_into`). The transpose is O(nnz), repaid
+    // within the first few of the typically hundreds of sweeps.
+    let pt = p.transpose();
+    // All sweep buffers are allocated once and reused: `next` receives
+    // each update, `prev1`/`prev2` hold the Aitken iterate history.
+    let mut next = vec![0.0; n];
     let mut prev2: Vec<f64> = Vec::new();
     let mut prev1: Vec<f64> = Vec::new();
     let mut residual = f64::INFINITY;
     for iteration in 1..=options.max_iterations {
-        let next = p.vec_mul(&pi)?;
         if options.aitken_period > 0 {
-            prev2 = std::mem::take(&mut prev1);
-            prev1 = pi.clone();
+            std::mem::swap(&mut prev2, &mut prev1);
+            prev1.clear();
+            prev1.extend_from_slice(&pi);
         }
-        residual = 0.0;
-        for i in 0..n {
-            let updated = alpha * next[i] + (1.0 - alpha) * pi[i];
-            residual = residual.max((updated - pi[i]).abs());
-            pi[i] = updated;
-        }
+        residual = pt.power_sweep_into(&pi, alpha, &mut next)?;
+        std::mem::swap(&mut pi, &mut next);
         normalize(&mut pi);
         if residual < options.tolerance {
             crate::probe::counter_add("markov.power_iterations", iteration as u64);
@@ -294,16 +298,9 @@ pub fn steady_state_sparse(
             // iterate (componentwise Aitken can overshoot when the modes
             // are mixed, so unguarded acceleration may regress).
             if let Some(accelerated) = aitken_extrapolate(&prev2, &prev1, &pi) {
-                let trial_next = p.vec_mul(&accelerated)?;
-                let mut trial = vec![0.0; n];
-                let mut trial_residual = 0.0_f64;
-                for i in 0..n {
-                    let updated = alpha * trial_next[i] + (1.0 - alpha) * accelerated[i];
-                    trial_residual = trial_residual.max((updated - accelerated[i]).abs());
-                    trial[i] = updated;
-                }
+                let trial_residual = pt.power_sweep_into(&accelerated, alpha, &mut next)?;
                 if trial_residual < residual {
-                    pi = trial;
+                    std::mem::swap(&mut pi, &mut next);
                     normalize(&mut pi);
                     // Start a fresh iterate history: mixing pre- and
                     // post-jump iterates would corrupt the next Δ².

@@ -195,18 +195,113 @@ impl CsrMatrix {
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x` written into a caller-owned
+    /// buffer — the allocation-free form iterative solvers call once per
+    /// sweep.
+    ///
+    /// The row accumulation is unrolled by four with independent
+    /// accumulators (autovectorizable); the reassociation is fixed by
+    /// construction — `(a0 + a2) + (a1 + a3)` over lanes, in-order tail —
+    /// so results are bit-identical across runs, threads and platforms
+    /// with the same FP semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != cols`
+    /// or `out.len() != rows`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericError> {
         if x.len() != self.cols {
             return Err(NumericError::DimensionMismatch { expected: self.cols, actual: x.len() });
         }
-        let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for (c, v) in self.row_entries(r) {
-                acc += v * x[c];
-            }
-            out[r] = acc;
+        if out.len() != self.rows {
+            return Err(NumericError::DimensionMismatch { expected: self.rows, actual: out.len() });
         }
-        Ok(out)
+        for r in 0..self.rows {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            out[r] = dot_gather(&self.col_idx[span.clone()], &self.values[span], x);
+        }
+        Ok(())
+    }
+
+    /// One fused sweep of the damped power iteration
+    /// `out = α·(self·x) + (1−α)·x`, returning the max-norm residual
+    /// `max_i |out[i] − x[i]|` computed in the same pass.
+    ///
+    /// `self` is expected to be the *transpose* of a row-stochastic
+    /// matrix, so the product is the row-gather form of `x^T P` — the
+    /// unrolled [`CsrMatrix::mul_vec_into`] kernel — and the damped
+    /// update plus convergence residual fold into the same cache-resident
+    /// traversal instead of two extra passes over `x` and `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] unless the matrix is
+    /// square with `x.len() == out.len() == rows`.
+    pub fn power_sweep_into(
+        &self,
+        x: &[f64],
+        alpha: f64,
+        out: &mut [f64],
+    ) -> Result<f64, NumericError> {
+        if self.cols != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        if x.len() != self.cols {
+            return Err(NumericError::DimensionMismatch { expected: self.cols, actual: x.len() });
+        }
+        if out.len() != self.rows {
+            return Err(NumericError::DimensionMismatch { expected: self.rows, actual: out.len() });
+        }
+        let beta = 1.0 - alpha;
+        let mut residual = 0.0_f64;
+        for r in 0..self.rows {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            let acc = dot_gather(&self.col_idx[span.clone()], &self.values[span], x);
+            let updated = alpha * acc + beta * x[r];
+            residual = residual.max((updated - x[r]).abs());
+            out[r] = updated;
+        }
+        Ok(residual)
+    }
+
+    /// The transposed matrix in the same CSR normal form (each row's
+    /// columns sorted ascending).
+    ///
+    /// Power iteration computes `π^T P` every sweep; on `P` that is a
+    /// column-scatter with data-dependent writes. Transposing once up
+    /// front turns every subsequent sweep into the row-gather form the
+    /// unrolled kernel wants. Cost: one counting sort over the non-zeros.
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.values.len();
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor = row_ptr[..self.cols].to_vec();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        // Scanning source rows in ascending order keeps each transposed
+        // row's columns sorted — the CSR normal form — for free.
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                let dst = cursor[c];
+                cursor[c] += 1;
+                col_idx[dst] = r;
+                values[dst] = v;
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
     }
 
     /// Vector-matrix product `x^T * self`, the workhorse of power iteration
@@ -248,6 +343,30 @@ impl CsrMatrix {
         }
         m
     }
+}
+
+/// Sparse gather dot product `Σ values[k] · x[cols[k]]`, unrolled by four
+/// with independent accumulators so the loads pipeline and the compiler
+/// can vectorize. The combine order `(a0 + a2) + (a1 + a3)` and the
+/// in-order tail are fixed, making the reassociation deterministic.
+#[inline]
+fn dot_gather(cols: &[usize], values: &[f64], x: &[f64]) -> f64 {
+    let len = values.len();
+    let mut k = 0;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    while k + 4 <= len {
+        a0 += values[k] * x[cols[k]];
+        a1 += values[k + 1] * x[cols[k + 1]];
+        a2 += values[k + 2] * x[cols[k + 2]];
+        a3 += values[k + 3] * x[cols[k + 3]];
+        k += 4;
+    }
+    let mut acc = (a0 + a2) + (a1 + a3);
+    while k < len {
+        acc += values[k] * x[cols[k]];
+        k += 1;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -367,6 +486,95 @@ mod tests {
     fn from_adjacency_rejects_empty() {
         assert!(CsrMatrix::from_adjacency(0, &[vec![]]).is_err());
         assert!(CsrMatrix::from_adjacency(1, &[]).is_err());
+    }
+
+    /// A dense-ish matrix whose rows exercise the unrolled kernel's main
+    /// loop (≥ 4 nnz) and every tail length 0..=3.
+    fn ragged(rows: usize, cols: usize) -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r * 31 + c * 17) % (r % 4 + 2) != 0 {
+                    continue;
+                }
+                let value = ((r * cols + c) as f64).sin();
+                triplets.push(Triplet { row: r, col: c, value });
+            }
+        }
+        CsrMatrix::from_triplets(rows, cols, &triplets).unwrap()
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let m = ragged(13, 11);
+        let x: Vec<f64> = (0..11).map(|i| (i as f64).cos()).collect();
+        let mut out = vec![0.0; 13];
+        m.mul_vec_into(&x, &mut out).unwrap();
+        assert_eq!(out, m.mul_vec(&x).unwrap());
+    }
+
+    #[test]
+    fn mul_vec_into_rejects_bad_buffer_lengths() {
+        let m = simple();
+        let mut short = vec![0.0; 2];
+        assert!(m.mul_vec_into(&[1.0, 2.0, 3.0], &mut short).is_err());
+        let mut out = vec![0.0; 3];
+        assert!(m.mul_vec_into(&[1.0, 2.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = ragged(9, 14);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (14, 9));
+        assert_eq!(t.nnz(), m.nnz());
+        let dense = m.to_dense();
+        let dense_t = t.to_dense();
+        for r in 0..9 {
+            for c in 0..14 {
+                assert_eq!(dense[(r, c)], dense_t[(c, r)], "({r},{c})");
+            }
+        }
+        // Normal form: transposing twice round-trips exactly.
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn power_sweep_fuses_update_and_residual() {
+        // Row-stochastic P; sweep on P^T must reproduce the reference
+        // α·(x^T P) + (1−α)·x update and its max-norm residual.
+        let p = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet { row: 0, col: 1, value: 0.75 },
+                Triplet { row: 0, col: 2, value: 0.25 },
+                Triplet { row: 1, col: 0, value: 1.0 },
+                Triplet { row: 2, col: 0, value: 0.5 },
+                Triplet { row: 2, col: 2, value: 0.5 },
+            ],
+        )
+        .unwrap();
+        let pt = p.transpose();
+        let x = [0.5, 0.3, 0.2];
+        let alpha = 0.9;
+        let mut out = vec![0.0; 3];
+        let residual = pt.power_sweep_into(&x, alpha, &mut out).unwrap();
+        let product = p.vec_mul(&x).unwrap();
+        let mut expected_residual = 0.0_f64;
+        for i in 0..3 {
+            let expected = alpha * product[i] + (1.0 - alpha) * x[i];
+            assert!((out[i] - expected).abs() < 1e-15, "component {i}");
+            expected_residual = expected_residual.max((expected - x[i]).abs());
+        }
+        assert!((residual - expected_residual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn power_sweep_rejects_non_square() {
+        let m = CsrMatrix::from_triplets(2, 3, &[Triplet { row: 0, col: 2, value: 1.0 }]).unwrap();
+        let mut out = vec![0.0; 2];
+        assert!(m.power_sweep_into(&[1.0, 0.0, 0.0], 0.9, &mut out).is_err());
     }
 
     #[test]
