@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use snoop_mva::asymptote::asymptotic;
 use snoop_mva::engine::{
-    self, BackendId, DiskStore, Engine, EvalError, EvaluationSeries, GtpnBackend, MvaBackend,
-    ResilientMvaBackend, Scenario, SimBackend, StoreConfig,
+    self, BackendId, DiskStore, Engine, EngineResult, EvalError, EvaluationSeries, GtpnBackend,
+    MvaBackend, ResilientMvaBackend, Scenario, SimBackend, StoreConfig,
 };
 use snoop_mva::paper::{table_4_1, TABLE_N};
 use snoop_mva::report::comparison_table;
@@ -33,6 +33,7 @@ commands:
   table      reproduce Table 4.1            --panel a | b | c | util
   figure     reproduce Figure 4.1           --csv for machine-readable output
   eval       batch-evaluate scenarios       --scenarios FILE.json --backends mva,sim
+  serve      persistent evaluation daemon   --listen 127.0.0.1:7077 [--store DIR]
   perf       perf-regression gate           diff BASELINE CURRENT [--threshold-pct 10]
   validate   MVA vs discrete-event sim      --n 8 --protocol WO --sharing 5
   gtpn       MVA vs GTPN (small N)          --n 2 --protocol WO --sharing 5
@@ -88,6 +89,15 @@ so concurrent workers divide a sweep). A killed sweep rerun with
 --resume executes only the scenarios not yet in the store (and prints
 the resume plan); --store-verify scans every entry before the run;
 --store-max-entries K evicts the oldest entries beyond K.
+evaluation service: `snoop serve --listen ADDR` starts a persistent
+daemon holding one warm engine (content-addressed cache, optional
+--store DIR durable tier): POST /eval evaluates a snoop-scenario-v1
+batch and streams one JSON result per line as jobs complete; GET
+/metrics is the live snoop-metrics-v1 snapshot; GET /healthz reports
+liveness and queue depth; POST /shutdown (or SIGTERM / ctrl-c) stops
+accepting, drains in-flight work and exits. --threads K sets request
+workers, --queue-bound K the backpressure bound (a full queue answers
+429 with Retry-After), --backends mirrors eval.
 deprecated spellings (still accepted as hidden aliases): `sweep --max-n`
 (use --n) and the positional panel of `table` (use --panel).
 ";
@@ -147,6 +157,7 @@ pub fn run(argv: &[String]) -> Result<String, Failure> {
         "table" => cmd_table(&args),
         "figure" => with_observability(&args, || cmd_figure(&args)),
         "eval" => with_observability(&args, || cmd_eval(&args)),
+        "serve" => cmd_serve(&args),
         "perf" => return crate::perf::cmd_perf(&args),
         "validate" => with_observability(&args, || cmd_validate(&args)),
         "gtpn" => with_observability(&args, || cmd_gtpn(&args)),
@@ -426,7 +437,9 @@ fn cmd_table(args: &ParsedArgs) -> Result<String, String> {
     let mut rows = Vec::new();
     for row in &published {
         for (i, &n) in TABLE_N.iter().enumerate() {
-            let s = evals.next().expect("one result per job").result.map_err(|e| e.to_string())?;
+            let s = next_result(&mut evals, BackendId::Mva, format!("{} N={n}", row.sharing))?
+                .result
+                .map_err(|e| e.to_string())?;
             rows.push((format!("{} N={n}", row.sharing), row.mva[i], s.speedup));
         }
     }
@@ -450,8 +463,9 @@ fn cmd_figure(args: &ParsedArgs) -> Result<String, String> {
     let mut family = Vec::with_capacity(grid.len());
     for &(mods, sharing) in &grid {
         let mut points = Vec::with_capacity(sizes.len());
-        for _ in &sizes {
-            let eval = evals.next().expect("one result per job");
+        for &n in &sizes {
+            let eval =
+                next_result(&mut evals, BackendId::Mva, format!("{mods} {sharing} N={n}"))?;
             points.push(eval.result.map_err(|e| e.to_string())?);
         }
         family.push(EvaluationSeries { mods, sharing, points });
@@ -511,6 +525,71 @@ fn locate_offset(text: &str, offset: usize) -> (usize, usize, String) {
     (line, col, source)
 }
 
+/// Takes the next result off a batch iterator. An exhausted iterator
+/// means the engine broke its one-result-per-job invariant; that is
+/// reported as the typed [`EvalError::MissingResult`] naming the
+/// scenario and backend, never a panic under a command.
+fn next_result(
+    evals: &mut impl Iterator<Item = EngineResult>,
+    backend: BackendId,
+    scenario: impl std::fmt::Display,
+) -> Result<EngineResult, String> {
+    evals.next().ok_or_else(|| {
+        EvalError::MissingResult { backend, scenario: scenario.to_string() }.to_string()
+    })
+}
+
+/// Parses `--backends` (comma list, deduplicated, order-preserving).
+fn backends_flag(args: &ParsedArgs, command: &str) -> Result<Vec<BackendId>, String> {
+    let mut backends = Vec::new();
+    for token in args.flag_str("backends", "mva").split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let id: BackendId = token.parse()?;
+        if !backends.contains(&id) {
+            backends.push(id);
+        }
+    }
+    if backends.is_empty() {
+        return Err(format!("{command} needs at least one backend in --backends"));
+    }
+    Ok(backends)
+}
+
+/// `snoop serve --listen ADDR [--threads K] [--queue-bound K]
+/// [--backends mva,...] [--store DIR [--store-max-entries K]]`: the
+/// persistent evaluation daemon. Blocks until SIGTERM, ctrl-c or
+/// `POST /shutdown`, then drains and returns the lifetime summary.
+fn cmd_serve(args: &ParsedArgs) -> Result<String, String> {
+    let store_dir = args.flag_str("store", "");
+    let max_entries: usize = args.flag_num("store-max-entries", 0)?;
+    if store_dir.is_empty() && max_entries > 0 {
+        return Err("--store-max-entries needs --store DIR".to_string());
+    }
+    let config = snoop_serve::ServeConfig {
+        listen: args.flag_str("listen", "127.0.0.1:7077"),
+        workers: args.flag_num::<usize>("threads", 2)?.max(1),
+        queue_bound: args.flag_num::<usize>("queue-bound", 64)?.max(1),
+        backends: backends_flag(args, "serve")?,
+        engine_threads: 0,
+        cache_capacity: None,
+        store_dir: (!store_dir.is_empty()).then(|| std::path::PathBuf::from(&store_dir)),
+        store_max_entries: (max_entries > 0).then_some(max_entries),
+    };
+    let server = snoop_serve::Server::bind(config).map_err(|e| e.to_string())?;
+    // The address goes to stderr immediately (stdout is reserved for
+    // the shutdown summary), so scripts can parse the ephemeral port.
+    eprintln!("serve: listening on http://{}", server.local_addr());
+    eprintln!(
+        "serve: POST /eval streams snoop-scenario-v1 batch results; GET /metrics, \
+         GET /healthz, POST /shutdown; SIGTERM or ctrl-c drains and exits"
+    );
+    let summary = server.run().map_err(|e| e.to_string())?;
+    Ok(format!("{summary}\n"))
+}
+
 /// `snoop eval --scenarios FILE.json [--backends mva,sim] [--cache FILE]
 /// [--store DIR [--resume] [--store-verify] [--store-max-entries K]]`:
 /// runs a `snoop-scenario-v1` batch through the unified engine.
@@ -525,20 +604,7 @@ fn cmd_eval(args: &ParsedArgs) -> Result<String, String> {
     }
     let scenarios = scenarios_from_file(&path)?;
 
-    let mut backends = Vec::new();
-    for token in args.flag_str("backends", "mva").split(',') {
-        let token = token.trim();
-        if token.is_empty() {
-            continue;
-        }
-        let id: BackendId = token.parse()?;
-        if !backends.contains(&id) {
-            backends.push(id);
-        }
-    }
-    if backends.is_empty() {
-        return Err("eval needs at least one backend in --backends".to_string());
-    }
+    let backends = backends_flag(args, "eval")?;
     let exec = threads_flag(args)?;
     let mut engine = Engine::new().with_exec(exec);
     for id in &backends {
@@ -618,8 +684,8 @@ fn cmd_eval(args: &ParsedArgs) -> Result<String, String> {
     let mut it = results.into_iter();
     for (i, scenario) in scenarios.iter().enumerate() {
         let _ = writeln!(out, "[{i}] {scenario}  (hash {:016x})", scenario.content_hash());
-        for _ in &backends {
-            let r = it.next().expect("one result per (scenario, backend) job");
+        for id in &backends {
+            let r = next_result(&mut it, *id, format!("{:016x}", scenario.content_hash()))?;
             match r.result {
                 Ok(eval) => {
                     let _ = writeln!(out, "    {}", eval.summary());
@@ -668,8 +734,10 @@ fn cmd_validate(args: &ParsedArgs) -> Result<String, String> {
         .with_backend(MvaBackend)
         .with_backend(SimBackend { exec: threads_flag(args)? });
     let mut results = engine.evaluate(&scenario).into_iter();
-    let mva = results.next().expect("mva result").result.map_err(|e| e.to_string())?;
-    let sim = results.next().expect("sim result").result.map_err(|e| e.to_string())?;
+    let mva =
+        next_result(&mut results, BackendId::Mva, scenario)?.result.map_err(|e| e.to_string())?;
+    let sim =
+        next_result(&mut results, BackendId::Sim, scenario)?.result.map_err(|e| e.to_string())?;
 
     let mut out = format!("{scenario}\n");
     let _ = writeln!(
@@ -699,8 +767,10 @@ fn cmd_gtpn(args: &ParsedArgs) -> Result<String, String> {
         .with_backend(MvaBackend)
         .with_backend(GtpnBackend { threads: threads_flag(args)?.threads });
     let mut results = engine.evaluate(&scenario).into_iter();
-    let mva = results.next().expect("mva result").result.map_err(|e| e.to_string())?;
-    let gtpn = results.next().expect("gtpn result").result.map_err(|e| e.to_string())?;
+    let mva =
+        next_result(&mut results, BackendId::Mva, scenario)?.result.map_err(|e| e.to_string())?;
+    let gtpn =
+        next_result(&mut results, BackendId::Gtpn, scenario)?.result.map_err(|e| e.to_string())?;
 
     let mut out = format!("{scenario}\n");
     let _ = writeln!(
@@ -1042,6 +1112,15 @@ mod tests {
 
     fn run_tokens(tokens: &[&str]) -> Result<String, Failure> {
         run(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn exhausted_result_iterator_is_a_typed_error_not_a_panic() {
+        let err = next_result(&mut std::iter::empty(), BackendId::Gtpn, "deadbeef00000000")
+            .unwrap_err();
+        assert!(err.contains("internal invariant violated"), "{err}");
+        assert!(err.contains("gtpn"), "{err}");
+        assert!(err.contains("deadbeef00000000"), "{err}");
     }
 
     #[test]

@@ -134,8 +134,18 @@ fn cmd_perf_diff(args: &ParsedArgs) -> Result<String, Failure> {
 
 /// Whether a stage's metric improves upward (speedup ratios) rather than
 /// downward (timings).
+///
+/// Only a whole `speedup` segment of the stage's leaf name counts
+/// (split on `.`, `_` and `/`), and a `*_ms` suffix always means a
+/// timing: a field like `speedup_overhead_ms` is time spent *measuring*
+/// speedup, and a substring match would invert the gate for it —
+/// regressions would read as improvements.
 fn higher_is_better(name: &str) -> bool {
-    name.contains("speedup")
+    let leaf = name.rsplit('/').next().unwrap_or(name);
+    if leaf.ends_with("_ms") {
+        return false;
+    }
+    leaf.split(['.', '_']).any(|segment| segment == "speedup")
 }
 
 /// Loads the per-stage metrics of one file: `snoop-metrics-v1` span
@@ -300,6 +310,33 @@ mod tests {
         // ...while a 1.0 -> 2.0 rise (which a lower-is-better rule would
         // flag as +100%) passes.
         assert!(run_tokens(&["perf", "diff", &b, &a, "--threshold-pct", "25"]).is_ok());
+    }
+
+    #[test]
+    fn speedup_must_be_a_whole_segment_not_a_substring() {
+        // `explore_speedup` is a genuine ratio: higher is better.
+        assert!(higher_is_better("explore_speedup"));
+        assert!(higher_is_better("speedup"));
+        assert!(higher_is_better("exec.par_map_speedup"));
+        // `speedup_overhead_ms` is a timing (time spent measuring the
+        // speedup); the old substring match inverted the gate for it.
+        assert!(!higher_is_better("speedup_overhead_ms"));
+        assert!(!higher_is_better("speedups"));
+        // Only the leaf of a span path decides.
+        assert!(!higher_is_better("bench.speedup/setup_ms"));
+
+        let dir = temp_dir("snoop_perf_speedup_segments");
+        // A rising `*_ms` stage regresses even when it mentions speedup…
+        let a = write(&dir, "a.json", r#"{"speedup_overhead_ms": 10.0, "explore_speedup": 2.0}"#);
+        let b = write(&dir, "b.json", r#"{"speedup_overhead_ms": 100.0, "explore_speedup": 2.0}"#);
+        let err = run_tokens(&["perf", "diff", &a, &b, "--threshold-pct", "25"]).unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+        assert!(err.contains("speedup_overhead_ms"), "{err}");
+        // …while a genuine ratio still regresses downward, not upward.
+        let c = write(&dir, "c.json", r#"{"speedup_overhead_ms": 10.0, "explore_speedup": 1.0}"#);
+        let err = run_tokens(&["perf", "diff", &a, &c, "--threshold-pct", "25"]).unwrap_err();
+        assert!(err.contains("explore_speedup"), "{err}");
+        assert!(run_tokens(&["perf", "diff", &c, &a, "--threshold-pct", "25"]).is_ok());
     }
 
     #[test]

@@ -85,6 +85,20 @@ pub struct Engine {
     exec: ExecOptions,
 }
 
+/// A thread-safe shared handle to one warm engine. `evaluate_batch`
+/// takes `&self` and every tier locks internally (cache mutex, store
+/// atomics), so one engine can serve concurrent callers — this is the
+/// handle the serve daemon's request workers share.
+pub type SharedEngine = Arc<Engine>;
+
+// Compile-time proof that the shared handle is actually shareable: any
+// field change that costs `Engine` its `Send + Sync` fails here, not in
+// a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>()
+};
+
 impl Default for Engine {
     fn default() -> Self {
         Engine::new()
@@ -394,11 +408,21 @@ impl Engine {
 
         jobs.into_iter()
             .zip(outcomes)
-            .map(|((si, bi, key), result)| EngineResult {
-                scenario: si,
-                backend: self.backends[bi].id(),
-                key,
-                result: result.expect("every job resolved"),
+            .map(|((si, bi, key), result)| {
+                let backend = self.backends[bi].id();
+                EngineResult {
+                    scenario: si,
+                    backend,
+                    // Every enumerated job is resolved by the cache pass
+                    // or the execute pass; if that invariant ever breaks,
+                    // report it as a typed per-job error rather than
+                    // panicking under a caller (CLI command or serve
+                    // request handler).
+                    result: result.unwrap_or_else(|| {
+                        Err(EvalError::MissingResult { backend, scenario: key.clone() })
+                    }),
+                    key,
+                }
             })
             .collect()
     }

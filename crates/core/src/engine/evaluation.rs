@@ -71,6 +71,16 @@ pub enum EvalError {
         /// The underlying error, verbatim.
         reason: String,
     },
+    /// The engine finished a batch without producing a result for a job
+    /// it enumerated. This is an internal invariant violation, reported
+    /// as a typed error so callers (CLI commands, the serve daemon) can
+    /// surface it per job instead of panicking.
+    MissingResult {
+        /// The backend the job was enumerated for.
+        backend: BackendId,
+        /// A short description of the scenario (content hash or label).
+        scenario: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -81,6 +91,11 @@ impl fmt::Display for EvalError {
                 write!(f, "{backend} cannot evaluate this scenario: {reason}")
             }
             EvalError::Failed { backend, reason } => write!(f, "{backend} failed: {reason}"),
+            EvalError::MissingResult { backend, scenario } => write!(
+                f,
+                "internal invariant violated: no result for scenario {scenario} on backend \
+                 {backend}; please report this"
+            ),
         }
     }
 }
@@ -108,6 +123,11 @@ pub struct Provenance {
     /// Whether this value was served from the result cache (excluded
     /// from `==`).
     pub cached: bool,
+    /// Milliseconds the request spent queued before a worker picked it
+    /// up (serve daemon only; 0 for batch runs; excluded from `==` and
+    /// from the canonical JSON form — it describes the run, not the
+    /// result).
+    pub queue_wait_ms: f64,
 }
 
 impl PartialEq for Provenance {
@@ -129,6 +149,7 @@ impl Provenance {
             strategy: None,
             wall_ms: 0.0,
             cached: false,
+            queue_wait_ms: 0.0,
         }
     }
 }
@@ -270,6 +291,7 @@ impl Evaluation {
                 strategy,
                 wall_ms: 0.0,
                 cached: false,
+                queue_wait_ms: 0.0,
             },
         })
     }
@@ -298,6 +320,7 @@ mod tests {
                 strategy: Some("plain".to_string()),
                 wall_ms: 0.135,
                 cached: false,
+                queue_wait_ms: 0.0,
             },
         }
     }

@@ -51,7 +51,7 @@ mod scenario;
 pub mod series;
 
 pub use backends::{Evaluator, GtpnBackend, MvaBackend, ResilientMvaBackend, SimBackend};
-pub use batch::{Engine, EngineResult};
+pub use batch::{Engine, EngineResult, SharedEngine};
 pub use cache::{
     CacheLoadError, CacheStats, LoadOutcome, ResultCache, CACHE_SCHEMA, DEFAULT_CAPACITY,
     LEGACY_CACHE_SCHEMA,

@@ -1,0 +1,53 @@
+//! `snoop-serve` — a persistent HTTP evaluation daemon over the engine.
+//!
+//! The paper's MVA technique earns its keep when one calibrated model
+//! answers thousands of what-if queries; a batch CLI throws the warm
+//! state away between invocations. This crate is the long-running front
+//! door: one process holding one warm [`Engine`] — content-addressed
+//! cache plus the optional durable `snoop-store` tier — shared across
+//! every client, so repeat queries are cache hits no matter who asks.
+//!
+//! The daemon is std-only, matching the workspace's zero-dependency
+//! discipline: a hand-rolled minimal HTTP/1.1 layer ([`http`]) on a
+//! [`std::net::TcpListener`], an acceptor thread feeding a **bounded**
+//! submission queue (backpressure: a full queue answers `429` with
+//! `Retry-After` instead of growing without bound), and a small pool of
+//! worker threads serving:
+//!
+//! * `POST /eval` — a `snoop-scenario-v1` batch (the same schema as
+//!   `snoop eval --scenarios`); results stream back as they complete,
+//!   one JSON object per line over chunked transfer encoding;
+//! * `GET /metrics` — the live `snoop-metrics-v1` probe snapshot
+//!   (per-endpoint counters, queue-depth and queue-wait series, engine
+//!   cache/store counters);
+//! * `GET /healthz` — liveness plus current queue depth;
+//! * `POST /shutdown` — the administrative equivalent of SIGTERM.
+//!
+//! Shutdown (SIGTERM, ctrl-c or `POST /shutdown`) is graceful: the
+//! acceptor stops accepting, queued and in-flight requests drain, the
+//! workers join, and the store's write-through contract means nothing
+//! needs replaying. Request handlers are panic-isolated: a handler
+//! panic costs that connection a `500`, never the process.
+//!
+//! Determinism is preserved per request: each scenario is evaluated
+//! through the same engine path as the batch CLI, and cached values are
+//! bit-identical to freshly computed ones, so two clients racing on the
+//! same scenario get byte-identical evaluations.
+//!
+//! [`Engine`]: snoop_mva::engine::Engine
+
+// `deny`, not `forbid`: the one audited exception is `signal` (see
+// below). Everything else in this crate is `unsafe`-free.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+// Installing a SIGTERM/SIGINT handler requires one `signal(2)` FFI call;
+// the handler body is a single atomic store (async-signal-safe). This is
+// the workspace's second documented unsafe island, after
+// `snoop-numeric::exec`.
+#[allow(unsafe_code)]
+mod signal;
+
+pub use server::{ServeConfig, ServeError, ServeSummary, Server, ShutdownHandle};

@@ -532,8 +532,14 @@ impl DiskStore {
         if self.entries.load(Ordering::Relaxed) <= max {
             return;
         }
-        // Collect (mtime, path) across all shards; oldest leave first.
-        let mut candidates: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        // Collect (mtime, file name, path) across all shards; oldest
+        // leave first. The file name — sanitize(key) + key hash — is
+        // the tie-break, so among same-mtime entries (coarse filesystem
+        // timestamps, same-batch writes) the eviction set is a pure
+        // function of the keys, not of shard layout or enumeration
+        // order.
+        let mut candidates: Vec<(std::time::SystemTime, std::ffi::OsString, PathBuf)> =
+            Vec::new();
         let shards = self.root.join("shards");
         for shard in self.fs.read_dir_sorted(&shards).unwrap_or_default() {
             for file in self.fs.read_dir_sorted(&shard).unwrap_or_default() {
@@ -542,13 +548,14 @@ impl DiskStore {
                 }
                 let mtime =
                     self.fs.modified(&file).unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                candidates.push((mtime, file));
+                let name = file.file_name().map(ToOwned::to_owned).unwrap_or_default();
+                candidates.push((mtime, name, file));
             }
         }
         candidates.sort();
         let excess = candidates.len().saturating_sub(max);
         let mut evicted = 0u64;
-        for (_, path) in candidates.into_iter().take(excess) {
+        for (_, _, path) in candidates.into_iter().take(excess) {
             if self.fs.remove_file(&path).is_ok() {
                 evicted += 1;
             }
@@ -580,6 +587,7 @@ mod tests {
     use super::*;
     use crate::fs::FaultyFs;
     use snoop_numeric::fault::{StorageFault, StoragePlan};
+    use std::time::SystemTime;
 
     fn fresh(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("snoop-store-tests").join(name);
@@ -796,6 +804,122 @@ mod tests {
         assert!(store.stats().evictions >= 5);
         // Reopen agrees with the on-disk population.
         assert!(DiskStore::open(&dir).unwrap().len() <= 3);
+    }
+
+    /// Delegates to [`RealFs`] but reports the same mtime for every
+    /// file, modelling coarse filesystem timestamps where a whole batch
+    /// of writes lands in one tick.
+    struct ConstantMtimeFs;
+
+    impl StoreFs for ConstantMtimeFs {
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            RealFs.read(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            RealFs.write(path, bytes)
+        }
+        fn create_new(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            RealFs.create_new(path, bytes)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            RealFs.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            RealFs.remove_file(path)
+        }
+        fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            RealFs.create_dir_all(path)
+        }
+        fn read_dir_sorted(&self, path: &Path) -> std::io::Result<Vec<PathBuf>> {
+            RealFs.read_dir_sorted(path)
+        }
+        fn modified(&self, _path: &Path) -> std::io::Result<SystemTime> {
+            Ok(SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000))
+        }
+        fn exists(&self, path: &Path) -> bool {
+            RealFs.exists(path)
+        }
+    }
+
+    /// Every `.entry` file name under `root/shards`, sorted.
+    fn entry_names(root: &Path) -> Vec<String> {
+        let mut names = Vec::new();
+        for shard in std::fs::read_dir(root.join("shards")).unwrap() {
+            for file in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+                let name = file.unwrap().file_name().to_string_lossy().into_owned();
+                if name.ends_with(".entry") {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn same_mtime_eviction_is_deterministic_by_key_not_shard_layout() {
+        // The differing character leads the key: FNV's high bits (the
+        // shard) barely change for trailing-character differences, and
+        // same-shard entries cannot distinguish name order from path
+        // order.
+        let keys: Vec<String> = (0..12).map(|i| format!("k{i}:mva")).collect();
+
+        // Reference pass, unbounded: learn every entry's file name and
+        // derive the expected survivors — the 3 largest *names* (the
+        // name embeds the sanitized key + key hash, so this order is a
+        // pure function of the keys; the old full-path sort ordered by
+        // shard directory instead).
+        let reference = fresh("eviction-tie-reference");
+        let unbounded =
+            DiskStore::open_with(&reference, StoreConfig::default(), Arc::new(ConstantMtimeFs))
+                .unwrap();
+        for key in &keys {
+            unbounded.put(key, b"v").unwrap();
+        }
+        let all_names = entry_names(&reference);
+        assert_eq!(all_names.len(), keys.len());
+        let expected: Vec<String> = all_names[all_names.len() - 3..].to_vec();
+
+        // Bounded passes: forward and reverse insertion orders must
+        // evict down to exactly those survivors.
+        for (label, order) in [
+            ("forward", keys.clone()),
+            ("reverse", keys.iter().rev().cloned().collect::<Vec<_>>()),
+        ] {
+            let dir = fresh(&format!("eviction-tie-{label}"));
+            let config = StoreConfig { max_entries: Some(3), ..StoreConfig::default() };
+            let store =
+                DiskStore::open_with(&dir, config, Arc::new(ConstantMtimeFs)).unwrap();
+            for key in &order {
+                store.put(key, b"v").unwrap();
+            }
+            assert_eq!(entry_names(&dir), expected, "{label} insertion order");
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_coherent() {
+        let dir = fresh("concurrent");
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        store.put("shared", b"warm").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let key = format!("t{t}:{i}");
+                        store.put(&key, key.as_bytes()).unwrap();
+                        assert_eq!(store.get(&key).unwrap(), key.as_bytes());
+                        assert_eq!(store.get("shared").unwrap(), b"warm");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 101);
+        assert_eq!(store.stats().write_errors, 0);
     }
 
     #[test]
