@@ -15,7 +15,7 @@
 use snoop_bench::rel_err;
 use snoop_mva::{MvaModel, SolverOptions};
 use snoop_protocol::ModSet;
-use snoop_sim::trace_mode::{simulate_trace_measuring, TraceSimConfig};
+use snoop_sim::trace_mode::{simulate_trace_source_measuring, TraceSimConfig};
 
 fn main() {
     println!("measured-parameter loop: trace sim → measured params → MVA → compare");
@@ -30,7 +30,9 @@ fn main() {
             let mut config = TraceSimConfig::new(n, mods);
             config.warmup_references = 4_000;
             config.measured_references = 25_000;
-            let (sim, params) = simulate_trace_measuring(&config).expect("valid config");
+            let source = config.generator().expect("valid config");
+            let (sim, params) = simulate_trace_source_measuring(&config.drive_config(), source)
+                .expect("valid config");
             let mva = MvaModel::for_protocol(&params, mods)
                 .expect("measured params validate")
                 .solve(n, &SolverOptions::default())

@@ -16,7 +16,7 @@ use snoop_mva::SolverOptions;
 use snoop_numeric::exec::ExecOptions;
 use snoop_protocol::{ModSet, Protocol};
 use snoop_sim::simulate;
-use snoop_sim::trace_mode::{simulate_trace, TraceSimConfig};
+use snoop_sim::trace_mode::{simulate_trace_source, TraceSimConfig};
 use snoop_workload::params::{SharingLevel, WorkloadParams};
 
 use crate::args::ParsedArgs;
@@ -44,7 +44,11 @@ commands:
   asymptote  N → infinity speedups
   sensitivity  speedup elasticities         --protocol WO --sharing 5 --n 10
   convergence  iterate trajectory (Sec 3.2) --protocol WO --sharing 5 --n 10
-  calibrate  grid-search timing constants against the published tables
+  calibrate  grid-search timing constants against the published tables,
+             or measure Appendix-A workload parameters from an address
+             trace: --trace FILE[,FILE…] [--format auto|assignment|label]
+             [--emit-scenario OUT.json] [--validate] [--n 4] [--sets 64]
+             [--ways 2] [--windows 8] [--tau T] [--backends mva,…]
   multiclass heterogeneous-workload model   --light 4 --heavy 4
   hierarchy  clustered-bus model            --clusters 4 --per-cluster 8
   measure    measure workload params from a trace simulation  --n 4
@@ -98,6 +102,16 @@ liveness and queue depth; POST /shutdown (or SIGTERM / ctrl-c) stops
 accepting, drains in-flight work and exits. --threads K sets request
 workers, --queue-bound K the backpressure bound (a full queue answers
 429 with Retry-After), --backends mirrors eval.
+trace calibration: `calibrate --trace FILE` streams an address trace
+(assignment format: per-processor `<0|1|2> <value>` files, a single
+`…_p0…` path auto-expands to the family; label format: one `<l|s>
+<address>` stream sharded across --n virtual processors), measures the
+Appendix-A workload parameters with windowed confidence intervals, and
+prints them in --params-file form. --emit-scenario OUT writes the
+measured workload as a snoop-scenario-v1 batch for `eval`; --validate
+replays the same trace through the trace-driven simulator and compares
+every --backends model prediction on the measured parameters against
+it. --metrics-out/--trace-out/--threads work here as on eval.
 deprecated spellings (still accepted as hidden aliases): `sweep --max-n`
 (use --n) and the positional panel of `table` (use --panel).
 ";
@@ -168,7 +182,7 @@ pub fn run(argv: &[String]) -> Result<String, Failure> {
         "asymptote" => cmd_asymptote(&args),
         "sensitivity" => with_observability(&args, || cmd_sensitivity(&args)),
         "convergence" => cmd_convergence(&args),
-        "calibrate" => cmd_calibrate(&args),
+        "calibrate" => with_observability(&args, || cmd_calibrate(&args)),
         "multiclass" => cmd_multiclass(&args),
         "hierarchy" => cmd_hierarchy(&args),
         "measure" => cmd_measure(&args),
@@ -818,7 +832,8 @@ fn cmd_trace(args: &ParsedArgs) -> Result<String, String> {
         config.update_policy =
             snoop_sim::trace_mode::UpdatePolicy::Adaptive { useless_limit: limit };
     }
-    let m = simulate_trace(&config).map_err(|e| e.to_string())?;
+    let source = config.generator().map_err(|e| e.to_string())?;
+    let m = simulate_trace_source(&config.drive_config(), source).map_err(|e| e.to_string())?;
     Ok(format!(
         "trace-driven simulation: {mods}, N = {n}{}\n\
          speedup {:.3}  U_bus {:.3}  emergent hit rate {:.3}\n\
@@ -880,7 +895,188 @@ fn cmd_convergence(args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_calibrate(_args: &ParsedArgs) -> Result<String, String> {
+/// `snoop calibrate` has two modes sharing one name because both answer
+/// "where do the model's numbers come from":
+///
+/// * without `--trace` — the original timing-constant grid search against
+///   the published Table 4.1 cells;
+/// * with `--trace FILE[,FILE…]` — Appendix-A workload-parameter
+///   measurement from an address trace on disk (`--format
+///   auto|assignment|label`), with `--emit-scenario OUT` writing a
+///   `snoop-scenario-v1` batch of the measured workload and `--validate`
+///   replaying the same trace through the trace-driven simulator and
+///   comparing it against the model backends (`--backends`, default mva)
+///   evaluated on the measured parameters.
+fn cmd_calibrate(args: &ParsedArgs) -> Result<String, String> {
+    if args.flag_str("trace", "").is_empty() {
+        return cmd_calibrate_grid();
+    }
+    cmd_calibrate_trace(args)
+}
+
+/// Resolves `--trace` (comma list; a single `…_p0…` path expands to its
+/// per-processor family) and `--format` (default `auto` = sniff).
+fn trace_flag(
+    args: &ParsedArgs,
+) -> Result<(Vec<std::path::PathBuf>, snoop_workload::ingest::TraceFormat), String> {
+    use snoop_workload::ingest::{discover_processor_files, TraceFormat};
+    let spec = args.flag_str("trace", "");
+    let mut paths: Vec<std::path::PathBuf> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from)
+        .collect();
+    if paths.is_empty() {
+        return Err("calibrate needs --trace FILE[,FILE…]".to_string());
+    }
+    if paths.len() == 1 {
+        paths = discover_processor_files(&paths[0]);
+    }
+    let format = match args.flag_str("format", "auto").as_str() {
+        "auto" => TraceFormat::detect(&paths[0]).map_err(|e| e.to_string())?,
+        other => other.parse::<TraceFormat>()?,
+    };
+    Ok((paths, format))
+}
+
+fn cmd_calibrate_trace(args: &ParsedArgs) -> Result<String, String> {
+    use snoop_workload::ingest::{FileTrace, IngestOptions};
+    use snoop_workload::measure::{measure_source, render_diagnostics, MeasureConfig};
+    use snoop_workload::trace::TraceSource;
+
+    let mods = protocol_flag(args)?;
+    let (paths, format) = trace_flag(args)?;
+    let options = IngestOptions {
+        bytes_per_word: args.flag_num("bytes-per-word", 4)?,
+        words_per_block: args.flag_num("words-per-block", 4)?,
+        processors: args.flag_num("n", 4)?,
+    };
+    let mut trace = FileTrace::open(&paths, format, options).map_err(|e| e.to_string())?;
+    let n = trace.processors();
+
+    let config = MeasureConfig {
+        sets: args.flag_num("sets", 64)?,
+        ways: args.flag_num("ways", 2)?,
+        windows: args.flag_num("windows", 8)?,
+        mods,
+        tau: args.flag_num("tau", WorkloadParams::default().tau)?,
+        exec: threads_flag(args)?,
+        ..MeasureConfig::default()
+    };
+    let measured = measure_source(&mut trace, &config).map_err(|e| e.to_string())?;
+
+    let shown = if paths.len() == 1 {
+        paths[0].display().to_string()
+    } else {
+        format!("{} (+{} sibling files)", paths[0].display(), paths.len() - 1)
+    };
+    let mut out = format!(
+        "workload parameters calibrated from {shown}\n\
+         ({format} trace, {n} processors, {} distinct blocks)\n\n{}",
+        trace.distinct_blocks(),
+        snoop_workload::file::to_string(&measured.params)
+    );
+    let _ = writeln!(out);
+    out.push_str(&render_diagnostics(&measured.diagnostics));
+
+    let scenario = Scenario::with_params(mods, measured.params, n);
+
+    let emit = args.flag_str("emit-scenario", "");
+    if !emit.is_empty() {
+        std::fs::write(&emit, Scenario::batch_to_json(&[scenario]))
+            .map_err(|e| format!("cannot write {emit}: {e}"))?;
+        let _ = writeln!(out, "\nscenario batch (snoop-scenario-v1) -> {emit}");
+    }
+
+    if args.switch("validate") {
+        out.push_str(&calibrate_validate(args, &paths, format, options, scenario)?);
+    }
+    Ok(out)
+}
+
+/// The `--validate` leg of trace calibration: replays the *same* trace
+/// through the trace-driven simulator and compares the measured-parameter
+/// model predictions (every backend in `--backends`) against it. The two
+/// legs share nothing but the trace file, so agreement means the
+/// estimator actually captured the workload.
+fn calibrate_validate(
+    args: &ParsedArgs,
+    paths: &[std::path::PathBuf],
+    format: snoop_workload::ingest::TraceFormat,
+    options: snoop_workload::ingest::IngestOptions,
+    scenario: Scenario,
+) -> Result<String, String> {
+    use snoop_sim::trace_mode::TraceDriveConfig;
+    use snoop_workload::ingest::FileTrace;
+
+    // A fresh streaming pass over the files — the measurement pass above
+    // consumed the cursors.
+    let trace = FileTrace::open(paths, format, options).map_err(|e| e.to_string())?;
+    let shortest =
+        trace.record_counts().iter().copied().min().unwrap_or(0) as usize;
+
+    let mut drive = TraceDriveConfig::new(scenario.n, scenario.protocol);
+    drive.tau = scenario.params.tau;
+    drive.sets = args.flag_num("sets", 64)?;
+    drive.ways = args.flag_num("ways", 2)?;
+    drive.seed = args.flag_num("seed", drive.seed)?;
+    // Size the windows to consume the whole shortest stream: a processor
+    // that drains its file after finishing its window parks while the
+    // laggards catch up, so uneven drain rates are fine.
+    drive.warmup_references = shortest / 10;
+    drive.measured_references = shortest - shortest / 10;
+    if drive.measured_references == 0 {
+        return Err(format!(
+            "trace too short to validate: shortest processor stream has \
+             {shortest} references"
+        ));
+    }
+    let sim = snoop_sim::trace_mode::simulate_trace_source(&drive, trace)
+        .map_err(|e| e.to_string())?;
+
+    let backends = backends_flag(args, "calibrate")?;
+    let exec = threads_flag(args)?;
+    let mut engine = Engine::new().with_exec(exec);
+    for id in &backends {
+        engine = match id {
+            BackendId::Mva => engine.with_backend(MvaBackend),
+            BackendId::ResilientMva => engine.with_backend(ResilientMvaBackend::default()),
+            BackendId::Sim => engine.with_backend(SimBackend { exec }),
+            BackendId::Gtpn => engine.with_backend(GtpnBackend { threads: exec.threads }),
+        };
+    }
+    let mut results = engine.evaluate(&scenario).into_iter();
+
+    let mut out = format!(
+        "\nvalidation: trace-driven simulation vs model on measured parameters\n\
+         trace sim:       speedup {:.3}  U_bus {:.3}  hit rate {:.3}  \
+         ({} warmup + {} measured refs/processor)\n",
+        sim.speedup, sim.bus_utilization, sim.hit_rate, drive.warmup_references,
+        drive.measured_references
+    );
+    for id in &backends {
+        let eval = next_result(&mut results, *id, scenario)?;
+        match eval.result {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} speedup {:.3}  U_bus {:.3}  ({:+.1}% vs trace sim)",
+                    format!("{id}:"),
+                    r.speedup,
+                    r.bus_utilization,
+                    (r.speedup - sim.speedup) / sim.speedup * 100.0
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<16} FAILED: {e}", format!("{id}:"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_calibrate_grid() -> Result<String, String> {
     let fits = snoop_mva::calibration::grid_search().map_err(|e| e.to_string())?;
     let mut out = String::from(
         "timing-reconstruction grid search against the published Table 4.1 MVA cells\n",
@@ -996,10 +1192,12 @@ fn cmd_hierarchy(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn cmd_measure(args: &ParsedArgs) -> Result<String, String> {
-    use snoop_sim::trace_mode::simulate_trace_measuring;
+    use snoop_sim::trace_mode::simulate_trace_source_measuring;
     let mods = protocol_flag(args)?;
     let n: usize = args.flag_num("n", 4)?;
-    let (sim, params) = simulate_trace_measuring(&TraceSimConfig::new(n, mods))
+    let config = TraceSimConfig::new(n, mods);
+    let source = config.generator().map_err(|e| e.to_string())?;
+    let (sim, params) = simulate_trace_source_measuring(&config.drive_config(), source)
         .map_err(|e| e.to_string())?;
     let scenario = Scenario::with_params(mods, params, n);
     let mva = scenario
@@ -1670,5 +1868,82 @@ mod tests {
         assert!(h.contains("deprecated spellings"), "{h}");
         assert!(h.contains("--max-n"));
         assert!(h.contains("--panel"));
+    }
+
+    /// Absolute path into the checked-in trace corpus.
+    fn corpus(file: &str) -> String {
+        format!("{}/../../scenarios/traces/{file}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn calibrate_without_trace_still_runs_the_grid_search() {
+        let out = run_tokens(&["calibrate"]).unwrap();
+        assert!(out.contains("grid search"), "{out}");
+        assert!(out.contains("shipped defaults"), "{out}");
+    }
+
+    #[test]
+    fn calibrate_measures_and_validates_the_assignment_corpus() {
+        let path = corpus("mesi_small_p0.trace");
+        let out = run_tokens(&[
+            "calibrate", "--trace", &path, "--validate", "--backends", "mva",
+        ])
+        .unwrap();
+        assert!(out.contains("workload parameters calibrated"), "{out}");
+        assert!(out.contains("assignment trace, 4 processors"), "{out}");
+        // Think lines in the corpus encode tau = 2.5 exactly.
+        assert!(out.contains("tau = 2.5"), "{out}");
+        assert!(out.contains("windows: 8"), "{out}");
+        assert!(out.contains("validation: trace-driven simulation"), "{out}");
+        assert!(out.contains("trace sim:"), "{out}");
+        assert!(out.contains("mva:"), "{out}");
+        assert!(out.contains("% vs trace sim"), "{out}");
+    }
+
+    #[test]
+    fn calibrate_shards_the_label_corpus() {
+        let path = corpus("lab_shared.trace");
+        let out =
+            run_tokens(&["calibrate", "--trace", &path, "--n", "4"]).unwrap();
+        assert!(out.contains("label trace, 4 processors"), "{out}");
+        assert!(out.contains("p_private"), "{out}");
+    }
+
+    #[test]
+    fn calibrate_malformed_trace_points_at_line_and_column() {
+        let path = corpus("malformed.trace");
+        let err = run_tokens(&["calibrate", "--trace", &path]).unwrap_err();
+        // Usage-style diagnostic: path:line:col, the source line, a caret —
+        // and the fixture's bad address is at line 3, column 3.
+        assert!(err.contains("malformed.trace:3:3"), "{err}");
+        assert!(err.contains("invalid address"), "{err}");
+        assert!(err.contains("s 0xZZ"), "{err}");
+        assert!(err.contains("^"), "{err}");
+        assert!(err.usage_hint, "parse errors are usage errors");
+    }
+
+    #[test]
+    fn calibrate_emitted_scenario_round_trips_through_the_batch_parser() {
+        let dir = std::env::temp_dir().join("snoop_calibrate_emit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let emit = dir.join("measured.json");
+        let trace = corpus("mesi_small_p0.trace");
+        run_tokens(&[
+            "calibrate",
+            "--trace",
+            &trace,
+            "--protocol",
+            "berkeley",
+            "--emit-scenario",
+            emit.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&emit).unwrap();
+        let batch = Scenario::parse_batch(&text).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].n, 4);
+        assert_eq!(batch[0].protocol, "berkeley".parse::<ModSet>().unwrap());
+        batch[0].params.validate().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -231,3 +231,25 @@ fn dot_output_pipes_cleanly() {
     assert!(stdout.starts_with("digraph"));
     assert!(stdout.trim_end().ends_with('}'));
 }
+
+#[test]
+fn calibrate_trace_validate_succeeds_end_to_end() {
+    let trace =
+        format!("{}/../../scenarios/traces/mesi_small_p0.trace", env!("CARGO_MANIFEST_DIR"));
+    let out = snoop(&["calibrate", "--trace", &trace, "--validate", "--backends", "mva"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("workload parameters calibrated"), "{stdout}");
+    assert!(stdout.contains("validation: trace-driven simulation"), "{stdout}");
+}
+
+#[test]
+fn calibrate_malformed_trace_exits_nonzero_with_caret_diagnostic() {
+    let trace =
+        format!("{}/../../scenarios/traces/malformed.trace", env!("CARGO_MANIFEST_DIR"));
+    let out = snoop(&["calibrate", "--trace", &trace]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed.trace:3:3"), "{stderr}");
+    assert!(stderr.contains('^'), "{stderr}");
+}

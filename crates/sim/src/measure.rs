@@ -1,155 +1,14 @@
 //! Workload-parameter measurement from trace-driven simulation.
 //!
-//! The paper closes: "The model can be put to good use for evaluating the
-//! protocols more thoroughly — all that is needed are workload measurement
-//! studies to aid in the assignment of parameter values." This module is
-//! that measurement study in miniature: it instruments the trace-driven
-//! simulator and estimates every basic parameter of
-//! [`snoop_workload::params::WorkloadParams`] from the observed behaviour —
-//! stream mix, read fractions, per-stream hit rates, already-modified
-//! probabilities, cache-supply and dirty-supplier probabilities, and
-//! replacement write-back probabilities.
-//!
-//! Feeding the measured parameters back into the MVA model and comparing
-//! its prediction against the very simulation they were measured from
-//! closes the paper's loop end-to-end (see `tests/measured_params.rs`).
+//! The counters themselves now live in [`snoop_workload::measure`] — the
+//! estimator is useful for *any* [`snoop_workload::trace::TraceSource`],
+//! not just the simulator — and are re-exported here so existing
+//! `snoop_sim::measure::ParameterCounters` imports keep working. The
+//! simulator accumulates them during
+//! [`crate::trace_mode::simulate_trace_source_measuring`]; feeding the
+//! measured parameters back into the MVA model and comparing its
+//! prediction against the very simulation they were measured from closes
+//! the paper's loop end-to-end (see `tests/measured_params.rs` and the
+//! `snoop calibrate` command).
 
-use snoop_workload::params::WorkloadParams;
-
-/// Raw event counters, one accumulator per estimated parameter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ParameterCounters {
-    /// References per stream `[private, sro, sw]`.
-    pub refs: [u64; 3],
-    /// Reads per stream.
-    pub reads: [u64; 3],
-    /// Hits per stream.
-    pub hits: [u64; 3],
-    /// Write hits per stream.
-    pub write_hits: [u64; 3],
-    /// Write hits that found the block already modified, per stream.
-    pub write_hits_modified: [u64; 3],
-    /// Misses per stream.
-    pub misses: [u64; 3],
-    /// Misses that found a copy in another cache, per stream.
-    pub misses_supplied: [u64; 3],
-    /// Supplied misses whose supplier held the block dirty, per stream.
-    pub misses_supplied_dirty: [u64; 3],
-    /// Fills that evicted a dirty victim, per incoming stream.
-    pub fills_dirty_victim: [u64; 3],
-    /// Fills total, per incoming stream.
-    pub fills: [u64; 3],
-}
-
-impl ParameterCounters {
-    /// Total recorded references.
-    pub fn total(&self) -> u64 {
-        self.refs.iter().sum()
-    }
-
-    /// Converts the counters into workload parameters, keeping `tau` from
-    /// the driving configuration (think time is an input, not a
-    /// measurement).
-    ///
-    /// Empty counters fall back to neutral values (rates of 0, stream mix
-    /// of the input) rather than dividing by zero.
-    pub fn estimate(&self, tau: f64) -> WorkloadParams {
-        let total = self.total().max(1) as f64;
-        let rate = |num: u64, den: u64| if den > 0 { num as f64 / den as f64 } else { 0.0 };
-        let private_misses = self.misses[0] + self.misses[1]; // sro victims share rep_p
-        let private_dirty = self.fills_dirty_victim[0] + self.fills_dirty_victim[1];
-        let private_fills = self.fills[0] + self.fills[1];
-        let _ = private_misses;
-
-        let mut p = WorkloadParams {
-            tau,
-            p_private: self.refs[0] as f64 / total,
-            p_sro: self.refs[1] as f64 / total,
-            p_sw: self.refs[2] as f64 / total,
-            h_private: rate(self.hits[0], self.refs[0]),
-            h_sro: rate(self.hits[1], self.refs[1]),
-            h_sw: rate(self.hits[2], self.refs[2]),
-            r_private: rate(self.reads[0], self.refs[0]),
-            r_sw: rate(self.reads[2], self.refs[2]),
-            amod_private: rate(self.write_hits_modified[0], self.write_hits[0]),
-            amod_sw: rate(self.write_hits_modified[2], self.write_hits[2]),
-            csupply_sro: rate(self.misses_supplied[1], self.misses[1]),
-            csupply_sw: rate(self.misses_supplied[2], self.misses[2]),
-            wb_csupply: rate(
-                self.misses_supplied_dirty[2],
-                self.misses_supplied[2],
-            ),
-            rep_p: rate(private_dirty, private_fills),
-            rep_sw: rate(self.fills_dirty_victim[2], self.fills[2]),
-        };
-        // Normalize the stream mix exactly (guards the validate() sum).
-        let sum = p.p_private + p.p_sro + p.p_sw;
-        if sum > 0.0 {
-            p.p_private /= sum;
-            p.p_sro /= sum;
-            p.p_sw /= sum;
-        } else {
-            p.p_private = 1.0;
-            p.p_sro = 0.0;
-            p.p_sw = 0.0;
-        }
-        p
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_counters_estimate_safely() {
-        let c = ParameterCounters::default();
-        let p = c.estimate(2.5);
-        p.validate().unwrap();
-        assert_eq!(p.p_private, 1.0);
-        assert_eq!(p.h_sw, 0.0);
-    }
-
-    #[test]
-    #[allow(clippy::field_reassign_with_default)]
-    fn simple_counters_produce_expected_rates() {
-        let mut c = ParameterCounters::default();
-        c.refs = [80, 10, 10];
-        c.reads = [60, 10, 5];
-        c.hits = [72, 9, 5];
-        c.write_hits = [16, 0, 2];
-        c.write_hits_modified = [8, 0, 1];
-        c.misses = [8, 1, 5];
-        c.misses_supplied = [0, 1, 4];
-        c.misses_supplied_dirty = [0, 0, 2];
-        c.fills = [8, 1, 5];
-        c.fills_dirty_victim = [2, 0, 1];
-        let p = c.estimate(2.5);
-        p.validate().unwrap();
-        assert!((p.p_private - 0.8).abs() < 1e-12);
-        assert!((p.h_private - 0.9).abs() < 1e-12);
-        assert!((p.r_private - 0.75).abs() < 1e-12);
-        assert!((p.amod_private - 0.5).abs() < 1e-12);
-        assert!((p.csupply_sw - 0.8).abs() < 1e-12);
-        assert!((p.wb_csupply - 0.5).abs() < 1e-12);
-        assert!((p.rep_sw - 0.2).abs() < 1e-12);
-        // rep_p pools private and sro fills: 2 dirty of 9.
-        assert!((p.rep_p - 2.0 / 9.0).abs() < 1e-12);
-    }
-
-    #[test]
-    #[allow(clippy::field_reassign_with_default)]
-    fn estimates_are_probabilities() {
-        let mut c = ParameterCounters::default();
-        c.refs = [1000, 0, 0];
-        c.reads = [700, 0, 0];
-        c.hits = [950, 0, 0];
-        c.write_hits = [285, 0, 0];
-        c.write_hits_modified = [200, 0, 0];
-        c.misses = [50, 0, 0];
-        c.fills = [50, 0, 0];
-        c.fills_dirty_victim = [10, 0, 0];
-        let p = c.estimate(1.0);
-        p.validate().unwrap();
-    }
-}
+pub use snoop_workload::measure::ParameterCounters;

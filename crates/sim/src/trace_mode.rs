@@ -3,11 +3,18 @@
 //! Where [`crate::probabilistic`] draws hit/miss outcomes from the workload
 //! parameters (like the analytic models), this mode simulates actual
 //! set-associative LRU caches executing the [`snoop_protocol`] state
-//! machines over a synthetic address trace — the \[ArBa86\]/\[KEWP85\] style of
+//! machines over an address trace — the \[ArBa86\]/\[KEWP85\] style of
 //! evaluation the paper compares against in Section 4.4. Hit rates, shared
 //! lines, cache supply and write-backs all *emerge* from the block states
 //! instead of being parameters, so this mode cross-checks the workload
 //! model itself, not just the queueing approximations.
+//!
+//! The trace comes from any [`TraceSource`]: the synthetic
+//! [`TraceGenerator`] (the original mode, driven by
+//! [`simulate_trace_source`] with [`TraceSimConfig::generator`]) or the
+//! file-backed readers of [`snoop_workload::ingest`], which replay real
+//! address traces through the same caches and state machines with bounded
+//! memory.
 
 use std::collections::VecDeque;
 
@@ -15,8 +22,9 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use snoop_protocol::{BusOp, CacheState, MissContext, ModSet, Protocol};
 use snoop_workload::params::WorkloadParams;
+use snoop_workload::synth::Stream;
 use snoop_workload::timing::TimingModel;
-use snoop_workload::trace::{TraceConfig, TraceGenerator, TraceRecord};
+use snoop_workload::trace::{TraceConfig, TraceGenerator, TraceRecord, TraceSource};
 
 use crate::event::Calendar;
 use crate::measure::ParameterCounters;
@@ -90,21 +98,104 @@ impl TraceSimConfig {
     }
 
     fn validate(&self) -> Result<(), SimError> {
+        if self.trace.processors != self.n {
+            return Err(SimError::InvalidConfig(
+                "trace processor count must match n".into(),
+            ));
+        }
+        self.params.validate()?;
+        self.drive_config().validate()
+    }
+
+    /// The [`TraceSource`]-based driving configuration this legacy
+    /// configuration describes (`tau` is taken from the workload
+    /// parameters, everything else carries over).
+    pub fn drive_config(&self) -> TraceDriveConfig {
+        TraceDriveConfig {
+            n: self.n,
+            mods: self.mods,
+            update_policy: self.update_policy,
+            timing: self.timing,
+            tau: self.params.tau,
+            sets: self.sets,
+            ways: self.ways,
+            seed: self.seed,
+            warmup_references: self.warmup_references,
+            measured_references: self.measured_references,
+        }
+    }
+
+    /// The synthetic [`TraceGenerator`] this legacy configuration
+    /// describes, seeded as the old entry points seeded it — so
+    /// `simulate_trace_source(&c.drive_config(), c.generator())` is
+    /// bit-identical to the deprecated `simulate_trace(&c)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload-parameter validation failures.
+    pub fn generator(&self) -> Result<TraceGenerator<SmallRng>, SimError> {
+        self.params.validate()?;
+        if self.trace.processors == 0 {
+            return Err(SimError::InvalidConfig("need at least one processor".into()));
+        }
+        Ok(TraceGenerator::new(self.params, self.trace, SmallRng::seed_from_u64(self.seed)))
+    }
+}
+
+/// Configuration of a [`TraceSource`]-driven simulation run.
+///
+/// Unlike the legacy [`TraceSimConfig`] this says nothing about where
+/// references come from — address-space shape and reference mix live in
+/// the source; only machine structure (caches, timing, protocol) and run
+/// control (think time, warm-up/measurement windows) remain.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceDriveConfig {
+    /// Number of processors (must match the source).
+    pub n: usize,
+    /// Protocol modification set.
+    pub mods: ModSet,
+    /// Broadcast policy (only meaningful with modification 4).
+    pub update_policy: UpdatePolicy,
+    /// Bus/memory timing.
+    pub timing: TimingModel,
+    /// Mean think time between references (cycles, exponentially
+    /// distributed). File-backed sources measure one — see
+    /// [`TraceSource::measured_tau`].
+    pub tau: f64,
+    /// Cache sets per processor.
+    pub sets: usize,
+    /// Cache associativity (ways per set).
+    pub ways: usize,
+    /// Seed of the think-time RNG.
+    pub seed: u64,
+    /// References per processor discarded as warm-up.
+    pub warmup_references: usize,
+    /// References per processor measured.
+    pub measured_references: usize,
+}
+
+impl TraceDriveConfig {
+    /// A small default configuration for `n` processors.
+    pub fn new(n: usize, mods: ModSet) -> Self {
+        TraceSimConfig::new(n, mods).drive_config()
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
         if self.n == 0 {
             return Err(SimError::InvalidConfig("need at least one processor".into()));
         }
         if self.sets == 0 || self.ways == 0 {
             return Err(SimError::InvalidConfig("cache needs sets and ways".into()));
         }
-        if self.trace.processors != self.n {
-            return Err(SimError::InvalidConfig(
-                "trace processor count must match n".into(),
-            ));
-        }
         if self.measured_references == 0 {
             return Err(SimError::InvalidConfig("need a measurement phase".into()));
         }
-        self.params.validate()?;
+        if !(self.tau.is_finite() && self.tau > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "think time tau must be positive and finite, got {}",
+                self.tau
+            )));
+        }
         self.timing.validate()?;
         Ok(())
     }
@@ -233,13 +324,21 @@ struct BusJob {
     op: BusOp,
     block: u64,
     is_write: bool,
+    stream: Stream,
 }
 
-struct TraceMachine {
-    config: TraceSimConfig,
+struct TraceMachine<S> {
+    config: TraceDriveConfig,
     protocol: Protocol,
     calendar: Calendar<Event>,
-    generator: TraceGenerator<SmallRng>,
+    source: S,
+    words_per_block: u64,
+    /// Set when a processor's stream runs dry *before* it completed its
+    /// measurement window; the run aborts and reports
+    /// [`SimError::InsufficientRun`]. A processor that runs dry after
+    /// finishing merely parks (stops issuing) while the others catch up —
+    /// finite sources with uneven drain rates are normal for file traces.
+    exhausted: bool,
     rng: SmallRng,
     caches: Vec<Cache>,
     bus_queue: VecDeque<BusJob>,
@@ -261,16 +360,14 @@ struct TraceMachine {
     useless_broadcasts: std::collections::HashMap<u64, u8>,
 }
 
-impl TraceMachine {
-    fn new(config: TraceSimConfig) -> Self {
+impl<S: TraceSource> TraceMachine<S> {
+    fn new(config: TraceDriveConfig, source: S) -> Self {
         let n = config.n;
         TraceMachine {
             protocol: Protocol::new(config.mods),
-            generator: TraceGenerator::new(
-                config.params,
-                config.trace,
-                SmallRng::seed_from_u64(config.seed),
-            ),
+            words_per_block: source.words_per_block().max(1),
+            source,
+            exhausted: false,
             rng: SmallRng::seed_from_u64(config.seed ^ 0xdead_beef),
             config,
             calendar: Calendar::new(),
@@ -295,10 +392,10 @@ impl TraceMachine {
 
     fn think(&mut self) -> f64 {
         let u: f64 = self.rng.random();
-        -self.config.params.tau * (1.0 - u).ln()
+        -self.config.tau * (1.0 - u).ln()
     }
 
-    fn run(&mut self) -> TraceSimMeasures {
+    fn run(&mut self) -> Result<TraceSimMeasures, SimError> {
         for p in 0..self.config.n {
             let t = self.think();
             self.calendar.schedule(t, Event::Issue(p));
@@ -308,7 +405,9 @@ impl TraceMachine {
                 Event::Issue(p) => self.issue(now, p),
                 Event::BusRelease => self.release_bus(now),
             }
-            if self.done_at.iter().all(Option::is_some) {
+            // A source that ran dry mid-window makes completion impossible —
+            // abort rather than let the surviving processors spin forever.
+            if self.done_at.iter().all(Option::is_some) || self.exhausted {
                 break;
             }
         }
@@ -323,8 +422,15 @@ impl TraceMachine {
     }
 
     fn issue(&mut self, now: f64, p: usize) {
-        let TraceRecord { address, is_write, .. } = self.generator.record_for(p);
-        let block = address / self.config.trace.words_per_block;
+        let Some(TraceRecord { address, is_write, stream, .. }) = self.source.next_for(p)
+        else {
+            // Done processors park silently; an unfinished one dooms the run.
+            if self.done_at[p].is_none() {
+                self.exhausted = true;
+            }
+            return;
+        };
+        let block = address / self.words_per_block;
         let state = self.caches[p].state(block);
         let ctx = MissContext { shared_line: self.shared_line(block, p) };
         let transition = if is_write {
@@ -341,11 +447,7 @@ impl TraceMachine {
             } else {
                 self.misses += 1;
             }
-            let stream_idx = match self.generator.address_map().classify(address) {
-                snoop_workload::synth::Stream::Private => 0,
-                snoop_workload::synth::Stream::SharedReadOnly => 1,
-                snoop_workload::synth::Stream::SharedWritable => 2,
-            };
+            let stream_idx = stream_index(stream);
             self.stream_hits[stream_idx].1 += 1;
             if transition.hit {
                 self.stream_hits[stream_idx].0 += 1;
@@ -378,7 +480,7 @@ impl TraceMachine {
                 // For a hit the state change applies when the bus op
                 // completes; for a miss the fill (and any victim
                 // write-back) is resolved at dispatch time.
-                self.bus_queue.push_back(BusJob { proc: p, op, block, is_write });
+                self.bus_queue.push_back(BusJob { proc: p, op, block, is_write, stream });
                 if !self.bus_busy {
                     self.dispatch(now);
                 }
@@ -489,12 +591,7 @@ impl TraceMachine {
             let fill = self.protocol.fill_state(op, ctx);
             let dirty_victim = self.caches[p].fill(job.block, fill).is_some();
             if self.meas_start.is_some() {
-                let wpb = self.config.trace.words_per_block;
-                let stream_idx = match self.generator.address_map().classify(job.block * wpb) {
-                    snoop_workload::synth::Stream::Private => 0,
-                    snoop_workload::synth::Stream::SharedReadOnly => 1,
-                    snoop_workload::synth::Stream::SharedWritable => 2,
-                };
+                let stream_idx = stream_index(job.stream);
                 self.counters.fills[stream_idx] += 1;
                 if dirty_victim {
                     self.counters.fills_dirty_victim[stream_idx] += 1;
@@ -590,8 +687,16 @@ impl TraceMachine {
         self.calendar.schedule(done + think, Event::Issue(p));
     }
 
-    fn finish(&self) -> TraceSimMeasures {
-        let cycle = self.config.params.tau + self.config.timing.t_supply;
+    fn finish(&self) -> Result<TraceSimMeasures, SimError> {
+        if self.warm_at.iter().any(Option::is_none) || self.done_at.iter().any(Option::is_none)
+        {
+            return Err(SimError::InsufficientRun {
+                warmup: self.config.warmup_references,
+                measured: self.config.measured_references,
+                progress: self.completed.clone(),
+            });
+        }
+        let cycle = self.config.tau + self.config.timing.t_supply;
         let mut speedup = 0.0;
         let mut inv_r = 0.0;
         for p in 0..self.config.n {
@@ -614,7 +719,7 @@ impl TraceMachine {
                 0.0
             }
         };
-        TraceSimMeasures {
+        Ok(TraceSimMeasures {
             n: self.config.n,
             r: self.config.n as f64 / inv_r,
             speedup,
@@ -630,37 +735,99 @@ impl TraceMachine {
             hit_rate_sro: stream_rate(1),
             hit_rate_sw: stream_rate(2),
             invalidations_per_reference: self.invalidations as f64 / total_refs as f64,
-        }
+        })
     }
 }
 
-/// Runs one trace-driven simulation.
+fn stream_index(stream: Stream) -> usize {
+    match stream {
+        Stream::Private => 0,
+        Stream::SharedReadOnly => 1,
+        Stream::SharedWritable => 2,
+    }
+}
+
+fn check_source<S: TraceSource>(config: &TraceDriveConfig, source: &S) -> Result<(), SimError> {
+    config.validate()?;
+    if source.processors() != config.n {
+        return Err(SimError::InvalidConfig(format!(
+            "source has {} processors but the configuration asks for {}",
+            source.processors(),
+            config.n
+        )));
+    }
+    Ok(())
+}
+
+/// Runs one trace-driven simulation over any [`TraceSource`].
+///
+/// # Errors
+///
+/// Configuration validation failures, a processor-count mismatch between
+/// `config` and `source`, or [`SimError::InsufficientRun`] when a finite
+/// source runs dry before every processor completes its warm-up and
+/// measurement windows.
+pub fn simulate_trace_source<S: TraceSource>(
+    config: &TraceDriveConfig,
+    source: S,
+) -> Result<TraceSimMeasures, SimError> {
+    check_source(config, &source)?;
+    TraceMachine::new(*config, source).run()
+}
+
+/// Runs one trace-driven simulation over any [`TraceSource`] and also
+/// *measures* the workload parameters from the observed behaviour (the
+/// paper's closing "workload measurement studies" — see
+/// [`snoop_workload::measure`]).
+///
+/// # Errors
+///
+/// As [`simulate_trace_source`], plus workload validation of the measured
+/// parameters.
+pub fn simulate_trace_source_measuring<S: TraceSource>(
+    config: &TraceDriveConfig,
+    source: S,
+) -> Result<(TraceSimMeasures, WorkloadParams), SimError> {
+    check_source(config, &source)?;
+    let mut machine = TraceMachine::new(*config, source);
+    let measures = machine.run()?;
+    let params = machine.counters.estimate(config.tau);
+    params.validate().map_err(SimError::Workload)?;
+    Ok((measures, params))
+}
+
+/// Runs one trace-driven simulation over the synthetic generator described
+/// by a legacy [`TraceSimConfig`].
 ///
 /// # Errors
 ///
 /// Propagates configuration validation failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `simulate_trace_source(&config.drive_config(), config.generator()?)`, \
+            which accepts any `TraceSource`"
+)]
 pub fn simulate_trace(config: &TraceSimConfig) -> Result<TraceSimMeasures, SimError> {
     config.validate()?;
-    Ok(TraceMachine::new(*config).run())
+    simulate_trace_source(&config.drive_config(), config.generator()?)
 }
 
 /// Runs one trace-driven simulation and also *measures* the workload
-/// parameters from the observed behaviour (the paper's closing "workload
-/// measurement studies", executed against the synthetic trace — see
-/// [`crate::measure`]).
+/// parameters from the observed behaviour.
 ///
 /// # Errors
 ///
 /// Propagates configuration validation failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `simulate_trace_source_measuring(&config.drive_config(), \
+            config.generator()?)`, which accepts any `TraceSource`"
+)]
 pub fn simulate_trace_measuring(
     config: &TraceSimConfig,
-) -> Result<(TraceSimMeasures, snoop_workload::params::WorkloadParams), SimError> {
+) -> Result<(TraceSimMeasures, WorkloadParams), SimError> {
     config.validate()?;
-    let mut machine = TraceMachine::new(*config);
-    let measures = machine.run();
-    let params = machine.counters.estimate(config.params.tau);
-    params.validate().map_err(SimError::Workload)?;
-    Ok((measures, params))
+    simulate_trace_source_measuring(&config.drive_config(), config.generator()?)
 }
 
 #[cfg(test)]
@@ -674,12 +841,108 @@ mod tests {
         c
     }
 
+    /// Runs a legacy configuration through the `TraceSource` path.
+    fn run_cfg(c: &TraceSimConfig) -> Result<TraceSimMeasures, SimError> {
+        simulate_trace_source(&c.drive_config(), c.generator()?)
+    }
+
+    /// A finite source replaying a fixed record list, round-robin.
+    struct VecSource {
+        records: Vec<TraceRecord>,
+        cursor: Vec<usize>,
+        n: usize,
+    }
+
+    impl VecSource {
+        fn new(n: usize, records: Vec<TraceRecord>) -> Self {
+            VecSource { records, cursor: vec![0; n], n }
+        }
+    }
+
+    impl TraceSource for VecSource {
+        fn processors(&self) -> usize {
+            self.n
+        }
+
+        fn words_per_block(&self) -> u64 {
+            4
+        }
+
+        fn next_for(&mut self, processor: usize) -> Option<TraceRecord> {
+            let skip = self.cursor[processor];
+            let found = self
+                .records
+                .iter()
+                .filter(|r| r.processor == processor)
+                .nth(skip)
+                .copied()?;
+            self.cursor[processor] += 1;
+            Some(found)
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_match_the_trace_source_path() {
+        // The acceptance bar for the redesign: the old synthetic path must
+        // stay bit-identical. Both shims delegate, so old == new exactly.
+        let cfg = quick(3, &[1]);
+        let old = simulate_trace(&cfg).unwrap();
+        let new = run_cfg(&cfg).unwrap();
+        assert_eq!(old, new);
+
+        let (old_m, old_p) = simulate_trace_measuring(&cfg).unwrap();
+        let (new_m, new_p) =
+            simulate_trace_source_measuring(&cfg.drive_config(), cfg.generator().unwrap())
+                .unwrap();
+        assert_eq!(old_m, new_m);
+        assert_eq!(format!("{old_p:?}"), format!("{new_p:?}"));
+    }
+
+    #[test]
+    fn exhausted_source_reports_insufficient_run() {
+        // Two processors, but far fewer records than warmup + measured:
+        // the run must abort with per-processor progress, not hang or
+        // panic.
+        let records: Vec<TraceRecord> = (0..40)
+            .map(|i| TraceRecord {
+                processor: i % 2,
+                address: (i as u64) * 8,
+                is_write: i % 5 == 0,
+                stream: Stream::Private,
+            })
+            .collect();
+        let mut config = TraceDriveConfig::new(2, ModSet::new());
+        config.warmup_references = 10;
+        config.measured_references = 100;
+        let err = simulate_trace_source(&config, VecSource::new(2, records)).unwrap_err();
+        let SimError::InsufficientRun { warmup, measured, progress } = err else {
+            panic!("expected InsufficientRun, got {err:?}");
+        };
+        assert_eq!((warmup, measured), (10, 100));
+        assert_eq!(progress.len(), 2);
+        assert!(progress.iter().all(|&c| c <= 20), "{progress:?}");
+    }
+
+    #[test]
+    fn source_processor_mismatch_is_rejected() {
+        let config = TraceDriveConfig::new(4, ModSet::new());
+        let records = vec![TraceRecord {
+            processor: 0,
+            address: 0,
+            is_write: false,
+            stream: Stream::Private,
+        }];
+        let err = simulate_trace_source(&config, VecSource::new(2, records)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+    }
+
     #[test]
     fn per_stream_hit_rates_are_ordered_sensibly() {
         // Private and sro reuse is high; sw blocks get invalidated by other
         // writers, so their emergent hit rate is the lowest — the ordering
         // the Appendix-A parameters encode (0.95/0.95/0.5).
-        let m = simulate_trace(&quick(4, &[])).unwrap();
+        let m = run_cfg(&quick(4, &[])).unwrap();
         assert!(m.hit_rate_private > 0.8, "private {}", m.hit_rate_private);
         assert!(m.hit_rate_sro > 0.8, "sro {}", m.hit_rate_sro);
         assert!(
@@ -695,8 +958,8 @@ mod tests {
         // Modification 4's whole premise (the h_sw 0.5 → 0.95 adjustment):
         // copies stop being invalidated, so the sw hit rate climbs. The
         // trace simulator shows the mechanism emergently.
-        let inv = simulate_trace(&quick(4, &[1])).unwrap();
-        let upd = simulate_trace(&quick(4, &[1, 4])).unwrap();
+        let inv = run_cfg(&quick(4, &[1])).unwrap();
+        let upd = run_cfg(&quick(4, &[1, 4])).unwrap();
         assert!(
             upd.hit_rate_sw > inv.hit_rate_sw,
             "update {} vs invalidate {}",
@@ -711,14 +974,14 @@ mod tests {
         // The trace generator's locality targets the Appendix-A hit rates;
         // with a roomy cache the emergent hit rate should be in the same
         // neighbourhood (weighted ≈ 0.94 at the 5% mix).
-        let m = simulate_trace(&quick(2, &[])).unwrap();
+        let m = run_cfg(&quick(2, &[])).unwrap();
         assert!(m.hit_rate > 0.85 && m.hit_rate < 0.99, "hit rate {}", m.hit_rate);
     }
 
     #[test]
     fn speedup_scales() {
-        let s1 = simulate_trace(&quick(1, &[])).unwrap().speedup;
-        let s4 = simulate_trace(&quick(4, &[])).unwrap().speedup;
+        let s1 = run_cfg(&quick(1, &[])).unwrap().speedup;
+        let s4 = run_cfg(&quick(4, &[])).unwrap().speedup;
         assert!(s1 > 0.6 && s1 <= 1.0, "s1 = {s1}");
         assert!(s4 > 2.0 * s1, "s1 = {s1}, s4 = {s4}");
     }
@@ -727,8 +990,8 @@ mod tests {
     fn mod1_reduces_bus_ops() {
         // Modification 1's whole point: private write hits stop
         // broadcasting.
-        let wo = simulate_trace(&quick(4, &[])).unwrap();
-        let m1 = simulate_trace(&quick(4, &[1])).unwrap();
+        let wo = run_cfg(&quick(4, &[])).unwrap();
+        let m1 = run_cfg(&quick(4, &[1])).unwrap();
         assert!(
             m1.bus_ops_per_reference < wo.bus_ops_per_reference,
             "{} vs {}",
@@ -748,13 +1011,13 @@ mod tests {
         c.warmup_references = 500;
         c.measured_references = 4_000;
         c.validate().unwrap();
-        let mut machine = TraceMachine::new(c);
-        let measures = machine.run();
+        let mut machine = TraceMachine::new(c.drive_config(), c.generator().unwrap());
+        let measures = machine.run().unwrap();
         assert!(measures.speedup > 0.0);
         // Check invariants over the sw region blocks.
         let wpb = c.trace.words_per_block;
         for block_idx in 0..c.trace.sw_blocks {
-            let addr = machine.generator.address_map().sw_address(block_idx, 0);
+            let addr = machine.source.address_map().sw_address(block_idx, 0);
             let block = addr / wpb;
             let states: Vec<CacheState> =
                 machine.caches.iter().map(|cache| cache.state(block)).collect();
@@ -767,8 +1030,8 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let a = simulate_trace(&quick(2, &[])).unwrap();
-        let b = simulate_trace(&quick(2, &[])).unwrap();
+        let a = run_cfg(&quick(2, &[])).unwrap();
+        let b = run_cfg(&quick(2, &[])).unwrap();
         assert_eq!(a, b);
     }
 
@@ -782,10 +1045,10 @@ mod tests {
             .streams(0.99, 0.005, 0.005)
             .build()
             .unwrap();
-        let always = simulate_trace(&base).unwrap();
+        let always = run_cfg(&base).unwrap();
         let mut adaptive_cfg = base;
         adaptive_cfg.update_policy = UpdatePolicy::Adaptive { useless_limit: 2 };
-        let adaptive = simulate_trace(&adaptive_cfg).unwrap();
+        let adaptive = run_cfg(&adaptive_cfg).unwrap();
         assert!(
             adaptive.bus_ops_per_reference <= always.bus_ops_per_reference,
             "adaptive {} vs always {}",
@@ -798,10 +1061,10 @@ mod tests {
     #[test]
     fn adaptive_policy_is_neutral_without_mod4() {
         let base = quick(3, &[]);
-        let a = simulate_trace(&base).unwrap();
+        let a = run_cfg(&base).unwrap();
         let mut cfg = base;
         cfg.update_policy = UpdatePolicy::Adaptive { useless_limit: 1 };
-        let b = simulate_trace(&cfg).unwrap();
+        let b = run_cfg(&cfg).unwrap();
         // No WriteWord broadcasts survive to be demoted under heavy-sharing
         // Write-Once? They do exist (write-through), but private broadcasts
         // finding no holders get demoted to invalidations of nobody — the
@@ -814,11 +1077,11 @@ mod tests {
         let mut cfg = quick(3, &[1, 4]);
         cfg.update_policy = UpdatePolicy::Adaptive { useless_limit: 1 };
         cfg.trace.sw_blocks = 16;
-        let mut machine = TraceMachine::new(cfg);
-        let _ = machine.run();
+        let mut machine = TraceMachine::new(cfg.drive_config(), cfg.generator().unwrap());
+        machine.run().unwrap();
         let wpb = cfg.trace.words_per_block;
         for block_idx in 0..cfg.trace.sw_blocks {
-            let addr = machine.generator.address_map().sw_address(block_idx, 0);
+            let addr = machine.source.address_map().sw_address(block_idx, 0);
             let block = addr / wpb;
             let states: Vec<CacheState> =
                 machine.caches.iter().map(|c| c.state(block)).collect();
@@ -833,16 +1096,16 @@ mod tests {
     fn validation_catches_mismatched_processors() {
         let mut c = quick(2, &[]);
         c.trace.processors = 3;
-        assert!(simulate_trace(&c).is_err());
+        assert!(run_cfg(&c).is_err());
     }
 
     #[test]
     fn small_cache_lowers_hit_rate() {
-        let big = simulate_trace(&quick(2, &[])).unwrap();
+        let big = run_cfg(&quick(2, &[])).unwrap();
         let mut small_cfg = quick(2, &[]);
         small_cfg.sets = 8;
         small_cfg.ways = 1;
-        let small = simulate_trace(&small_cfg).unwrap();
+        let small = run_cfg(&small_cfg).unwrap();
         assert!(small.hit_rate < big.hit_rate, "{} vs {}", small.hit_rate, big.hit_rate);
         assert!(small.speedup < big.speedup);
     }

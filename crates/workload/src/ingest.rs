@@ -1,0 +1,736 @@
+//! File-backed trace ingestion: parse external address-trace formats into
+//! [`TraceSource`]s.
+//!
+//! Two formats cover the related trace-driven simulators this repro
+//! validates against:
+//!
+//! * **Assignment format** — one file per processor, each line an
+//!   operation code and a value: `0 <address>` is a load, `1 <address>` a
+//!   store, and `2 <cycles>` counts non-memory instruction cycles between
+//!   references (the MESI/Dragon multiprocessor assignment traces).
+//! * **Label format** — a single interleaved stream of `<label> <address>`
+//!   lines where the label is `l`/`r` (load) or `s`/`w` (store), as in the
+//!   lab-style `*.trace` replay harnesses. The stream is sharded
+//!   round-robin across a configured number of virtual processors.
+//!
+//! Addresses are byte addresses in hexadecimal (an optional `0x` prefix is
+//! accepted); `2`-line cycle counts are decimal. Blank lines and `#`
+//! comments are ignored everywhere.
+//!
+//! Ingestion is two-pass and streams with bounded memory: a prescan reads
+//! each file line by line to validate it, count records per processor,
+//! accumulate think-cycle totals, and classify each *block* into the
+//! paper's three substreams (referenced by one processor → private; by
+//! several, never written → shared read-only; by several with a write →
+//! shared-writable). Replay then re-reads the files through per-processor
+//! cursors, so memory is proportional to the number of distinct blocks,
+//! never the trace length.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+use crate::synth::Stream;
+use crate::trace::{TraceRecord, TraceSource};
+
+/// Maximum processors a file-backed source supports (sharer sets are
+/// tracked as a 64-bit mask during the prescan).
+pub const MAX_PROCESSORS: usize = 64;
+
+/// On-disk trace dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Per-processor files of `<0|1|2> <value>` lines.
+    Assignment,
+    /// Single-stream `<label> <address>` lines.
+    Label,
+}
+
+impl TraceFormat {
+    /// Sniffs the format from the first record line of `path`.
+    pub fn detect(path: &Path) -> Result<TraceFormat, IngestError> {
+        let file = File::open(path).map_err(|e| IngestError::io(path, &e))?;
+        let reader = BufReader::new(file);
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| IngestError::io(path, &e))?;
+            let content = line.split('#').next().unwrap_or("");
+            let Some((col, token)) = split_tokens(content).into_iter().next() else {
+                continue;
+            };
+            return match token {
+                "0" | "1" | "2" => Ok(TraceFormat::Assignment),
+                t if t.chars().all(|c| c.is_ascii_alphabetic()) => Ok(TraceFormat::Label),
+                t => Err(IngestError::Parse(TraceParseError {
+                    path: path.display().to_string(),
+                    line: idx + 1,
+                    col: col + 1,
+                    source: line.clone(),
+                    message: format!(
+                        "cannot detect trace format from `{t}` (expected 0/1/2 or l/s/r/w)"
+                    ),
+                })),
+            };
+        }
+        Err(IngestError::Config(format!(
+            "{}: trace file has no records to detect a format from",
+            path.display()
+        )))
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "assignment" | "mesi" | "dragon" => Ok(TraceFormat::Assignment),
+            "label" | "lab" => Ok(TraceFormat::Label),
+            other => Err(format!(
+                "unknown trace format `{other}` (expected assignment, label, or auto)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormat::Assignment => write!(f, "assignment"),
+            TraceFormat::Label => write!(f, "label"),
+        }
+    }
+}
+
+/// A trace-file parse failure with full location context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// File the error is in.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column of the offending token.
+    pub col: usize,
+    /// The offending source line, verbatim.
+    pub source: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    /// Renders `path:line:col: message` with the source line and a caret,
+    /// matching the CLI's `--scenarios` JSON diagnostics.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{}:{}: {}", self.path, self.line, self.col, self.message)?;
+        writeln!(f, "  {}", self.source)?;
+        write!(f, "  {:>width$}", "^", width = self.col)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Why a trace could not be ingested.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Filesystem failure.
+    Io {
+        /// File involved.
+        path: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// A line failed to parse.
+    Parse(TraceParseError),
+    /// The request itself is inconsistent (processor counts, file lists).
+    Config(String),
+}
+
+impl IngestError {
+    fn io(path: &Path, e: &std::io::Error) -> Self {
+        IngestError::Io { path: path.display().to_string(), message: e.to_string() }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io { path, message } => write!(f, "{path}: {message}"),
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::Config(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<TraceParseError> for IngestError {
+    fn from(e: TraceParseError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+/// Address-space interpretation knobs for file traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Bytes per word — file addresses are byte addresses, the record
+    /// model's are word addresses.
+    pub bytes_per_word: u64,
+    /// Words per cache block (block classification granularity).
+    pub words_per_block: u64,
+    /// Virtual processors a [`TraceFormat::Label`] stream is sharded
+    /// across round-robin. Ignored for assignment traces (one file = one
+    /// processor).
+    pub processors: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions { bytes_per_word: 4, words_per_block: 4, processors: 4 }
+    }
+}
+
+/// Finds the sibling files of a per-processor trace: given `…_p0.trace`,
+/// returns every `…_p<i>.trace` that exists, in processor order. A path
+/// without the `_p0` marker is returned alone.
+pub fn discover_processor_files(first: &Path) -> Vec<PathBuf> {
+    let Some(name) = first.file_name().and_then(|n| n.to_str()) else {
+        return vec![first.to_path_buf()];
+    };
+    let Some(pos) = name.find("_p0") else {
+        return vec![first.to_path_buf()];
+    };
+    let (prefix, suffix) = (&name[..pos], &name[pos + 3..]);
+    let mut out = Vec::new();
+    for i in 0..MAX_PROCESSORS {
+        let sibling = first.with_file_name(format!("{prefix}_p{i}{suffix}"));
+        if sibling.is_file() {
+            out.push(sibling);
+        } else {
+            break;
+        }
+    }
+    if out.is_empty() {
+        out.push(first.to_path_buf());
+    }
+    out
+}
+
+/// One parsed line.
+enum ParsedLine {
+    /// A memory reference (byte address).
+    Record { address: u64, is_write: bool },
+    /// Non-memory instruction cycles (assignment `2` lines).
+    Think { cycles: u64 },
+}
+
+/// Byte-offset/token pairs of a line's whitespace-separated fields.
+fn split_tokens(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &line[s..]));
+    }
+    out
+}
+
+/// Parses one raw line (comment stripping included). `Ok(None)` for blank
+/// or comment-only lines; `Err((col, message))` locates the problem.
+fn parse_line(raw: &str, format: TraceFormat) -> Result<Option<ParsedLine>, (usize, String)> {
+    let content = raw.split('#').next().unwrap_or("");
+    let tokens = split_tokens(content);
+    let Some(&(op_col, op)) = tokens.first() else {
+        return Ok(None);
+    };
+    let value = tokens.get(1).copied();
+    if let Some(&(extra_col, extra)) = tokens.get(2) {
+        return Err((extra_col + 1, format!("unexpected trailing token `{extra}`")));
+    }
+    let address = |(col, tok): (usize, &str)| -> Result<u64, (usize, String)> {
+        let digits = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")).unwrap_or(tok);
+        if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err((col + 1, format!("invalid address `{tok}` (expected hexadecimal)")));
+        }
+        u64::from_str_radix(digits, 16)
+            .map_err(|_| (col + 1, format!("address `{tok}` out of range")))
+    };
+    let required = |kind: &str| {
+        value.ok_or((op_col + op.len() + 1, format!("missing {kind} after `{op}`")))
+    };
+    match format {
+        TraceFormat::Assignment => match op {
+            "0" | "1" => {
+                let addr = address(required("address")?)?;
+                Ok(Some(ParsedLine::Record { address: addr, is_write: op == "1" }))
+            }
+            "2" => {
+                let (col, tok) = required("cycle count")?;
+                let cycles = tok
+                    .parse::<u64>()
+                    .map_err(|_| (col + 1, format!("invalid cycle count `{tok}`")))?;
+                Ok(Some(ParsedLine::Think { cycles }))
+            }
+            other => Err((
+                op_col + 1,
+                format!("unknown operation `{other}` (expected 0=load, 1=store, 2=cycles)"),
+            )),
+        },
+        TraceFormat::Label => {
+            let is_write = match op.to_ascii_lowercase().as_str() {
+                "l" | "r" | "load" | "read" => false,
+                "s" | "w" | "store" | "write" => true,
+                other => {
+                    return Err((
+                        op_col + 1,
+                        format!("unknown label `{other}` (expected l/r=load, s/w=store)"),
+                    ))
+                }
+            };
+            let addr = address(required("address")?)?;
+            Ok(Some(ParsedLine::Record { address: addr, is_write }))
+        }
+    }
+}
+
+/// A replay cursor over one processor's share of a trace file.
+struct Cursor {
+    reader: BufReader<File>,
+    format: TraceFormat,
+    /// Deliver records whose running index `% modulo == phase` (label
+    /// sharding; assignment cursors use `modulo = 1`).
+    modulo: u64,
+    phase: u64,
+    index: u64,
+    buf: String,
+}
+
+impl Cursor {
+    fn open(path: &Path, format: TraceFormat, modulo: u64, phase: u64) -> Result<Self, IngestError> {
+        let file = File::open(path).map_err(|e| IngestError::io(path, &e))?;
+        Ok(Cursor { reader: BufReader::new(file), format, modulo, phase, buf: String::new(), index: 0 })
+    }
+
+    /// Next byte-address record owned by this cursor's processor. The
+    /// prescan has validated the file, so any residual parse or I/O
+    /// failure is treated as end of stream.
+    fn next(&mut self) -> Option<(u64, bool)> {
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) | Err(_) => return None,
+                Ok(_) => {}
+            }
+            match parse_line(&self.buf, self.format) {
+                Ok(Some(ParsedLine::Record { address, is_write })) => {
+                    let mine = self.index % self.modulo == self.phase;
+                    self.index += 1;
+                    if mine {
+                        return Some((address, is_write));
+                    }
+                }
+                Ok(Some(ParsedLine::Think { .. })) | Ok(None) => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// A file-backed [`TraceSource`].
+///
+/// Built by [`FileTrace::open`]; classification and counts come from the
+/// prescan, records from streaming per-processor cursors.
+pub struct FileTrace {
+    format: TraceFormat,
+    options: IngestOptions,
+    processors: usize,
+    /// Block → substream, from the prescan's sharing analysis.
+    streams: HashMap<u64, Stream>,
+    cursors: Vec<Cursor>,
+    counts: Vec<u64>,
+    delivered: Vec<u64>,
+    tau: Option<f64>,
+    distinct_blocks: u64,
+}
+
+impl fmt::Debug for FileTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileTrace")
+            .field("format", &self.format)
+            .field("processors", &self.processors)
+            .field("records", &self.counts.iter().sum::<u64>())
+            .field("distinct_blocks", &self.distinct_blocks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileTrace {
+    /// Opens a trace.
+    ///
+    /// For [`TraceFormat::Assignment`], `paths` is one file per processor
+    /// (use [`discover_processor_files`] to expand a `…_p0` family). For
+    /// [`TraceFormat::Label`], `paths` must be a single file whose record
+    /// stream is sharded across [`IngestOptions::processors`].
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Config`] for inconsistent requests,
+    /// [`IngestError::Io`] for filesystem failures, and
+    /// [`IngestError::Parse`] (with line:col context) for malformed lines.
+    pub fn open(
+        paths: &[PathBuf],
+        format: TraceFormat,
+        options: IngestOptions,
+    ) -> Result<FileTrace, IngestError> {
+        if paths.is_empty() {
+            return Err(IngestError::Config("no trace files given".into()));
+        }
+        if options.bytes_per_word == 0 || options.words_per_block == 0 {
+            return Err(IngestError::Config(
+                "bytes_per_word and words_per_block must be positive".into(),
+            ));
+        }
+        let processors = match format {
+            TraceFormat::Assignment => paths.len(),
+            TraceFormat::Label => {
+                if paths.len() != 1 {
+                    return Err(IngestError::Config(format!(
+                        "label-format traces are a single file, got {}",
+                        paths.len()
+                    )));
+                }
+                options.processors
+            }
+        };
+        if processors == 0 || processors > MAX_PROCESSORS {
+            return Err(IngestError::Config(format!(
+                "processor count {processors} out of range (1..={MAX_PROCESSORS})"
+            )));
+        }
+
+        // Prescan: validate, count, and classify blocks by sharing.
+        let mut sharers: HashMap<u64, (u64, bool)> = HashMap::new();
+        let mut counts = vec![0u64; processors];
+        let mut think_cycles = 0u64;
+        let mut think_applicable = false;
+        let block_of = |byte_address: u64| {
+            byte_address / options.bytes_per_word / options.words_per_block
+        };
+        for (file_idx, path) in paths.iter().enumerate() {
+            let file = File::open(path).map_err(|e| IngestError::io(path, &e))?;
+            let mut reader = BufReader::new(file);
+            let mut buf = String::new();
+            let mut line_no = 0usize;
+            let mut label_index = 0u64;
+            loop {
+                buf.clear();
+                let read = reader.read_line(&mut buf).map_err(|e| IngestError::io(path, &e))?;
+                if read == 0 {
+                    break;
+                }
+                line_no += 1;
+                let parsed = parse_line(&buf, format).map_err(|(col, message)| {
+                    TraceParseError {
+                        path: path.display().to_string(),
+                        line: line_no,
+                        col,
+                        source: buf.trim_end_matches(['\n', '\r']).to_string(),
+                        message,
+                    }
+                })?;
+                match parsed {
+                    Some(ParsedLine::Record { address, is_write }) => {
+                        let p = match format {
+                            TraceFormat::Assignment => file_idx,
+                            TraceFormat::Label => {
+                                let p = (label_index % processors as u64) as usize;
+                                label_index += 1;
+                                p
+                            }
+                        };
+                        counts[p] += 1;
+                        let entry = sharers.entry(block_of(address)).or_insert((0, false));
+                        entry.0 |= 1u64 << p;
+                        entry.1 |= is_write;
+                    }
+                    Some(ParsedLine::Think { cycles }) => {
+                        think_applicable = true;
+                        think_cycles = think_cycles.saturating_add(cycles);
+                    }
+                    None => {}
+                }
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Err(IngestError::Config(format!(
+                "{}: trace contains no memory references",
+                paths[0].display()
+            )));
+        }
+
+        let distinct_blocks = sharers.len() as u64;
+        let streams = sharers
+            .into_iter()
+            .map(|(block, (mask, written))| {
+                let stream = if mask.count_ones() <= 1 {
+                    Stream::Private
+                } else if written {
+                    Stream::SharedWritable
+                } else {
+                    Stream::SharedReadOnly
+                };
+                (block, stream)
+            })
+            .collect();
+
+        let cursors = match format {
+            TraceFormat::Assignment => paths
+                .iter()
+                .map(|p| Cursor::open(p, format, 1, 0))
+                .collect::<Result<Vec<_>, _>>()?,
+            TraceFormat::Label => (0..processors)
+                .map(|p| Cursor::open(&paths[0], format, processors as u64, p as u64))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        Ok(FileTrace {
+            format,
+            options,
+            processors,
+            streams,
+            cursors,
+            counts,
+            delivered: vec![0; processors],
+            tau: think_applicable.then(|| think_cycles as f64 / total as f64),
+            distinct_blocks,
+        })
+    }
+
+    /// Opens a trace, sniffing the format from the first file.
+    pub fn open_auto(paths: &[PathBuf], options: IngestOptions) -> Result<FileTrace, IngestError> {
+        let first = paths.first().ok_or_else(|| {
+            IngestError::Config("no trace files given".into())
+        })?;
+        let format = TraceFormat::detect(first)?;
+        FileTrace::open(paths, format, options)
+    }
+
+    /// The dialect this trace was parsed as.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// Memory references per processor, from the prescan.
+    pub fn record_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Distinct blocks the trace touches.
+    pub fn distinct_blocks(&self) -> u64 {
+        self.distinct_blocks
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn processors(&self) -> usize {
+        self.processors
+    }
+
+    fn words_per_block(&self) -> u64 {
+        self.options.words_per_block
+    }
+
+    fn next_for(&mut self, processor: usize) -> Option<TraceRecord> {
+        let (byte_address, is_write) = self.cursors.get_mut(processor)?.next()?;
+        self.delivered[processor] += 1;
+        let address = byte_address / self.options.bytes_per_word;
+        let block = address / self.options.words_per_block;
+        let stream = self.streams.get(&block).copied().unwrap_or(Stream::Private);
+        Some(TraceRecord { processor, address, is_write, stream })
+    }
+
+    fn remaining_hint(&self, processor: usize) -> Option<u64> {
+        let count = *self.counts.get(processor)?;
+        Some(count.saturating_sub(self.delivered[processor]))
+    }
+
+    fn measured_tau(&self) -> Option<f64> {
+        self.tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_file(name: &str, content: &str) -> PathBuf {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let id = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("snoop-ingest-{}-{id}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn drain<S: TraceSource>(source: &mut S, p: usize) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        while let Some(r) = source.next_for(p) {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn assignment_traces_classify_sharing_across_files() {
+        // Block 0x10 is touched by both processors and written → sw;
+        // 0x20 read by both, never written → sro; the rest are private.
+        let p0 = temp_file(
+            "a_p0.trace",
+            "# processor 0\n0 0x100\n1 0x104\n0 0x400\n2 12\n1 0x800\n",
+        );
+        let p1 = temp_file("a_p1.trace", "0 0x200\n2 8\n0 0x400\n1 0x800\n");
+        let mut t = FileTrace::open(
+            &[p0, p1],
+            TraceFormat::Assignment,
+            IngestOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.processors(), 2);
+        assert_eq!(t.record_counts(), &[4, 3]);
+        // tau = (12 + 8) / 7 records.
+        assert!((t.measured_tau().unwrap() - 20.0 / 7.0).abs() < 1e-12);
+
+        let r0 = drain(&mut t, 0);
+        assert_eq!(r0.len(), 4);
+        // Byte 0x100 → word 0x40.
+        assert_eq!(r0[0].address, 0x40);
+        assert!(!r0[0].is_write);
+        assert_eq!(r0[0].stream, Stream::Private);
+        assert!(r0[1].is_write);
+        // 0x400 (block 0x10) is read-shared; 0x800 (block 0x20) is
+        // write-shared.
+        assert_eq!(r0[2].stream, Stream::SharedReadOnly);
+        assert_eq!(r0[3].stream, Stream::SharedWritable);
+        assert_eq!(t.remaining_hint(0), Some(0));
+        assert_eq!(t.remaining_hint(1), Some(3));
+    }
+
+    #[test]
+    fn label_traces_shard_round_robin() {
+        let f = temp_file(
+            "lab.trace",
+            "l 0x1000\ns 0x2000\nl 0x3000\nw 0x4000\nr 0x2000\nl 0x2000\n",
+        );
+        let options = IngestOptions { processors: 2, ..IngestOptions::default() };
+        let mut t = FileTrace::open(&[f], TraceFormat::Label, options).unwrap();
+        assert_eq!(t.processors(), 2);
+        assert_eq!(t.record_counts(), &[3, 3]);
+        assert_eq!(t.measured_tau(), None);
+
+        let r0 = drain(&mut t, 0);
+        let r1 = drain(&mut t, 1);
+        // Processor 0 gets records 0, 2, 4; processor 1 gets 1, 3, 5.
+        assert_eq!(
+            r0.iter().map(|r| r.address).collect::<Vec<_>>(),
+            vec![0x400, 0xc00, 0x800]
+        );
+        assert_eq!(
+            r1.iter().map(|r| (r.address, r.is_write)).collect::<Vec<_>>(),
+            vec![(0x800, true), (0x1000, true), (0x800, false)]
+        );
+        // 0x1000 is only ever touched by processor 0 → private; 0x2000 is
+        // touched by both and written → shared-writable.
+        assert_eq!(r0[0].stream, Stream::Private);
+        assert_eq!(r1[2].stream, Stream::SharedWritable);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_col_and_caret() {
+        let f = temp_file("bad.trace", "l 0x1000\ns 0x2000\nl 0xZZ\n");
+        let err = FileTrace::open(std::slice::from_ref(&f), TraceFormat::Label, IngestOptions::default())
+            .unwrap_err();
+        let IngestError::Parse(e) = err else { panic!("expected parse error, got {err:?}") };
+        assert_eq!(e.line, 3);
+        assert_eq!(e.col, 3);
+        let rendered = e.to_string();
+        assert!(rendered.contains(&format!("{}:3:3: invalid address `0xZZ`", f.display())));
+        assert!(rendered.contains("\n  l 0xZZ\n"), "{rendered}");
+        assert!(rendered.ends_with("  ^"), "{rendered}");
+    }
+
+    #[test]
+    fn unknown_operation_and_missing_value_are_located() {
+        let f = temp_file("ops.trace", "3 0x10\n");
+        let err = FileTrace::open(&[f], TraceFormat::Assignment, IngestOptions::default())
+            .unwrap_err();
+        let IngestError::Parse(e) = err else { panic!("{err:?}") };
+        assert_eq!((e.line, e.col), (1, 1));
+        assert!(e.message.contains("unknown operation"));
+
+        let f = temp_file("short.trace", "0 0x10\n1\n");
+        let err = FileTrace::open(&[f], TraceFormat::Assignment, IngestOptions::default())
+            .unwrap_err();
+        let IngestError::Parse(e) = err else { panic!("{err:?}") };
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("missing address"));
+
+        let f = temp_file("extra.trace", "l 0x10 junk\n");
+        let err =
+            FileTrace::open(&[f], TraceFormat::Label, IngestOptions::default()).unwrap_err();
+        let IngestError::Parse(e) = err else { panic!("{err:?}") };
+        assert_eq!(e.col, 8);
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn format_detection_from_first_record() {
+        let a = temp_file("d1.trace", "# comment\n\n0 0x100\n");
+        assert_eq!(TraceFormat::detect(&a).unwrap(), TraceFormat::Assignment);
+        let l = temp_file("d2.trace", "l 0x100\n");
+        assert_eq!(TraceFormat::detect(&l).unwrap(), TraceFormat::Label);
+        let bad = temp_file("d3.trace", "? 0x100\n");
+        assert!(matches!(TraceFormat::detect(&bad), Err(IngestError::Parse(_))));
+    }
+
+    #[test]
+    fn discover_finds_processor_family() {
+        let p0 = temp_file("fam_p0.trace", "0 0x0\n");
+        let dir = p0.parent().unwrap();
+        fs::write(dir.join("fam_p1.trace"), "0 0x0\n").unwrap();
+        fs::write(dir.join("fam_p2.trace"), "0 0x0\n").unwrap();
+        let family = discover_processor_files(&p0);
+        assert_eq!(family.len(), 3);
+        assert!(family[2].ends_with("fam_p2.trace"));
+
+        let lone = temp_file("solo.trace", "l 0x0\n");
+        assert_eq!(discover_processor_files(&lone), vec![lone]);
+    }
+
+    #[test]
+    fn empty_trace_is_a_config_error() {
+        let f = temp_file("empty.trace", "# nothing here\n");
+        let err =
+            FileTrace::open(&[f], TraceFormat::Label, IngestOptions::default()).unwrap_err();
+        assert!(matches!(err, IngestError::Config(_)), "{err:?}");
+    }
+
+    #[test]
+    fn format_parses_from_str() {
+        assert_eq!("assignment".parse::<TraceFormat>().unwrap(), TraceFormat::Assignment);
+        assert_eq!("LABEL".parse::<TraceFormat>().unwrap(), TraceFormat::Label);
+        assert!("weird".parse::<TraceFormat>().is_err());
+    }
+}

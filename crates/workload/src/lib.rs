@@ -20,8 +20,13 @@
 //!   the Appendix-B interference masses) for a given protocol;
 //! * [`synth::ReferenceGenerator`] — a random-reference sampler driving the
 //!   probabilistic discrete-event simulator;
-//! * [`trace::TraceGenerator`] — a synthetic *address* trace generator for
-//!   the trace-driven simulator mode.
+//! * [`trace::TraceSource`] — the trait every address-trace producer
+//!   implements, with [`trace::TraceGenerator`] as the synthetic
+//!   implementor and the file-backed readers in [`ingest`] parsing the two
+//!   external trace formats;
+//! * [`measure`] — the Appendix-A parameter estimator: windowed
+//!   measurement of hit rates, write fraction, sharing, `p_local`, `p_bc`
+//!   from any [`trace::TraceSource`], with confidence diagnostics.
 //!
 //! # Example
 //!
@@ -43,6 +48,8 @@
 pub mod adjust;
 pub mod derived;
 pub mod file;
+pub mod ingest;
+pub mod measure;
 pub mod params;
 pub mod sharing;
 pub mod streams;

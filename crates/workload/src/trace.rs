@@ -29,6 +29,50 @@ pub struct TraceRecord {
     pub stream: Stream,
 }
 
+/// A stream of memory references that can drive the trace-driven simulator
+/// or the workload-parameter estimator.
+///
+/// This is the seam between *where references come from* and *what consumes
+/// them*: the synthetic [`TraceGenerator`] is one implementor, and the
+/// file-backed readers in [`crate::ingest`] are others. Consumers pull
+/// records per processor so that interleaving is under their control (the
+/// simulator interleaves by simulated time, the estimator round-robins).
+///
+/// Implementations must stream with bounded memory: a conforming source
+/// never needs to materialize the whole trace, only per-processor cursors
+/// and whatever classification state it builds up front.
+pub trait TraceSource {
+    /// Number of processors issuing references.
+    fn processors(&self) -> usize;
+
+    /// Words per block of the address space the records refer to.
+    ///
+    /// Consumers use this to map the word addresses in [`TraceRecord`]s to
+    /// cache blocks.
+    fn words_per_block(&self) -> u64;
+
+    /// Produces the next reference issued by `processor`, or `None` once
+    /// that processor's stream is exhausted. Synthetic sources are
+    /// inexhaustible and never return `None`.
+    fn next_for(&mut self, processor: usize) -> Option<TraceRecord>;
+
+    /// How many references `processor` still has, when the source knows
+    /// (file-backed sources count during their prescan; synthetic sources
+    /// return `None` = unbounded).
+    fn remaining_hint(&self, processor: usize) -> Option<u64> {
+        let _ = processor;
+        None
+    }
+
+    /// Mean processing (think) cycles between references, when the source
+    /// carries that information — e.g. assignment-format traces interleave
+    /// non-memory instruction counts, and the synthetic generator knows its
+    /// configured `tau`. `None` when the trace has no timing content.
+    fn measured_tau(&self) -> Option<f64> {
+        None
+    }
+}
+
 /// Configuration of the synthetic address space.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceConfig {
@@ -286,11 +330,42 @@ impl<R: Rng> TraceGenerator<R> {
     }
 }
 
+impl<R: Rng> TraceSource for TraceGenerator<R> {
+    fn processors(&self) -> usize {
+        self.config.processors
+    }
+
+    fn words_per_block(&self) -> u64 {
+        self.config.words_per_block
+    }
+
+    fn next_for(&mut self, processor: usize) -> Option<TraceRecord> {
+        Some(self.record_for(processor))
+    }
+
+    fn measured_tau(&self) -> Option<f64> {
+        Some(self.params.tau)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn generator_is_an_inexhaustible_trace_source() {
+        let mut g = generator(7);
+        let mut direct = generator(7);
+        assert_eq!(TraceSource::processors(&g), 4);
+        assert_eq!(g.words_per_block(), 4);
+        assert_eq!(g.measured_tau(), Some(WorkloadParams::default().tau));
+        assert_eq!(g.remaining_hint(0), None);
+        for p in [0usize, 3, 1] {
+            assert_eq!(g.next_for(p), Some(direct.record_for(p)));
+        }
+    }
 
     fn generator(seed: u64) -> TraceGenerator<SmallRng> {
         TraceGenerator::new(

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in trace corpus. Deterministic (fixed seed):
+rerunning this script must reproduce the committed files byte for byte.
+
+Two dialects are emitted, matching `snoop_workload::ingest`:
+
+* assignment format — one file per processor, `0 <hexaddr>` loads,
+  `1 <hexaddr>` stores, `2 <cycles>` non-memory instruction cycles
+  (mesi_small_p0.trace .. mesi_small_p3.trace);
+* label format — a single interleaved stream of `l <hexaddr>` /
+  `s <hexaddr>` lines that the reader shards round-robin across --n
+  virtual processors (lab_shared.trace).
+
+The synthetic workload follows the paper's three-substream model: each
+processor mostly touches its own private blocks (with a slowly drifting
+hot set, so there are capacity/replacement misses), reads a common
+read-only pool, and read-writes a small shared-writable pool (so there
+are invalidations and cache-to-cache supplies).
+
+malformed.trace is NOT generated here — it is a hand-written fixture for
+the parse-error regression test and must keep its exact byte layout.
+"""
+
+import random
+
+BYTES_PER_WORD = 4
+WORDS_PER_BLOCK = 4
+BLOCK_BYTES = BYTES_PER_WORD * WORDS_PER_BLOCK
+
+N = 4
+RECORDS_PER_PROC = 1500
+THINK_EVERY = 10  # one `2 25` line per 10 records => tau = 2.5
+THINK_CYCLES = 25
+
+# Disjoint block pools (block numbers; byte address = block * BLOCK_BYTES).
+PRIVATE_POOL = 96  # per processor, base (p + 1) * 0x1000 blocks
+HOT_PRIVATE = 12  # blocks kept hot at any moment
+HOT_SWAP_P = 0.02  # chance a private reference retires one hot block
+SRO_BASE, SRO_BLOCKS = 0x8000, 16
+SW_BASE, SW_BLOCKS = 0x9000, 8
+
+P_PRIVATE, P_SRO = 0.80, 0.15  # rest is shared-writable
+W_PRIVATE, W_SW = 0.25, 0.40  # write fractions (sro is read-only)
+
+
+def make_streams(rng):
+    """One list of (is_write, byte_address) per processor."""
+    hot = [rng.sample(range(PRIVATE_POOL), HOT_PRIVATE) for _ in range(N)]
+    streams = [[] for _ in range(N)]
+    for p in range(N):
+        for _ in range(RECORDS_PER_PROC):
+            r = rng.random()
+            if r < P_PRIVATE:
+                if rng.random() < HOT_SWAP_P:
+                    hot[p][rng.randrange(HOT_PRIVATE)] = rng.randrange(PRIVATE_POOL)
+                block = (p + 1) * 0x1000 + rng.choice(hot[p])
+                is_write = rng.random() < W_PRIVATE
+            elif r < P_PRIVATE + P_SRO:
+                block = SRO_BASE + rng.randrange(SRO_BLOCKS)
+                is_write = False
+            else:
+                block = SW_BASE + rng.randrange(SW_BLOCKS)
+                is_write = rng.random() < W_SW
+            word = rng.randrange(WORDS_PER_BLOCK)
+            address = block * BLOCK_BYTES + word * BYTES_PER_WORD
+            streams[p].append((is_write, address))
+    return streams
+
+
+def write_assignment(streams):
+    for p, stream in enumerate(streams):
+        lines = [
+            "# assignment-format trace (0 = load, 1 = store, 2 = think cycles)",
+            f"# processor {p} of {N}, synthetic three-substream workload",
+        ]
+        for i, (is_write, address) in enumerate(stream):
+            lines.append(f"{1 if is_write else 0} {address:x}")
+            if (i + 1) % THINK_EVERY == 0:
+                lines.append(f"2 {THINK_CYCLES}")
+        with open(f"mesi_small_p{p}.trace", "w") as f:
+            f.write("\n".join(lines) + "\n")
+
+
+def write_label(streams):
+    lines = [
+        "# label-format trace (l = load, s = store), one stream",
+        f"# shard across {N} virtual processors with: snoop calibrate --n {N}",
+    ]
+    # Interleave strictly round-robin so sharding recovers the exact
+    # per-processor streams.
+    for i in range(RECORDS_PER_PROC):
+        for p in range(N):
+            is_write, address = streams[p][i]
+            lines.append(f"{'s' if is_write else 'l'} {address:x}")
+    with open("lab_shared.trace", "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def main():
+    rng = random.Random(0x5EED)
+    write_assignment(make_streams(rng))
+    write_label(make_streams(rng))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,17 @@
 
 use snoop::mva::{MvaModel, SolverOptions};
 use snoop::protocol::ModSet;
-use snoop::sim::trace_mode::{simulate_trace_measuring, TraceSimConfig};
+use snoop::sim::trace_mode::{simulate_trace_source_measuring, TraceSimConfig};
+use snoop::sim::trace_mode::TraceSimMeasures;
+use snoop::workload::params::WorkloadParams;
+
+/// Measures through the `TraceSource` path (the synthetic generator is
+/// one source among several since the redesign).
+fn simulate_trace_measuring(
+    c: &TraceSimConfig,
+) -> Result<(TraceSimMeasures, WorkloadParams), snoop::sim::SimError> {
+    simulate_trace_source_measuring(&c.drive_config(), c.generator()?)
+}
 
 fn config(n: usize, mods: &[u8]) -> TraceSimConfig {
     let mut c = TraceSimConfig::new(n, ModSet::from_numbers(mods).unwrap());

@@ -1,0 +1,179 @@
+//! Round-trip calibration: synthesize a trace from *known* workload
+//! parameters, run it through the Appendix-A estimator, and require the
+//! recovered parameters to land on the originals — the property that
+//! makes `snoop calibrate --trace` trustworthy on traces whose ground
+//! truth nobody knows.
+//!
+//! The estimator must also be deterministic in the strictest sense: the
+//! entire measurement (parameters, windows, confidence intervals) is
+//! bit-identical at 1, 2 and 8 threads.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use snoop::numeric::exec::ExecOptions;
+use snoop::workload::ingest::{FileTrace, IngestOptions, TraceFormat};
+use snoop::workload::measure::{measure_source, MeasureConfig, MeasuredWorkload};
+use snoop::workload::params::WorkloadParams;
+use snoop::workload::trace::{TraceConfig, TraceGenerator, TraceSource};
+
+const REFERENCES: u64 = 24_000;
+
+fn generator(params: WorkloadParams, seed: u64) -> TraceGenerator<SmallRng> {
+    let config = TraceConfig { processors: 4, ..TraceConfig::default() };
+    TraceGenerator::new(params, config, SmallRng::seed_from_u64(seed))
+}
+
+fn measure(params: WorkloadParams, seed: u64, threads: usize) -> MeasuredWorkload {
+    let mut source = generator(params, seed);
+    let config = MeasureConfig {
+        max_references: Some(REFERENCES),
+        exec: ExecOptions::with_threads(threads),
+        ..MeasureConfig::default()
+    };
+    measure_source(&mut source, &config).expect("synthetic trace measures cleanly")
+}
+
+/// Strategy over the workload knobs the generator actually realizes in
+/// the address stream: the stream mix, the read fractions, and tau.
+/// (Hit rates are emergent — cache geometry meets locality — so the
+/// round trip checks their plausibility, not equality.)
+fn mix_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (0.05f64..=0.3, 0.2f64..=0.8, 0.5f64..=0.9, 0.3f64..=0.7, 1.0f64..=5.0).prop_map(
+        |(sharing, split, r_private, r_sw, tau)| {
+            let mut p = WorkloadParams::default();
+            p.p_sro = sharing * split;
+            p.p_sw = sharing * (1.0 - split);
+            p.p_private = 1.0 - p.p_sro - p.p_sw;
+            p.r_private = r_private;
+            p.r_sw = r_sw;
+            p.tau = tau;
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The estimator recovers the realized stream mix, read fractions
+    /// and think time from a synthetic trace with known parameters.
+    #[test]
+    fn estimator_recovers_known_parameters(params in mix_strategy(), seed in 0u64..1024) {
+        params.validate().expect("strategy builds valid params");
+        let measured = measure(params, seed, 1);
+        let m = &measured.params;
+        m.validate().expect("measured params validate");
+
+        // Stream probabilities: multinomial sampling over ~21k counted
+        // references puts the standard error near 0.003; 0.02 is ~6 sigma.
+        prop_assert!((m.p_private - params.p_private).abs() < 0.02,
+            "p_private {} vs {}", m.p_private, params.p_private);
+        prop_assert!((m.p_sro - params.p_sro).abs() < 0.02,
+            "p_sro {} vs {}", m.p_sro, params.p_sro);
+        prop_assert!((m.p_sw - params.p_sw).abs() < 0.02,
+            "p_sw {} vs {}", m.p_sw, params.p_sw);
+        // Read fractions (per-stream Bernoulli draws).
+        prop_assert!((m.r_private - params.r_private).abs() < 0.03,
+            "r_private {} vs {}", m.r_private, params.r_private);
+        prop_assert!((m.r_sw - params.r_sw).abs() < 0.15,
+            "r_sw {} vs {}", m.r_sw, params.r_sw);
+        // The generator reports tau exactly.
+        prop_assert!((m.tau - params.tau).abs() < 1e-12, "tau {} vs {}", m.tau, params.tau);
+        // Hit rates are emergent but must be sane for a private-heavy mix.
+        prop_assert!(m.h_private > 0.5, "h_private {}", m.h_private);
+        prop_assert!((0.0..=1.0).contains(&measured.p_local));
+    }
+}
+
+#[test]
+fn measurement_is_bit_identical_across_thread_counts() {
+    let params = WorkloadParams::default();
+    let base = measure(params, 42, 1);
+    for threads in [2, 8] {
+        let other = measure(params, 42, threads);
+        // Debug formatting covers every f64 bit pattern in the params,
+        // the per-window stats and the confidence intervals.
+        assert_eq!(
+            format!("{base:?}"),
+            format!("{other:?}"),
+            "measurement differs at {threads} threads"
+        );
+    }
+}
+
+/// Write a generator's stream to assignment-format files, read it back
+/// through the file ingester, and require the two measurement paths to
+/// agree on the workload — the file layer must be a faithful transport.
+#[test]
+fn file_round_trip_preserves_the_measured_workload() {
+    let params = WorkloadParams::default();
+    let n = 4;
+    let per_proc = (REFERENCES as usize) / n;
+
+    // Small shared pools: the file reader classifies streams from the
+    // sharer sets it *observes*, so every shared block must actually be
+    // touched by two processors within the trace. (The generator's
+    // default 1024-block sro pool leaves most of its blocks
+    // single-sharer at this length, which the reader rightly calls
+    // private.)
+    let trace_config = TraceConfig {
+        processors: n,
+        sro_blocks: 64,
+        sw_blocks: 16,
+        ..TraceConfig::default()
+    };
+    // Drain the generator into per-processor assignment files. Think
+    // time is encoded as one `2 <cycles>` line per record (scaled by 10
+    // to keep the cycles integral: tau 2.5 -> 25 cycles per 10 records).
+    let mut source = TraceGenerator::new(params, trace_config, SmallRng::seed_from_u64(7));
+    let mut lines: Vec<String> = vec![String::new(); n];
+    for i in 0..per_proc {
+        for (p, text) in lines.iter_mut().enumerate() {
+            let r = source.next_for(p).expect("generator is inexhaustible");
+            // Word address -> byte address (4-byte words).
+            text.push_str(&format!("{} {:x}\n", u8::from(r.is_write), r.address * 4));
+            if (i + 1) % 10 == 0 {
+                text.push_str(&format!("2 {}\n", (params.tau * 10.0) as u64));
+            }
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("snoop-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths: Vec<std::path::PathBuf> = (0..n)
+        .map(|p| {
+            let path = dir.join(format!("rt_p{p}.trace"));
+            std::fs::write(&path, &lines[p]).unwrap();
+            path
+        })
+        .collect();
+
+    let mut file_trace = FileTrace::open(
+        &paths,
+        TraceFormat::Assignment,
+        IngestOptions::default(),
+    )
+    .expect("round-trip files parse");
+    let config = MeasureConfig::default();
+    let from_file = measure_source(&mut file_trace, &config).expect("file trace measures");
+
+    // Measure the same records straight from a fresh, identically
+    // seeded generator.
+    let mut fresh = TraceGenerator::new(params, trace_config, SmallRng::seed_from_u64(7));
+    let direct_config =
+        MeasureConfig { max_references: Some(REFERENCES), ..MeasureConfig::default() };
+    let direct = measure_source(&mut fresh, &direct_config).expect("direct measure");
+
+    let (f, d) = (&from_file.params, &direct.params);
+    // The file pass sees the identical reference stream, but classifies
+    // streams from observed sharing rather than the generator's label,
+    // so mixes agree to sampling noise, not bitwise.
+    assert!((f.p_private - d.p_private).abs() < 0.02, "p_private {} vs {}", f.p_private, d.p_private);
+    assert!((f.p_sro - d.p_sro).abs() < 0.02, "p_sro {} vs {}", f.p_sro, d.p_sro);
+    assert!((f.p_sw - d.p_sw).abs() < 0.02, "p_sw {} vs {}", f.p_sw, d.p_sw);
+    assert!((f.r_private - d.r_private).abs() < 0.03, "r_private {} vs {}", f.r_private, d.r_private);
+    // Think lines encode tau exactly (one `2 25` per 10 records).
+    assert!((f.tau - params.tau).abs() < 1e-9, "tau {} vs {}", f.tau, params.tau);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
