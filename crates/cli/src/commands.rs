@@ -34,6 +34,7 @@ commands:
   figure     reproduce Figure 4.1           --csv for machine-readable output
   eval       batch-evaluate scenarios       --scenarios FILE.json --backends mva,sim
   serve      persistent evaluation daemon   --listen 127.0.0.1:7077 [--store DIR]
+  top        live daemon dashboard          --url http://127.0.0.1:7077 [--once]
   perf       perf-regression gate           diff BASELINE CURRENT [--threshold-pct 10]
   validate   MVA vs discrete-event sim      --n 8 --protocol WO --sharing 5
   gtpn       MVA vs GTPN (small N)          --n 2 --protocol WO --sharing 5
@@ -71,8 +72,11 @@ parallelism: --threads K on figure, validate, gtpn, sensitivity and bench
 every thread count).
 observability: --metrics-out FILE on figure, validate, gtpn, eval,
 sensitivity and bench writes solver metrics JSON (span timers, counters,
-convergence summaries; schema snoop-metrics-v1) and prints a profile
-table to stderr; --trace-out FILE on the same commands writes a Chrome
+latency histograms with p50/p90/p99/p999, convergence summaries; schema
+snoop-metrics-v2, a superset of v1) and prints a profile table to
+stderr; SNOOP_PROBE_RING sets the event-recorder ring capacity (default
+256, capacity-evicted samples counted per recorder as dropped_capacity);
+--trace-out FILE on the same commands writes a Chrome
 trace-event timeline (open in chrome://tracing or Perfetto) with one
 span per engine batch job, tagged with scenario hash, backend and cache
 hit/miss. Collection is observational only — outputs stay bit-identical.
@@ -97,11 +101,26 @@ evaluation service: `snoop serve --listen ADDR` starts a persistent
 daemon holding one warm engine (content-addressed cache, optional
 --store DIR durable tier): POST /eval evaluates a snoop-scenario-v1
 batch and streams one JSON result per line as jobs complete; GET
-/metrics is the live snoop-metrics-v1 snapshot; GET /healthz reports
-liveness and queue depth; POST /shutdown (or SIGTERM / ctrl-c) stops
+/metrics is the live snoop-metrics-v2 snapshot (RED counters per
+endpoint and status class, queue-wait and per-endpoint service-time
+histograms) and ?format=prometheus serves the same data as Prometheus
+text exposition 0.0.4; GET /healthz reports liveness, queue depth,
+uptime, version (--git-sha SHA tags the build), workers, queue bound
+and requests served; POST /shutdown (or SIGTERM / ctrl-c) stops
 accepting, drains in-flight work and exits. --threads K sets request
 workers, --queue-bound K the backpressure bound (a full queue answers
-429 with Retry-After), --backends mirrors eval.
+429 with Retry-After), --backends mirrors eval. --access-log FILE
+writes one NDJSON line per request (ts, method, path, status, bytes,
+queue_wait_ms, service_ms, jobs, cache_hits) from a dedicated logger
+thread that drops-and-counts on overflow (counter log.dropped) instead
+of ever stalling; --access-log-max-mb MB rotates by size and
+--access-log-keep N bounds the files kept (live file included).
+monitoring: `snoop top --url http://HOST:PORT` is a live terminal
+dashboard over the daemon's Prometheus scrape (queue depth, in-flight
+vs workers, request rate, cache hit ratio, per-series p50/p99);
+`snoop top --metrics FILE` renders the same view from a --metrics-out
+file; --interval-ms sets the refresh (default 1000) and --once prints
+a single escape-free frame for CI or piping.
 trace calibration: `calibrate --trace FILE` streams an address trace
 (assignment format: per-processor `<0|1|2> <value>` files, a single
 `…_p0…` path auto-expands to the family; label format: one `<l|s>
@@ -172,6 +191,7 @@ pub fn run(argv: &[String]) -> Result<String, Failure> {
         "figure" => with_observability(&args, || cmd_figure(&args)),
         "eval" => with_observability(&args, || cmd_eval(&args)),
         "serve" => cmd_serve(&args),
+        "top" => crate::top::cmd_top(&args),
         "perf" => return crate::perf::cmd_perf(&args),
         "validate" => with_observability(&args, || cmd_validate(&args)),
         "gtpn" => with_observability(&args, || cmd_gtpn(&args)),
@@ -573,15 +593,26 @@ fn backends_flag(args: &ParsedArgs, command: &str) -> Result<Vec<BackendId>, Str
 }
 
 /// `snoop serve --listen ADDR [--threads K] [--queue-bound K]
-/// [--backends mva,...] [--store DIR [--store-max-entries K]]`: the
-/// persistent evaluation daemon. Blocks until SIGTERM, ctrl-c or
-/// `POST /shutdown`, then drains and returns the lifetime summary.
+/// [--backends mva,...] [--store DIR [--store-max-entries K]]
+/// [--access-log FILE [--access-log-max-mb MB] [--access-log-keep N]]
+/// [--git-sha SHA]`: the persistent evaluation daemon. Blocks until
+/// SIGTERM, ctrl-c or `POST /shutdown`, then drains and returns the
+/// lifetime summary.
 fn cmd_serve(args: &ParsedArgs) -> Result<String, String> {
     let store_dir = args.flag_str("store", "");
     let max_entries: usize = args.flag_num("store-max-entries", 0)?;
     if store_dir.is_empty() && max_entries > 0 {
         return Err("--store-max-entries needs --store DIR".to_string());
     }
+    let access_log = args.flag_str("access-log", "");
+    let access_log_max_mb: u64 = args.flag_num("access-log-max-mb", 64)?;
+    let access_log_keep: usize = args.flag_num("access-log-keep", 3)?;
+    if access_log.is_empty() && (access_log_max_mb != 64 || access_log_keep != 3) {
+        return Err(
+            "--access-log-max-mb / --access-log-keep need --access-log FILE".to_string()
+        );
+    }
+    let git_sha = args.flag_str("git-sha", "");
     let config = snoop_serve::ServeConfig {
         listen: args.flag_str("listen", "127.0.0.1:7077"),
         workers: args.flag_num::<usize>("threads", 2)?.max(1),
@@ -591,6 +622,10 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, String> {
         cache_capacity: None,
         store_dir: (!store_dir.is_empty()).then(|| std::path::PathBuf::from(&store_dir)),
         store_max_entries: (max_entries > 0).then_some(max_entries),
+        access_log: (!access_log.is_empty()).then(|| std::path::PathBuf::from(&access_log)),
+        access_log_max_mb: access_log_max_mb.max(1),
+        access_log_keep: access_log_keep.max(1),
+        git_sha: (!git_sha.is_empty()).then_some(git_sha),
     };
     let server = snoop_serve::Server::bind(config).map_err(|e| e.to_string())?;
     // The address goes to stderr immediately (stdout is reserved for
@@ -1586,8 +1621,8 @@ mod tests {
         ])
         .unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"schema\": \"snoop-metrics-v1\""), "{json}");
-        for key in ["\"spans\"", "\"counters\"", "\"events\""] {
+        assert!(json.contains("\"schema\": \"snoop-metrics-v2\""), "{json}");
+        for key in ["\"spans\"", "\"counters\"", "\"events\"", "\"histograms\""] {
             assert!(json.contains(key), "missing {key}");
         }
         // The bench run exercises every instrumented stage.

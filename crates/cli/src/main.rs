@@ -19,6 +19,7 @@ mod args;
 mod bench;
 mod commands;
 mod perf;
+mod top;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

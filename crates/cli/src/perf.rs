@@ -4,8 +4,9 @@
 //! `snoop perf diff <baseline> <current>` loads two timing files —
 //! either `BENCH_*.json` emitted by `snoop bench` (flat objects whose
 //! `*_ms` keys are stage timings and whose `*speedup*` keys are
-//! parallel-efficiency ratios) or `snoop-metrics-v1` files emitted
-//! by `--metrics-out` (span paths with `total_ms`) — prints a per-stage
+//! parallel-efficiency ratios) or `snoop-metrics-v1`/`-v2` files
+//! emitted by `--metrics-out` (span paths with `total_ms`; v2 adds one
+//! `{name}/p99` tail-latency stage per histogram) — prints a per-stage
 //! delta table, and fails (nonzero exit, no usage hint) when any stage
 //! regressed beyond `--threshold-pct` (default 10%). Timings regress
 //! upward; speedup ratios are higher-is-better and regress downward.
@@ -148,17 +149,20 @@ fn higher_is_better(name: &str) -> bool {
     leaf.split(['.', '_']).any(|segment| segment == "speedup")
 }
 
-/// Loads the per-stage metrics of one file: `snoop-metrics-v1` span
-/// `total_ms` keyed by path, or any flat JSON object's finite `*_ms`
-/// timing and `*speedup*` ratio fields (the `BENCH_*.json` shape).
+/// Loads the per-stage metrics of one file: `snoop-metrics-v1`/`-v2`
+/// span `total_ms` keyed by path (v2 additionally contributes one
+/// `{name}/p99` stage per histogram — tail latency regresses upward
+/// like any timing), or any flat JSON object's finite `*_ms` timing and
+/// `*speedup*` ratio fields (the `BENCH_*.json` shape).
 fn load_stages(path: &str) -> Result<BTreeMap<String, f64>, Failure> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| Failure::from(format!("cannot read {path}: {e}")))?;
     let doc = JsonValue::parse(&text)
         .map_err(|e| Failure::from(format!("{path}: invalid JSON: {e}")))?;
     let mut stages = BTreeMap::new();
-    if doc.get("schema").and_then(JsonValue::as_str)
-        == Some(snoop_numeric::probe::SCHEMA)
+    let schema = doc.get("schema").and_then(JsonValue::as_str);
+    if schema == Some(snoop_numeric::probe::SCHEMA)
+        || schema == Some(snoop_numeric::probe::SCHEMA_V1)
     {
         let spans = doc
             .get("spans")
@@ -168,6 +172,22 @@ fn load_stages(path: &str) -> Result<BTreeMap<String, f64>, Failure> {
             if let Some(total) = span.get("total_ms").and_then(JsonValue::as_f64) {
                 if total.is_finite() {
                     stages.insert(span_path.clone(), total);
+                }
+            }
+        }
+        // v2 histograms: gate on tail latency, one p99 stage per series.
+        // Empty histograms (count 0) are skipped — a p99 of 0 would make
+        // any later traffic read as an infinite regression.
+        if let Some(hists) = doc.get("histograms").and_then(JsonValue::as_object) {
+            for (name, h) in hists {
+                let count = h.get("count").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                if count <= 0.0 {
+                    continue;
+                }
+                if let Some(p99) = h.get("p99").and_then(JsonValue::as_f64) {
+                    if p99.is_finite() {
+                        stages.insert(format!("{name}/p99"), p99);
+                    }
                 }
             }
         }
@@ -187,8 +207,8 @@ fn load_stages(path: &str) -> Result<BTreeMap<String, f64>, Failure> {
     }
     if stages.is_empty() {
         return Err(Failure::from(format!(
-            "{path}: no timed stages found (expected snoop-metrics-v1 spans \
-             or BENCH-style `*_ms` fields)"
+            "{path}: no timed stages found (expected snoop-metrics-v1/-v2 \
+             spans or histograms, or BENCH-style `*_ms` fields)"
         )));
     }
     Ok(stages)
@@ -337,6 +357,54 @@ mod tests {
         let err = run_tokens(&["perf", "diff", &a, &c, "--threshold-pct", "25"]).unwrap_err();
         assert!(err.contains("explore_speedup"), "{err}");
         assert!(run_tokens(&["perf", "diff", &c, &a, "--threshold-pct", "25"]).is_ok());
+    }
+
+    /// A minimal v2 metrics file: one span plus one histogram series.
+    fn v2_metrics(p99: f64, count: u64) -> String {
+        format!(
+            r#"{{
+  "schema": "snoop-metrics-v2",
+  "spans": {{
+    "engine.batch": {{"calls": 1, "total_ms": 10.0, "mean_ms": 10.0}}
+  }},
+  "counters": {{}},
+  "events": {{}},
+  "histograms": {{
+    "serve.queue_wait_ms": {{"count": {count}, "rejected": 0, "sum": 9.0,
+      "mean": 3.0, "min": 1.0, "max": {p99}, "p50": 2.0, "p90": 4.0,
+      "p99": {p99}, "p999": {p99}, "buckets": [[{p99}, {count}]]}}
+  }}
+}}"#
+        )
+    }
+
+    #[test]
+    fn v2_histogram_p99_regresses_upward() {
+        let dir = temp_dir("snoop_perf_hist_p99");
+        let a = write(&dir, "base.json", &v2_metrics(5.0, 9));
+        let b = write(&dir, "cur.json", &v2_metrics(50.0, 9));
+        // A 10x p99 blow-up trips the gate (higher is worse)…
+        let err = run_tokens(&["perf", "diff", &a, &b, "--threshold-pct", "25"]).unwrap_err();
+        assert!(!err.usage_hint, "a gate verdict is not a usage error");
+        assert!(err.contains("serve.queue_wait_ms/p99"), "{err}");
+        assert!(err.contains("REGRESSED"), "{err}");
+        // …an improving p99 passes…
+        let out = run_tokens(&["perf", "diff", &b, &a, "--threshold-pct", "25"]).unwrap();
+        assert!(out.contains("ok: no stage regressed"), "{out}");
+        // …and identical files compare clean, spans included.
+        let out = run_tokens(&["perf", "diff", &a, &a]).unwrap();
+        assert!(out.contains("engine.batch"), "{out}");
+        assert!(out.contains("serve.queue_wait_ms/p99"), "{out}");
+    }
+
+    #[test]
+    fn empty_v2_histograms_contribute_no_stage() {
+        let dir = temp_dir("snoop_perf_hist_empty");
+        let a = write(&dir, "base.json", &v2_metrics(0.0, 0));
+        let b = write(&dir, "cur.json", &v2_metrics(50.0, 9));
+        // The empty-baseline series is "added", never a regression.
+        let out = run_tokens(&["perf", "diff", &a, &b, "--threshold-pct", "25"]).unwrap();
+        assert!(out.contains("added"), "{out}");
     }
 
     #[test]

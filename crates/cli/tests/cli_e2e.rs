@@ -90,6 +90,44 @@ fn eval_repeat_run_is_fully_cached_and_byte_identical() {
 }
 
 #[test]
+fn probe_ring_env_shrinks_rings_and_reports_capacity_drops() {
+    let dir = std::env::temp_dir().join("snoop_ring_env_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.json");
+    let _ = std::fs::remove_file(&metrics);
+
+    // A validate run pushes the whole residual trajectory through the
+    // event rings; with SNOOP_PROBE_RING=2 every ring keeps only the
+    // last two samples and counts the rest as capacity drops.
+    let out = Command::new(env!("CARGO_BIN_EXE_snoop"))
+        .args(["validate", "--n", "8", "--metrics-out", metrics.to_str().unwrap()])
+        .env("SNOOP_PROBE_RING", "2")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"schema\": \"snoop-metrics-v2\""), "{json}");
+    assert!(json.contains("fixed_point.residual_trajectory"), "{json}");
+    // At least one ring must have shed samples to the tiny capacity,
+    // and none may exceed it.
+    let mut saw_drop = false;
+    for piece in json.split("\"dropped_capacity\": ").skip(1) {
+        let n: u64 = piece
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        saw_drop |= n > 0;
+    }
+    assert!(saw_drop, "expected a nonzero dropped_capacity in {json}");
+    // The profile table on stderr surfaces the drop column too.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("drop-cap"), "{stderr}");
+}
+
+#[test]
 fn eval_without_scenarios_fails_cleanly() {
     let out = snoop(&["eval"]);
     assert!(!out.status.success());

@@ -157,13 +157,39 @@ fn concurrent_clients_stream_results_and_the_repeat_batch_is_all_cache_hits() {
 
     let (status, _, metrics) = roundtrip(&daemon.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(status, 200);
-    assert!(metrics.contains("snoop-metrics-v1"), "{metrics}");
-    // 9 jobs total across 3 eval requests; 3 scenarios were computed
-    // once, every other job was a cache hit.
+    assert!(metrics.contains("snoop-metrics-v2"), "{metrics}");
+    // 9 jobs total across 3 eval requests. The two first-pass clients
+    // race on a cold cache with no cross-batch claim, so a scenario
+    // both consult before either publishes is computed twice — each
+    // client computes a scenario at most once, and every job that was
+    // not computed is a cache hit.
     assert_eq!(counter(&metrics, "engine.jobs"), 9);
-    assert_eq!(counter(&metrics, "engine.computed"), 3);
-    assert_eq!(counter(&metrics, "engine.cache.hits"), 6);
+    let computed = counter(&metrics, "engine.computed");
+    assert!((3..=6).contains(&computed), "computed = {computed}");
+    assert_eq!(counter(&metrics, "engine.cache.hits"), 9 - computed);
     assert_eq!(counter(&metrics, "serve.requests.eval"), 3);
+    // The 2-client load moved the RED counters and the queue-wait and
+    // service-time histograms: every eval answered 2xx, and one wait /
+    // service sample exists per routed request so far.
+    assert_eq!(counter(&metrics, "serve.red.eval.2xx"), 3);
+    // A request's own RED increment lands after its snapshot, so the
+    // previous scrape shows up in the next one.
+    let (_, _, second) = roundtrip(&daemon.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(counter(&second, "serve.red.metrics.2xx") >= 1, "{second}");
+    let wait_section = metrics
+        .split("\"histograms\"")
+        .nth(1)
+        .expect("v2 snapshot has a histograms section");
+    assert!(wait_section.contains("\"serve.queue_wait_ms\""), "{metrics}");
+    assert!(wait_section.contains("\"serve.service_ms.eval\""), "{metrics}");
+    assert!(wait_section.contains("\"engine.job_ms.mva\""), "{metrics}");
+    // Queue-wait histogram count covers at least the 4 requests routed
+    // before this scrape (3 evals + this connection's predecessors).
+    let hist_count = {
+        let at = wait_section.find("\"serve.queue_wait_ms\"").unwrap();
+        counter(&wait_section[at..], "count")
+    };
+    assert!(hist_count >= 4, "queue-wait histogram barely moved: {hist_count}");
 
     // Administrative shutdown: the daemon exits cleanly and prints its
     // lifetime summary on stdout.
@@ -248,4 +274,96 @@ fn malformed_batches_are_client_errors_not_crashes() {
         roundtrip(&daemon.addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
     assert_eq!(status, 200);
     assert!(daemon.child.wait().unwrap().success());
+}
+
+#[test]
+fn prometheus_scrape_and_snoop_top_render_against_a_live_daemon() {
+    let mut daemon = boot(&["--git-sha", "e2etest1"]);
+
+    // Drive load so histograms and RED counters have data.
+    let batch = batch_json(&[2, 3]);
+    let (status, _, _) = roundtrip(&daemon.addr, &eval_request(&batch));
+    assert_eq!(status, 200);
+
+    // The enriched health body.
+    let (status, _, health) = roundtrip(&daemon.addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    for field in [
+        "\"status\":\"ok\"",
+        "\"queue_depth\":",
+        "\"uptime_seconds\":",
+        "\"version\":",
+        "\"git_sha\":\"e2etest1\"",
+        "\"workers\":",
+        "\"queue_bound\":",
+        "\"requests\":",
+    ] {
+        assert!(health.contains(field), "missing {field}: {health}");
+    }
+
+    // A valid Prometheus scrape with native histogram series.
+    let (status, head, prom) =
+        roundtrip(&daemon.addr, "GET /metrics?format=prometheus HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    assert!(prom.contains("# TYPE snoop_queue_depth gauge"), "{prom}");
+    assert!(prom.contains("snoop_requests_total{endpoint=\"eval\",status=\"2xx\"} 1"), "{prom}");
+    assert!(prom.contains("snoop_hist_bucket{name=\"serve.queue_wait_ms\",le=\"+Inf\"}"), "{prom}");
+    assert!(prom.contains("snoop_hist_count{name=\"engine.job_ms.mva\"} 2"), "{prom}");
+
+    // `snoop top --once` renders one escape-free frame off the scrape.
+    let top = Command::new(env!("CARGO_BIN_EXE_snoop"))
+        .args(["top", "--url", &format!("http://{}", daemon.addr), "--once"])
+        .output()
+        .expect("snoop top runs");
+    let frame = String::from_utf8_lossy(&top.stdout);
+    assert!(top.status.success(), "snoop top failed: {frame}\n{}", String::from_utf8_lossy(&top.stderr));
+    assert!(frame.contains("snoop top"), "{frame}");
+    assert!(frame.contains("queue 0/64"), "{frame}");
+    assert!(frame.contains("workers"), "{frame}");
+    assert!(frame.contains("serve.queue_wait_ms"), "{frame}");
+    assert!(frame.contains("engine.job_ms.mva"), "{frame}");
+    assert!(frame.contains("requests by endpoint:"), "{frame}");
+    assert!(!frame.contains('\x1b'), "--once output must be escape-free: {frame:?}");
+
+    let (status, _, _) =
+        roundtrip(&daemon.addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(daemon.child.wait().unwrap().success());
+}
+
+#[test]
+fn access_log_records_requests_as_ndjson() {
+    let dir = std::env::temp_dir().join(format!("snoop-e2e-access-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("access.log");
+    let mut daemon = boot(&["--access-log", log_path.to_str().unwrap()]);
+
+    let batch = batch_json(&[2]);
+    let (status, _, _) = roundtrip(&daemon.addr, &eval_request(&batch));
+    assert_eq!(status, 200);
+    let (status, _, _) = roundtrip(&daemon.addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 404);
+
+    let (status, _, _) =
+        roundtrip(&daemon.addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(daemon.child.wait().unwrap().success());
+
+    // The daemon flushed the log on graceful exit: one line per request,
+    // each a complete JSON object with the documented fields.
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    for line in &lines {
+        for field in ["\"ts\":", "\"method\":", "\"path\":", "\"status\":", "\"bytes\":",
+                      "\"queue_wait_ms\":", "\"service_ms\":", "\"jobs\":", "\"cache_hits\":"] {
+            assert!(line.contains(field), "missing {field}: {line}");
+        }
+    }
+    assert!(lines[0].contains("\"path\":\"/eval\"") && lines[0].contains("\"jobs\":1"), "{text}");
+    assert!(lines[1].contains("\"status\":404"), "{text}");
+    assert!(lines[2].contains("\"path\":\"/shutdown\""), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

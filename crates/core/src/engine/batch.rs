@@ -220,10 +220,16 @@ impl Engine {
                     ("n", scenario.n.to_string()),
                 ]
             });
-            match self.cache.get(key) {
+            // The consult is timed only while collection is on, so the
+            // lookup histogram costs nothing in normal runs (and, like
+            // every probe value, never feeds back into the solve).
+            let consult_started =
+                snoop_numeric::probe::enabled().then(std::time::Instant::now);
+            let hit_tier = match self.cache.get(key) {
                 Some(hit) => {
                     job_trace.arg("cache", "hit".to_string());
                     outcomes.push(Some(Ok(hit)));
+                    Some("engine.cache.hit_ms")
                 }
                 // In-memory miss: read through to the durable store. A
                 // store hit fills the in-memory tier, so later duplicates
@@ -232,13 +238,21 @@ impl Engine {
                     Some(eval) => {
                         job_trace.arg("cache", "store".to_string());
                         outcomes.push(Some(Ok(eval)));
+                        Some("store.hit_ms")
                     }
                     None => {
                         job_trace.arg("cache", "miss".to_string());
                         first_seen.entry(key.as_str()).or_insert(ji);
                         outcomes.push(None);
+                        None
                     }
                 },
+            };
+            if let (Some(started), Some(series)) = (consult_started, hit_tier) {
+                snoop_numeric::probe::hist_record(
+                    series,
+                    started.elapsed().as_secs_f64() * 1e3,
+                );
             }
         }
         snoop_numeric::probe::counter_add("engine.jobs", jobs.len() as u64);
@@ -307,6 +321,15 @@ impl Engine {
                 ]
             });
             let results = self.backends[item.backend].evaluate_group(&members);
+            if snoop_numeric::probe::enabled() {
+                // Per-backend wall-time distribution. The registry's
+                // histogram merge is order-independent, so concurrent
+                // executor tasks still snapshot bit-identically.
+                let series = format!("engine.job_ms.{}", self.backends[item.backend].id());
+                for eval in results.iter().flatten() {
+                    snoop_numeric::probe::hist_record(&series, eval.provenance.wall_ms);
+                }
+            }
             for (&(ji, _), result) in item.members.iter().zip(&results) {
                 if let Ok(eval) = result {
                     self.cache.insert(&jobs[ji].2, eval.clone());
@@ -731,6 +754,35 @@ mod tests {
         assert!(!eval.provenance.cached, "deferred group was computed locally");
         assert_eq!(store.stats().claims_refused, 1);
         assert_eq!(store.stats().writes, 1, "and persisted");
+    }
+
+    #[test]
+    fn engine_output_is_bit_identical_across_threads_with_histograms_enabled() {
+        // The telemetry plane must stay observational: collecting job
+        // wall-time and cache-latency histograms from concurrently
+        // executing workers cannot perturb the solve.
+        let _session = snoop_numeric::probe::session();
+        let scenarios = [scenario(2), scenario(4), scenario(8), scenario(16)];
+        let run = |threads: usize| {
+            let engine = Engine::new()
+                .with_backend(MvaBackend)
+                .with_exec(ExecOptions::with_threads(threads));
+            engine.evaluate_batch(&scenarios)
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let parallel = run(threads);
+            for (a, b) in serial.iter().zip(&parallel) {
+                let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "{threads} threads");
+                assert_eq!(a.provenance.iterations, b.provenance.iterations);
+            }
+        }
+        // And collection really ran: every computed job fed the
+        // per-backend wall-time histogram (3 cold runs x 4 scenarios).
+        let snap = snoop_numeric::probe::snapshot();
+        let hist = snap.hists.iter().find(|(n, _)| n == "engine.job_ms.mva");
+        assert!(hist.is_some_and(|(_, h)| h.count() == 12), "job histogram populated");
     }
 
     #[test]

@@ -347,6 +347,7 @@ impl FixedPoint {
                 crate::probe::counter_add("fixed_point.solves", 1);
                 crate::probe::counter_add("fixed_point.iterations", iteration as u64);
                 crate::probe::record("fixed_point.iterations_per_solve", iteration as f64);
+                crate::probe::hist_record("fixed_point.iterations", iteration as f64);
                 crate::probe::record("fixed_point.final_residual", residual);
                 crate::probe::record_many("fixed_point.residual_trajectory", &trajectory);
                 return Ok(Solution { values: current, iterations: iteration, residual, history });

@@ -11,12 +11,19 @@
 //! * **Counters** ([`counter_add`]) — monotonic `u64` accumulators
 //!   (iteration totals, event counts, escalation attempts).
 //! * **Event recorders** ([`record`] / [`record_many`]) — bounded
-//!   ring buffers (capacity [`RING_CAPACITY`]) of `f64` samples
+//!   ring buffers (capacity [`ring_capacity`], default
+//!   [`RING_CAPACITY`], override `SNOOP_PROBE_RING`) of `f64` samples
 //!   (residual trajectories, wave sizes) with running count / sum /
 //!   min / max over *all* samples, even those rotated out of the ring.
 //!   Non-finite samples are dropped so every emitted statistic is
-//!   finite, and counted per recorder as `dropped_non_finite` so
-//!   silent data loss is visible in the snapshot.
+//!   finite, and counted per recorder as `dropped_non_finite`;
+//!   capacity-evicted samples are counted as `dropped_capacity`. Both
+//!   appear in the snapshot so silent data loss is visible.
+//! * **Histograms** ([`hist_record`] / [`hist_record_many`]) —
+//!   fixed-memory log-linear [`hist::Hist`] series (~1.8 KB each) with
+//!   p50/p90/p99/p999, count and an exactly-summed total, for the hot
+//!   seams where tails matter: per-backend job wall time, cache hit
+//!   latency, fixed-point iterations-to-converge, serve queue wait.
 //!
 //! The child [`trace`] module adds the *timeline* view: per-thread
 //! begin/end event buffers drained into Chrome trace-event JSON.
@@ -42,18 +49,51 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
+pub mod hist;
 pub mod trace;
 
-/// Identifier of the JSON layout emitted by [`Snapshot::to_json`].
-pub const SCHEMA: &str = "snoop-metrics-v1";
+use hist::Hist;
 
-/// Maximum number of recent samples an event recorder retains; older
-/// samples rotate out (their count is reported as `dropped`) while the
-/// running count / sum / min / max keep covering every sample.
+/// Identifier of the JSON layout emitted by [`Snapshot::to_json`].
+///
+/// v2 is a strict superset of v1: it adds the `histograms` section and
+/// the per-event `dropped_capacity` field; every v1 field is unchanged,
+/// so v1 readers keep working on v2 files.
+pub const SCHEMA: &str = "snoop-metrics-v2";
+
+/// The previous snapshot schema; still accepted by every reader in the
+/// workspace (`snoop perf diff`, `snoop top`).
+pub const SCHEMA_V1: &str = "snoop-metrics-v1";
+
+/// Default number of recent samples an event recorder retains; older
+/// samples rotate out (their count is reported as `dropped` /
+/// `dropped_capacity`) while the running count / sum / min / max keep
+/// covering every sample. Override with the `SNOOP_PROBE_RING`
+/// environment variable (read once per process).
 pub const RING_CAPACITY: usize = 256;
+
+/// The effective event-recorder ring capacity: `SNOOP_PROBE_RING` when
+/// set to a positive integer, else [`RING_CAPACITY`]. Cached on first
+/// use.
+#[must_use]
+pub fn ring_capacity() -> usize {
+    static CAPACITY: OnceLock<usize> = OnceLock::new();
+    *CAPACITY
+        .get_or_init(|| parse_ring_capacity(std::env::var("SNOOP_PROBE_RING").ok().as_deref()))
+}
+
+/// Parses a `SNOOP_PROBE_RING` value; anything unset, non-numeric or
+/// zero falls back to the default (a misconfigured variable must never
+/// panic a solver run).
+fn parse_ring_capacity(value: Option<&str>) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => RING_CAPACITY,
+    }
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static STATE: Mutex<State> = Mutex::new(State::new());
@@ -131,7 +171,7 @@ impl Ring {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        if self.values.len() == RING_CAPACITY {
+        if self.values.len() >= ring_capacity() {
             self.values.pop_front();
             self.dropped += 1;
         }
@@ -144,6 +184,7 @@ struct State {
     spans: BTreeMap<String, SpanStats>,
     counters: BTreeMap<String, u64>,
     events: BTreeMap<String, Ring>,
+    hists: BTreeMap<String, Hist>,
 }
 
 impl State {
@@ -152,6 +193,7 @@ impl State {
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
             events: BTreeMap::new(),
+            hists: BTreeMap::new(),
         }
     }
 }
@@ -183,12 +225,13 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Clears all recorded spans, counters and event recorders.
+/// Clears all recorded spans, counters, event recorders and histograms.
 pub fn reset() {
     let mut st = state();
     st.spans.clear();
     st.counters.clear();
     st.events.clear();
+    st.hists.clear();
 }
 
 /// An exclusive metrics-collection session: [`reset`] + [`enable`] on
@@ -261,6 +304,30 @@ pub fn record_many(name: &str, values: &[f64]) {
     }
 }
 
+/// Records one sample into the named log-linear histogram (see
+/// [`hist::Hist`]; created empty on first use). Negative and non-finite
+/// samples are rejected and counted per histogram. No-op while
+/// collection is disabled.
+pub fn hist_record(name: &str, value: f64) {
+    hist_record_many(name, std::slice::from_ref(&value));
+}
+
+/// Records a batch of samples into the named histogram under a single
+/// registry lock. No-op while collection is disabled.
+pub fn hist_record_many(name: &str, values: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state();
+    let h = match st.hists.get_mut(name) {
+        Some(h) => h,
+        None => st.hists.entry(name.to_string()).or_default(),
+    };
+    for &v in values {
+        h.record(v);
+    }
+}
+
 /// A scoped span timer; created by [`span`], records on drop.
 ///
 /// While collection is enabled the span's name is pushed onto a
@@ -315,6 +382,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Event statistics keyed by name, sorted by name.
     pub events: Vec<(String, EventStats)>,
+    /// Log-linear histograms keyed by name, sorted by name.
+    pub hists: Vec<(String, Hist)>,
 }
 
 /// Takes a consistent snapshot of every span, counter and event
@@ -343,6 +412,7 @@ pub fn snapshot() -> Snapshot {
                 )
             })
             .collect(),
+        hists: st.hists.iter().map(|(k, h)| (k.clone(), h.clone())).collect(),
     }
 }
 
@@ -367,11 +437,15 @@ impl Snapshot {
     ///
     /// Layout: `{"schema", "spans": {path: {"calls", "total_ms",
     /// "mean_ms"}}, "counters": {name: value}, "events": {name:
-    /// {"count", "dropped", "dropped_non_finite", "mean", "min",
-    /// "max", "recent": [...]}}}`.
+    /// {"count", "dropped", "dropped_capacity", "dropped_non_finite",
+    /// "mean", "min", "max", "recent": [...]}}, "histograms": {name:
+    /// {"count", "rejected", "sum", "mean", "min", "max", "p50",
+    /// "p90", "p99", "p999", "buckets": [[le, cumulative], ...]}}}`.
     /// Keys are sorted, every duration and statistic is finite and
     /// durations are non-negative, so downstream checks can validate
-    /// the file without a JSON library.
+    /// the file without a JSON library. `dropped_capacity` duplicates
+    /// the v1 `dropped` field under its descriptive name; `buckets`
+    /// lists only non-empty buckets, cumulative counts monotone.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut json = String::from("{\n");
@@ -410,13 +484,43 @@ impl Snapshot {
             let _ = writeln!(
                 json,
                 "    \"{}\": {{\"count\": {}, \"dropped\": {}, \
+                 \"dropped_capacity\": {}, \
                  \"dropped_non_finite\": {}, \"mean\": {:.9e}, \
                  \"min\": {min:.9e}, \"max\": {max:.9e}, \"recent\": [{recent}]}}{comma}",
                 json_escape(name),
                 e.count,
                 e.dropped,
+                e.dropped,
                 e.dropped_non_finite,
                 e.mean()
+            );
+        }
+        json.push_str("  },\n  \"histograms\": {\n");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            let comma = if i + 1 < self.hists.len() { "," } else { "" };
+            let mut buckets = String::new();
+            for (j, (le, cumulative)) in h.cumulative_buckets().enumerate() {
+                if j > 0 {
+                    buckets.push_str(", ");
+                }
+                let _ = write!(buckets, "[{le:.9e}, {cumulative}]");
+            }
+            let mut quantiles = String::new();
+            for (label, q) in hist::SNAPSHOT_QUANTILES {
+                let _ = write!(quantiles, "\"{label}\": {:.9e}, ", h.quantile(q));
+            }
+            let _ = writeln!(
+                json,
+                "    \"{}\": {{\"count\": {}, \"rejected\": {}, \
+                 \"sum\": {:.9e}, \"mean\": {:.9e}, \"min\": {:.9e}, \
+                 \"max\": {:.9e}, {quantiles}\"buckets\": [{buckets}]}}{comma}",
+                json_escape(name),
+                h.count(),
+                h.rejected(),
+                h.sum(),
+                h.mean(),
+                h.min(),
+                h.max(),
             );
         }
         json.push_str("  }\n}\n");
@@ -459,17 +563,38 @@ impl Snapshot {
                 self.events.iter().map(|(n, _)| n.len()).max().unwrap_or(5).max(5);
             let _ = writeln!(
                 out,
-                "  {:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>8}",
-                "event", "count", "mean", "min", "max", "drop-nf"
+                "  {:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}",
+                "event", "count", "mean", "min", "max", "drop-nf", "drop-cap"
             );
             for (name, e) in &self.events {
                 let (min, max) = if e.count == 0 { (0.0, 0.0) } else { (e.min, e.max) };
                 let _ = writeln!(
                     out,
-                    "  {name:<width$}  {:>8}  {:>12.5}  {min:>12.5}  {max:>12.5}  {:>8}",
+                    "  {name:<width$}  {:>8}  {:>12.5}  {min:>12.5}  {max:>12.5}  {:>8}  {:>8}",
                     e.count,
                     e.mean(),
-                    e.dropped_non_finite
+                    e.dropped_non_finite,
+                    e.dropped
+                );
+            }
+        }
+        if !self.hists.is_empty() {
+            let width =
+                self.hists.iter().map(|(n, _)| n.len()).max().unwrap_or(9).max(9);
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+                "histogram", "count", "p50", "p90", "p99", "p999"
+            );
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {:>8}  {:>12.5}  {:>12.5}  {:>12.5}  {:>12.5}",
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.quantile(0.999)
                 );
             }
         }
@@ -577,6 +702,49 @@ mod tests {
     }
 
     #[test]
+    fn hist_snapshot_is_bit_identical_across_thread_counts() {
+        // The same multiset of samples, recorded from 1, 2 and 8
+        // threads (each taking a strided slice), must render the exact
+        // same bytes: counts are order-independent and the Kulisch
+        // accumulator makes the sum exact regardless of interleaving.
+        let name = "probe_test_hist_thread_determinism";
+        let values: Vec<f64> = (0..2000u64)
+            .map(|i| ((i.wrapping_mul(2_654_435_761) % 977) as f64 + 1.0) * 0.037)
+            .collect();
+        let render = |threads: usize| {
+            let _session = session();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let values = &values;
+                    scope.spawn(move || {
+                        for v in values.iter().skip(t).step_by(threads) {
+                            hist_record(name, *v);
+                        }
+                    });
+                }
+            });
+            let snap = snapshot();
+            let (_, h) =
+                snap.hists.iter().find(|(n, _)| n == name).expect("histogram exists").clone();
+            assert_eq!(h.count(), values.len() as u64);
+            // Render this histogram alone: concurrently running
+            // instrumented tests may add unrelated series to the
+            // registry, which must not fail a byte comparison.
+            let solo = Snapshot {
+                spans: Vec::new(),
+                counters: Vec::new(),
+                events: Vec::new(),
+                hists: vec![(name.to_string(), h)],
+            };
+            solo.to_json()
+        };
+        let single = render(1);
+        for threads in [2, 8] {
+            assert_eq!(single, render(threads), "{threads}-thread snapshot diverged");
+        }
+    }
+
+    #[test]
     fn concurrent_updates_from_8_threads_lose_nothing() {
         const THREADS: usize = 8;
         const OPS: u64 = 10_000;
@@ -660,17 +828,64 @@ mod tests {
         }
         counter_add("probe_test_json_counter", 3);
         record("probe_test_json_event", 0.25);
+        hist_record("probe_test_json_hist", 1.5);
         let snap = snapshot();
         let json = snap.to_json();
-        assert!(json.contains("\"schema\": \"snoop-metrics-v1\""));
+        assert!(json.contains("\"schema\": \"snoop-metrics-v2\""));
         assert!(json.contains("\"probe_test_json_span\": {\"calls\": 1"));
         assert!(json.contains("\"probe_test_json_counter\": 3"));
         assert!(json.contains("\"probe_test_json_event\": {\"count\": 1"));
+        assert!(json.contains("\"probe_test_json_hist\": {\"count\": 1"));
+        assert!(json.contains("\"p99\""), "{json}");
         let table = snap.render_table();
         assert!(table.starts_with("snoop profile\n"));
         assert!(table.contains("probe_test_json_span"));
         assert!(table.contains("probe_test_json_counter"));
         assert!(table.contains("probe_test_json_event"));
+        assert!(table.contains("probe_test_json_hist"));
+        assert!(table.contains("drop-cap"));
+    }
+
+    #[test]
+    fn hist_records_through_the_registry_and_renders_v2_json() {
+        let _session = session();
+        hist_record_many("probe_test_hist_reg", &[1.0, 2.0, 4.0, f64::NAN, -3.0]);
+        let snap = snapshot();
+        let (_, h) = snap
+            .hists
+            .iter()
+            .find(|(n, _)| n == "probe_test_hist_reg")
+            .expect("histogram registered");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.rejected(), 2);
+        assert_eq!(h.sum(), 7.0);
+        let json = snap.to_json();
+        let doc = crate::json::JsonValue::parse(&json)
+            .unwrap_or_else(|e| panic!("v2 snapshot must parse: {e}\n{json}"));
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("probe_test_hist_reg"))
+            .expect("histograms section");
+        assert_eq!(hist.get("count").and_then(crate::json::JsonValue::as_u64), Some(3));
+        assert_eq!(hist.get("rejected").and_then(crate::json::JsonValue::as_u64), Some(2));
+        let buckets = hist.get("buckets").and_then(crate::json::JsonValue::as_array).unwrap();
+        assert_eq!(buckets.len(), 3, "three distinct buckets");
+        // v1 compatibility: the events section still carries `dropped`,
+        // with `dropped_capacity` as the v2 alias.
+        record("probe_test_hist_reg_event", 1.0);
+        let json = snapshot().to_json();
+        assert!(json.contains("\"dropped\": 0, \"dropped_capacity\": 0"), "{json}");
+    }
+
+    #[test]
+    fn ring_capacity_parses_the_environment_shape() {
+        assert_eq!(parse_ring_capacity(None), RING_CAPACITY);
+        assert_eq!(parse_ring_capacity(Some("")), RING_CAPACITY);
+        assert_eq!(parse_ring_capacity(Some("garbage")), RING_CAPACITY);
+        assert_eq!(parse_ring_capacity(Some("0")), RING_CAPACITY);
+        assert_eq!(parse_ring_capacity(Some("-4")), RING_CAPACITY);
+        assert_eq!(parse_ring_capacity(Some("16")), 16);
+        assert_eq!(parse_ring_capacity(Some(" 512 ")), 512);
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Fixed-memory log-linear latency histograms (the `snoop-metrics-v2`
+//! `histograms` section).
+//!
+//! The event recorders in [`super`] keep means and extremes; queue and
+//! bus disciplines differ in their *tails* (Nikolov & Lerato's
+//! service-discipline comparison in PAPERS.md is exactly that
+//! observation), so the hot seams — per-backend job wall time, cache
+//! hit latency, fixed-point iterations, serve queue wait — record into
+//! a [`Hist`] as well and the snapshot reports p50/p90/p99/p999.
+//!
+//! # Design
+//!
+//! [`Hist`] is an HDR-style **log-linear** histogram: each power-of-two
+//! octave of the value range is split into [`SUB_BUCKETS`] equal linear
+//! sub-buckets. Bucket selection is pure bit arithmetic on the `f64`
+//! representation (exponent field picks the octave, the top mantissa
+//! bits pick the sub-bucket), so it is exact, branch-light and
+//! identical on every platform. With 8 sub-buckets per octave a
+//! reported quantile overstates the true sample by at most one bucket
+//! width — a relative error ≤ 12.5% — and is additionally clamped to
+//! the exact observed `[min, max]`, which makes single-valued series
+//! exact.
+//!
+//! The covered range is `[2^-14, 2^30)` ≈ `[6.1e-5, 1.07e9]`: six
+//! decades below one millisecond and nine above, which brackets every
+//! quantity the suite records (sub-microsecond cache hits through
+//! multi-day sweep walls, iteration counts, queue depths). Values
+//! outside the range clamp into the first/last bucket while `min`,
+//! `max` and `sum` stay exact.
+//!
+//! # Memory bound
+//!
+//! 44 octaves × 8 sub-buckets × 4-byte saturating counts = 1 408 bytes
+//! of buckets, plus a 280-byte exact-sum accumulator and a few scalars:
+//! ~1.8 KB per series, allocated once, never resized.
+//!
+//! # Determinism
+//!
+//! A histogram's state is a pure function of the *multiset* of recorded
+//! values, not their order: bucket counts and `count` are integer
+//! increments, `min`/`max` are order-free, and `sum` is held in a
+//! Kulisch-style fixed-point accumulator ([`ExactSum`]) that adds each
+//! `f64` exactly — so 1, 2 and 8 threads racing the same values through
+//! the registry snapshot to bit-identical JSON.
+
+/// Linear sub-buckets per power-of-two octave. 8 keeps the worst-case
+/// quantile overstatement at 1/8 = 12.5% of the value.
+pub const SUB_BUCKETS: usize = 8;
+
+/// Exponent of the lowest octave: the first bucket starts at `2^-14`.
+pub const MIN_EXP: i32 = -14;
+
+/// Exponent of the highest octave: the last bucket ends at `2^30`.
+pub const MAX_EXP: i32 = 29;
+
+/// Number of octaves covered.
+pub const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// Total bucket count (44 × 8 = 352).
+pub const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+
+/// The quantiles a snapshot reports for every histogram series.
+pub const SNAPSHOT_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
+
+/// An exact, order-independent accumulator for sums of non-negative
+/// finite `f64`s.
+///
+/// A Kulisch-style fixed-point register: one wide unsigned integer
+/// spanning the full `f64` exponent range (bit `0` = `2^-1074`), stored
+/// as little-endian `u64` limbs. Adding a value adds its 53-bit
+/// significand, shifted by its exponent, with carry propagation — an
+/// *exact* integer operation, so the accumulator state (and therefore
+/// the rounded [`ExactSum::to_f64`] readout) depends only on the
+/// multiset of added values, never on their order or thread
+/// interleaving.
+///
+/// Headroom: the register extends 128 bits past `2^1024`, so at least
+/// `2^127` maximal additions fit before the top limb could overflow —
+/// unreachable in practice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactSum {
+    /// Little-endian limbs; limb `i` holds bits `64·i .. 64·i+63`,
+    /// where bit 0 weighs `2^-1074`.
+    limbs: [u64; Self::LIMBS],
+}
+
+impl ExactSum {
+    /// (1074 + 1024 + headroom 128) bits / 64, rounded up.
+    const LIMBS: usize = (1074usize + 1024 + 128).div_ceil(64);
+
+    /// The zero sum.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactSum { limbs: [0; Self::LIMBS] }
+    }
+
+    /// Adds a non-negative finite value exactly. Negative, NaN and
+    /// infinite values are ignored (the caller rejects them first).
+    pub fn add(&mut self, v: f64) {
+        if !(v.is_finite() && v > 0.0) {
+            return;
+        }
+        let bits = v.to_bits();
+        let exp_field = ((bits >> 52) & 0x7ff) as i64;
+        let fraction = bits & ((1u64 << 52) - 1);
+        // Significand and the weight (power of two) of its lowest bit.
+        let (significand, low_bit) = if exp_field == 0 {
+            (fraction, 0i64) // subnormal: weight 2^-1074 = bit 0
+        } else {
+            (fraction | (1u64 << 52), exp_field - 1)
+        };
+        let limb = (low_bit / 64) as usize;
+        let shift = (low_bit % 64) as u32;
+        // The 53-bit significand shifted left lands in at most two limbs.
+        let lo = significand << shift;
+        let hi = if shift == 0 { 0 } else { significand >> (64 - shift) };
+        let mut carry: u64;
+        let (sum, c) = self.limbs[limb].overflowing_add(lo);
+        self.limbs[limb] = sum;
+        carry = u64::from(c);
+        let (sum, c) = self.limbs[limb + 1].overflowing_add(hi);
+        let (sum, c2) = sum.overflowing_add(carry);
+        self.limbs[limb + 1] = sum;
+        carry = u64::from(c) + u64::from(c2);
+        let mut i = limb + 2;
+        while carry != 0 && i < Self::LIMBS {
+            let (sum, c) = self.limbs[i].overflowing_add(carry);
+            self.limbs[i] = sum;
+            carry = u64::from(c);
+            i += 1;
+        }
+    }
+
+    /// Merges another accumulator in exactly (limb-wise add with carry).
+    pub fn merge(&mut self, other: &ExactSum) {
+        let mut carry = 0u64;
+        for i in 0..Self::LIMBS {
+            let (sum, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (sum, c2) = sum.overflowing_add(carry);
+            self.limbs[i] = sum;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+    }
+
+    /// Reads the sum back as `f64`, summing limbs from least to most
+    /// significant. The readout is a pure function of the exact state,
+    /// so it is deterministic; its error versus the exact sum is below
+    /// `LIMBS · 2^-52` relative — far inside one printed digit.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let mut total = 0.0f64;
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                // 2^(64·i - 1074) in two factors so the intermediate
+                // exponent stays in range for every limb index.
+                let weight = (i as i32) * 64 - 1074;
+                total += (limb as f64) * exp2i(weight);
+            }
+        }
+        total
+    }
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum::new()
+    }
+}
+
+/// `2^e` for any limb-weight exponent, split to stay in `f64` range.
+fn exp2i(e: i32) -> f64 {
+    if e >= -1022 {
+        f64::powi(2.0, e)
+    } else {
+        // Subnormal weights: split so each factor is representable.
+        f64::powi(2.0, -600) * f64::powi(2.0, e + 600)
+    }
+}
+
+/// A fixed-memory log-linear histogram of non-negative finite samples.
+///
+/// See the module docs for the bucket layout, memory bound and
+/// determinism contract. Negative and non-finite samples are rejected
+/// and counted in [`Hist::rejected`]; everything else is recorded
+/// (clamped into the first/last bucket when outside `[2^-14, 2^30)`,
+/// with `min`/`max`/`sum` exact regardless).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    counts: Box<[u32; BUCKETS]>,
+    count: u64,
+    rejected: u64,
+    sum: ExactSum,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    /// An empty histogram (~1.8 KB, never grows).
+    #[must_use]
+    pub fn new() -> Self {
+        Hist {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            rejected: 0,
+            sum: ExactSum::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket a value lands in: octave from the `f64` exponent
+    /// field, sub-bucket from the top mantissa bits, clamped into range.
+    fn index(v: f64) -> usize {
+        debug_assert!(v.is_finite() && v >= 0.0);
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp < MIN_EXP {
+            return 0; // includes zero and subnormals
+        }
+        if exp > MAX_EXP {
+            return BUCKETS - 1;
+        }
+        let sub = ((bits >> (52 - SUB_BUCKETS.trailing_zeros())) & (SUB_BUCKETS as u64 - 1))
+            as usize;
+        (exp - MIN_EXP) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The inclusive upper bound of bucket `i`:
+    /// `2^(MIN_EXP + octave) · (1 + (sub+1)/SUB_BUCKETS)`.
+    ///
+    /// Every bound is exact in `f64` (a power of two times a small
+    /// dyadic rational), so rendered bounds are stable across runs.
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> f64 {
+        debug_assert!(i < BUCKETS);
+        let octave = (i / SUB_BUCKETS) as i32;
+        let sub = i % SUB_BUCKETS;
+        f64::powi(2.0, MIN_EXP + octave) * (1.0 + (sub + 1) as f64 / SUB_BUCKETS as f64)
+    }
+
+    /// Records one sample. Returns `false` (and counts it in
+    /// [`Hist::rejected`]) for negative or non-finite values.
+    pub fn record(&mut self, v: f64) -> bool {
+        if !v.is_finite() || v < 0.0 {
+            self.rejected += 1;
+            return false;
+        }
+        let i = Self::index(v);
+        self.counts[i] = self.counts[i].saturating_add(1);
+        self.count += 1;
+        self.sum.add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        true
+    }
+
+    /// Merges another histogram in. Exact and associative: bucket
+    /// counts and the sum accumulator add as integers, so
+    /// `(a ∪ b) ∪ c == a ∪ (b ∪ c)` bit for bit.
+    pub fn merge(&mut self, other: &Hist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count += other.count;
+        self.rejected += other.rejected;
+        self.sum.merge(&other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total recorded samples (excluding rejected ones).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Negative / non-finite samples rejected by [`Hist::record`].
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Exact sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum.to_f64()
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.min }
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.max }
+    }
+
+    /// Mean of all recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum() / self.count as f64 }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`): the upper bound of the bucket
+    /// holding the `ceil(q·count)`-th smallest sample, clamped to the
+    /// exact observed `[min, max]`. Returns 0 for an empty histogram.
+    ///
+    /// The clamp means a reported quantile never overstates the true
+    /// sample by more than one sub-bucket width (≤ 12.5% relative) and
+    /// is exact for single-valued series.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += u64::from(c);
+            if cumulative >= target {
+                return Self::bucket_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets as `(upper_bound,
+    /// cumulative_count)` pairs in increasing-bound order — the shape
+    /// both the JSON snapshot and the Prometheus `_bucket` series need.
+    /// Cumulative counts are monotone non-decreasing by construction.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut cumulative = 0u64;
+        self.counts.iter().enumerate().filter_map(move |(i, &c)| {
+            if c == 0 {
+                None
+            } else {
+                cumulative += u64::from(c);
+                Some((Self::bucket_bound(i), cumulative))
+            }
+        })
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sum_is_order_independent_and_exact_for_awkward_values() {
+        // 1e-9 + 1e9 repeatedly, both orders: a naive f64 running sum
+        // gives different last bits depending on order; ExactSum cannot.
+        let values = [1e-9, 1e9, 3.141_592_653_589_793e-3, 1e-9, 7.25e8];
+        let mut forward = ExactSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        let mut reverse = ExactSum::new();
+        for &v in values.iter().rev() {
+            reverse.add(v);
+        }
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.to_f64().to_bits(), reverse.to_f64().to_bits());
+        // Exactly representable sums read back exactly.
+        let mut s = ExactSum::new();
+        for _ in 0..1000 {
+            s.add(0.25);
+        }
+        assert_eq!(s.to_f64(), 250.0);
+        // Subnormals participate without panicking.
+        let mut s = ExactSum::new();
+        s.add(f64::MIN_POSITIVE / 4.0);
+        s.add(f64::MIN_POSITIVE / 4.0);
+        assert_eq!(s.to_f64(), f64::MIN_POSITIVE / 2.0);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_consistent() {
+        for i in 0..BUCKETS {
+            let bound = Hist::bucket_bound(i);
+            assert!(bound.is_finite() && bound > 0.0);
+            if i > 0 {
+                assert!(bound > Hist::bucket_bound(i - 1), "bounds must increase");
+            }
+            // A value just below the bound lands in bucket i or earlier;
+            // the bound itself belongs to the *next* bucket (bounds are
+            // the exclusive upper edges of the bit-level layout, except
+            // at the clamped top).
+            let inside = bound * (1.0 - 1e-12);
+            assert!(Hist::index(inside) <= i, "bucket {i}: {inside} escaped upward");
+        }
+        assert_eq!(Hist::index(0.0), 0);
+        assert_eq!(Hist::index(1e-300), 0);
+        assert_eq!(Hist::index(1e300), BUCKETS - 1);
+        // 1.0 = 2^0 · (1 + 0/8): first sub-bucket of the zero octave.
+        assert_eq!(Hist::index(1.0), (0 - MIN_EXP) as usize * SUB_BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact() {
+        let mut h = Hist::new();
+        let mut samples: Vec<f64> = Vec::new();
+        // A deterministic spread over five decades.
+        let mut x = 0.001_f64;
+        for i in 0..5000 {
+            let v = x * (1.0 + (i % 97) as f64 / 97.0);
+            samples.push(v);
+            h.record(v);
+            x *= 1.001;
+        }
+        samples.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = samples[((q * samples.len() as f64).ceil() as usize - 1).min(4999)];
+            let approx = h.quantile(q);
+            assert!(
+                approx >= exact * (1.0 - 1e-12) && approx <= exact * 1.125 + 1e-12,
+                "q={q}: exact {exact}, approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_valued_and_empty_histograms_are_exact() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!((h.min(), h.max(), h.sum(), h.mean()), (0.0, 0.0, 0.0, 0.0));
+
+        let mut h = Hist::new();
+        for _ in 0..100 {
+            h.record(3.7);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 3.7, "single-valued p{q} must be exact");
+        }
+        assert_eq!(h.sum(), 370.0);
+    }
+
+    #[test]
+    fn rejects_negative_and_non_finite() {
+        let mut h = Hist::new();
+        assert!(!h.record(-1.0));
+        assert!(!h.record(f64::NAN));
+        assert!(!h.record(f64::INFINITY));
+        assert!(h.record(0.0));
+        assert_eq!(h.rejected(), 3);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_direct_recording() {
+        let chunks: [&[f64]; 3] =
+            [&[0.001, 5.0, 5.0, 123.0], &[0.25, 0.25, 9e8], &[1e-9, 42.0]];
+        let hist_of = |values: &[f64]| {
+            let mut h = Hist::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let [a, b, c] = chunks.map(hist_of);
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+
+        let all: Vec<f64> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(left, hist_of(&all), "merge must equal direct recording");
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut h = Hist::new();
+        for i in 0..1000 {
+            h.record(0.1 + (i % 50) as f64);
+        }
+        let buckets: Vec<(f64, u64)> = h.cumulative_buckets().collect();
+        assert!(!buckets.is_empty());
+        let mut last_bound = 0.0;
+        let mut last_cum = 0;
+        for &(bound, cum) in &buckets {
+            assert!(bound > last_bound, "bounds must increase");
+            assert!(cum > last_cum, "cumulative counts must increase");
+            last_bound = bound;
+            last_cum = cum;
+        }
+        assert_eq!(last_cum, h.count());
+    }
+}

@@ -21,11 +21,12 @@
 //!   (begin and end together, counted in [`Trace::dropped`]), so the
 //!   drained timeline always has matched `B`/`E` pairs.
 //!
-//! Worker threads spawned by [`crate::exec`] flush their buffers into a
-//! global sink when they exit; [`drain`] flushes the calling thread and
-//! collects the sink. Drain only after parallel work has joined (the
-//! scoped executor guarantees this) — a still-running thread's buffer
-//! cannot be collected.
+//! Every thread's buffer is registered in a global registry the moment
+//! the thread first records, so [`drain`] collects from *all* threads —
+//! including persistent [`crate::exec`] pool workers that park between
+//! jobs and never exit, and threads whose TLS destructors have not run
+//! yet. Drain only after parallel work has joined; a thread still
+//! *inside* a span at drain time would contribute an unmatched begin.
 //!
 //! # Example
 //!
@@ -46,7 +47,7 @@
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use super::json_escape;
@@ -61,8 +62,11 @@ pub const SCHEMA: &str = "snoop-trace-v1";
 pub const THREAD_CAPACITY: usize = 65_536;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-/// Events flushed from exited threads (and from [`drain`] callers).
-static SINK: Mutex<Vec<RawEvent>> = Mutex::new(Vec::new());
+/// Every thread's shared event buffer, registered on first record.
+/// Holding strong references keeps an exited thread's not-yet-drained
+/// events reachable; [`drain`]/[`reset`] prune entries whose thread has
+/// exited (registry is the sole owner) once they are empty.
+static REGISTRY: Mutex<Vec<Arc<Mutex<Vec<RawEvent>>>>> = Mutex::new(Vec::new());
 /// The instant timestamps are measured from (set when a session starts).
 static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
 /// Spans dropped because a thread buffer was full.
@@ -85,24 +89,20 @@ struct RawEvent {
 
 struct LocalBuf {
     tid: u64,
-    events: Vec<RawEvent>,
+    /// This thread's events. Shared with [`REGISTRY`] so [`drain`] can
+    /// collect without waiting for TLS destructors: `thread::scope` can
+    /// return (and a drain run) before a finished thread's TLS has been
+    /// torn down, and persistent pool workers never exit at all.
+    events: Arc<Mutex<Vec<RawEvent>>>,
     /// Spans currently open on this thread (each has a pending `E`).
     open: usize,
 }
 
 impl LocalBuf {
     fn new() -> Self {
-        LocalBuf { tid: NEXT_TID.fetch_add(1, Ordering::Relaxed), events: Vec::new(), open: 0 }
-    }
-}
-
-impl Drop for LocalBuf {
-    fn drop(&mut self) {
-        // Thread exit: hand the buffer to the global sink so scoped
-        // worker threads contribute to the drained timeline.
-        if !self.events.is_empty() {
-            sink().append(&mut self.events);
-        }
+        let events = Arc::new(Mutex::new(Vec::new()));
+        registry().push(Arc::clone(&events));
+        LocalBuf { tid: NEXT_TID.fetch_add(1, Ordering::Relaxed), events, open: 0 }
     }
 }
 
@@ -110,8 +110,26 @@ thread_local! {
     static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
 }
 
-fn sink() -> MutexGuard<'static, Vec<RawEvent>> {
-    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+fn registry() -> MutexGuard<'static, Vec<Arc<Mutex<Vec<RawEvent>>>>> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Takes every buffered event out of every registered thread buffer and
+/// drops the buffers of exited threads (strong count 1: the registry is
+/// the sole remaining owner) so the registry stays bounded by the number
+/// of *live* recording threads.
+fn collect_registered() -> Vec<RawEvent> {
+    let mut reg = registry();
+    let mut all = Vec::new();
+    reg.retain(|buf| {
+        all.append(&mut lock(buf));
+        Arc::strong_count(buf) > 1
+    });
+    all
 }
 
 /// Returns whether trace collection is currently on.
@@ -131,14 +149,11 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Clears the sink, the calling thread's buffer and the dropped count.
+/// Clears every thread's buffer, the calling thread's open-span count
+/// and the dropped count.
 pub fn reset() {
-    LOCAL.with(|l| {
-        let mut local = l.borrow_mut();
-        local.events.clear();
-        local.open = 0;
-    });
-    sink().clear();
+    LOCAL.with(|l| l.borrow_mut().open = 0);
+    drop(collect_registered());
     DROPPED.store(0, Ordering::Relaxed);
 }
 
@@ -199,7 +214,7 @@ impl Drop for TraceSpan {
             let mut local = l.borrow_mut();
             let tid = local.tid;
             // The slot was reserved when the begin event was admitted.
-            local.events.push(RawEvent {
+            lock(&local.events).push(RawEvent {
                 name,
                 phase: 'E',
                 at,
@@ -228,20 +243,17 @@ where
     }
     let recorded = LOCAL.with(|l| {
         let mut local = l.borrow_mut();
+        let tid = local.tid;
+        let open = local.open;
+        let mut events = lock(&local.events);
         // Admit the span only if both its B and the pending E's of every
         // open span (including this one) still fit the bound.
-        if local.events.len() + local.open + 2 > THREAD_CAPACITY {
+        if events.len() + open + 2 > THREAD_CAPACITY {
             DROPPED.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        let tid = local.tid;
-        local.events.push(RawEvent {
-            name,
-            phase: 'B',
-            at: Instant::now(),
-            tid,
-            args: make_args(),
-        });
+        events.push(RawEvent { name, phase: 'B', at: Instant::now(), tid, args: make_args() });
+        drop(events);
         local.open += 1;
         true
     });
@@ -273,20 +285,14 @@ pub struct Trace {
     pub dropped: u64,
 }
 
-/// Flushes the calling thread's buffer, collects everything flushed by
-/// exited threads, and returns the merged, time-sorted timeline. Call
-/// after parallel work has joined; the sink is left empty.
+/// Collects every thread's buffered events — live threads (including
+/// parked pool workers) and exited ones alike — and returns the merged,
+/// time-sorted timeline. Call after parallel work has joined; all
+/// buffers are left empty.
 #[must_use]
 pub fn drain() -> Trace {
-    LOCAL.with(|l| {
-        let mut local = l.borrow_mut();
-        if !local.events.is_empty() {
-            let mut events = std::mem::take(&mut local.events);
-            sink().append(&mut events);
-        }
-        local.open = 0;
-    });
-    let raw: Vec<RawEvent> = std::mem::take(&mut *sink());
+    LOCAL.with(|l| l.borrow_mut().open = 0);
+    let raw = collect_registered();
     let epoch = *EPOCH.lock().unwrap_or_else(PoisonError::into_inner);
     let Some(epoch) = epoch else {
         return Trace::default();

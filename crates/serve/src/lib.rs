@@ -17,11 +17,18 @@
 //! * `POST /eval` — a `snoop-scenario-v1` batch (the same schema as
 //!   `snoop eval --scenarios`); results stream back as they complete,
 //!   one JSON object per line over chunked transfer encoding;
-//! * `GET /metrics` — the live `snoop-metrics-v1` probe snapshot
-//!   (per-endpoint counters, queue-depth and queue-wait series, engine
-//!   cache/store counters);
-//! * `GET /healthz` — liveness plus current queue depth;
+//! * `GET /metrics` — the live `snoop-metrics-v2` probe snapshot
+//!   (per-endpoint RED counters, queue-depth and queue-wait series,
+//!   latency histograms, engine cache/store counters); add
+//!   `?format=prometheus` for text exposition 0.0.4 ([`metrics`]);
+//! * `GET /healthz` — liveness plus uptime, version, worker count,
+//!   queue bound and cumulative requests served;
 //! * `POST /shutdown` — the administrative equivalent of SIGTERM.
+//!
+//! With `--access-log FILE` every request also emits one NDJSON line
+//! (method, path, status, bytes, queue wait, service time) from a
+//! dedicated logger thread ([`access_log`]) that drops-and-counts on
+//! overflow rather than ever stalling a worker.
 //!
 //! Shutdown (SIGTERM, ctrl-c or `POST /shutdown`) is graceful: the
 //! acceptor stops accepting, queued and in-flight requests drain, the
@@ -41,7 +48,9 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access_log;
 pub mod http;
+pub mod metrics;
 pub mod server;
 // Installing a SIGTERM/SIGINT handler requires one `signal(2)` FFI call;
 // the handler body is a single atomic store (async-signal-safe). This is

@@ -1,0 +1,366 @@
+//! Prometheus text exposition (format 0.0.4) over the live probe
+//! snapshot plus the daemon's own gauges.
+//!
+//! The JSON `/metrics` body is the source of truth for tooling inside
+//! this workspace; this module is the bridge to everything outside it:
+//! any standard scraper can consume `GET /metrics?format=prometheus`
+//! without knowing the `snoop-metrics-v2` schema.
+//!
+//! # Mapping
+//!
+//! Probe metric names are dotted paths (`serve.queue_wait_ms`), which
+//! are not valid Prometheus metric names — and sanitizing dots into
+//! underscores invites collisions. Instead each probe section becomes
+//! one metric *family* with the probe name carried as a `name` label:
+//!
+//! * counters  → `snoop_counter_total{name="..."}`
+//! * events    → `snoop_event_count_total` / `_sum` / `_min` / `_max`
+//! * spans     → `snoop_span_calls_total` / `snoop_span_seconds_total`
+//! * histograms → `snoop_hist_bucket{name="...",le="..."}` /
+//!   `snoop_hist_sum` / `snoop_hist_count` — a native Prometheus
+//!   histogram: cumulative bucket counts, closed with `le="+Inf"`.
+//!
+//! Two families are first-class rather than label-mapped: the RED
+//! request counters, re-keyed from `serve.red.<endpoint>.<class>`
+//! probe counters into `snoop_requests_total{endpoint,status}`, and
+//! the daemon gauges (`snoop_queue_depth`, `snoop_inflight_requests`,
+//! …) sampled from the server's own atomics at scrape time.
+
+use std::fmt::Write as _;
+
+use snoop_numeric::probe::Snapshot;
+
+/// Point-in-time daemon state sampled by the scrape handler, rendered
+/// as Prometheus gauges (and a few plain counters) alongside the probe
+/// snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerGauges {
+    /// Seconds since the daemon started serving.
+    pub uptime_seconds: f64,
+    /// Connections accepted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Requests currently being handled by workers.
+    pub inflight: u64,
+    /// Request worker threads.
+    pub workers: u64,
+    /// Bounded submission-queue capacity.
+    pub queue_bound: u64,
+    /// Requests fully read and routed over the daemon's lifetime.
+    pub requests_total: u64,
+    /// Connections refused with `429` over the daemon's lifetime.
+    pub rejected_total: u64,
+    /// (scenario, backend) jobs answered via `POST /eval`.
+    pub eval_jobs_total: u64,
+    /// Access-log lines dropped because the logger channel was full.
+    pub log_dropped_total: u64,
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline must be escaped, everything else is literal.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 the way Prometheus clients expect: decimal, no
+/// exponent for ordinary magnitudes, `+Inf` for the terminal bucket.
+fn format_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:.9e}")
+    }
+}
+
+/// Renders the full exposition body. Families appear at most once, each
+/// introduced by a single `# TYPE` line; series within a family are
+/// unique by label set.
+#[must_use]
+pub fn render(snapshot: &Snapshot, gauges: &ServerGauges) -> String {
+    let mut out = String::with_capacity(4096);
+
+    // Daemon gauges and lifetime counters.
+    let singles: [(&str, &str, f64); 9] = [
+        ("snoop_uptime_seconds", "gauge", gauges.uptime_seconds),
+        ("snoop_queue_depth", "gauge", gauges.queue_depth as f64),
+        ("snoop_inflight_requests", "gauge", gauges.inflight as f64),
+        ("snoop_workers", "gauge", gauges.workers as f64),
+        ("snoop_queue_bound", "gauge", gauges.queue_bound as f64),
+        ("snoop_http_requests_total", "counter", gauges.requests_total as f64),
+        ("snoop_http_rejected_total", "counter", gauges.rejected_total as f64),
+        ("snoop_eval_jobs_total", "counter", gauges.eval_jobs_total as f64),
+        ("snoop_log_dropped_total", "counter", gauges.log_dropped_total as f64),
+    ];
+    for (name, kind, value) in singles {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {}", format_value(value));
+    }
+
+    // RED request counters: probe counters named
+    // `serve.red.<endpoint>.<class>` become the canonical
+    // `snoop_requests_total{endpoint,status}` family; everything else
+    // stays in the generic counter family below.
+    let mut red: Vec<(&str, &str, u64)> = Vec::new();
+    let mut plain: Vec<(&str, u64)> = Vec::new();
+    for (name, value) in &snapshot.counters {
+        match name.strip_prefix("serve.red.").and_then(|rest| rest.split_once('.')) {
+            Some((endpoint, class)) => red.push((endpoint, class, *value)),
+            None => plain.push((name, *value)),
+        }
+    }
+    if !red.is_empty() {
+        out.push_str("# TYPE snoop_requests_total counter\n");
+        for (endpoint, class, value) in red {
+            let _ = writeln!(
+                out,
+                "snoop_requests_total{{endpoint=\"{}\",status=\"{}\"}} {value}",
+                escape_label(endpoint),
+                escape_label(class),
+            );
+        }
+    }
+    if !plain.is_empty() {
+        out.push_str("# TYPE snoop_counter_total counter\n");
+        for (name, value) in plain {
+            let _ = writeln!(
+                out,
+                "snoop_counter_total{{name=\"{}\"}} {value}",
+                escape_label(name)
+            );
+        }
+    }
+
+    // Spans: calls and cumulative seconds, both counters.
+    if !snapshot.spans.is_empty() {
+        out.push_str("# TYPE snoop_span_calls_total counter\n");
+        for (path, s) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "snoop_span_calls_total{{name=\"{}\"}} {}",
+                escape_label(path),
+                s.count
+            );
+        }
+        out.push_str("# TYPE snoop_span_seconds_total counter\n");
+        for (path, s) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "snoop_span_seconds_total{{name=\"{}\"}} {}",
+                escape_label(path),
+                format_value(s.total_ns as f64 / 1e9)
+            );
+        }
+    }
+
+    // Event recorders: lifetime count/sum plus min/max gauges (the
+    // ring's recent window stays JSON-only — a scraper wants the
+    // aggregates, not raw samples).
+    if !snapshot.events.is_empty() {
+        out.push_str("# TYPE snoop_event_count_total counter\n");
+        for (name, e) in &snapshot.events {
+            let _ = writeln!(
+                out,
+                "snoop_event_count_total{{name=\"{}\"}} {}",
+                escape_label(name),
+                e.count
+            );
+        }
+        out.push_str("# TYPE snoop_event_sum counter\n");
+        for (name, e) in &snapshot.events {
+            let _ = writeln!(
+                out,
+                "snoop_event_sum{{name=\"{}\"}} {}",
+                escape_label(name),
+                format_value(e.sum)
+            );
+        }
+        out.push_str("# TYPE snoop_event_min gauge\n");
+        for (name, e) in &snapshot.events {
+            let min = if e.count == 0 { 0.0 } else { e.min };
+            let _ = writeln!(
+                out,
+                "snoop_event_min{{name=\"{}\"}} {}",
+                escape_label(name),
+                format_value(min)
+            );
+        }
+        out.push_str("# TYPE snoop_event_max gauge\n");
+        for (name, e) in &snapshot.events {
+            let max = if e.count == 0 { 0.0 } else { e.max };
+            let _ = writeln!(
+                out,
+                "snoop_event_max{{name=\"{}\"}} {}",
+                escape_label(name),
+                format_value(max)
+            );
+        }
+    }
+
+    // Histograms: native Prometheus exposition. `cumulative_buckets`
+    // already yields monotone cumulative counts over the non-empty
+    // log-linear buckets; the mandatory `+Inf` bucket closes each
+    // series at the total count.
+    if !snapshot.hists.is_empty() {
+        out.push_str("# TYPE snoop_hist histogram\n");
+        for (name, h) in &snapshot.hists {
+            let label = escape_label(name);
+            for (le, cumulative) in h.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "snoop_hist_bucket{{name=\"{label}\",le=\"{}\"}} {cumulative}",
+                    format_value(le)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "snoop_hist_bucket{{name=\"{label}\",le=\"+Inf\"}} {}",
+                h.count()
+            );
+            let _ = writeln!(out, "snoop_hist_sum{{name=\"{label}\"}} {}", format_value(h.sum()));
+            let _ = writeln!(out, "snoop_hist_count{{name=\"{label}\"}} {}", h.count());
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoop_numeric::probe::{hist, EventStats, SpanStats};
+
+    fn snapshot_with(
+        counters: Vec<(String, u64)>,
+        hists: Vec<(String, hist::Hist)>,
+    ) -> Snapshot {
+        Snapshot { spans: Vec::new(), counters, events: Vec::new(), hists }
+    }
+
+    #[test]
+    fn gauges_and_counters_render_with_type_lines() {
+        let body = render(
+            &snapshot_with(vec![("engine.cache.hits".to_string(), 7)], Vec::new()),
+            &ServerGauges { queue_depth: 3, requests_total: 41, ..ServerGauges::default() },
+        );
+        assert!(body.contains("# TYPE snoop_queue_depth gauge\nsnoop_queue_depth 3\n"), "{body}");
+        assert!(
+            body.contains("# TYPE snoop_http_requests_total counter\nsnoop_http_requests_total 41\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("snoop_counter_total{name=\"engine.cache.hits\"} 7\n"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn red_counters_become_the_requests_total_family() {
+        let body = render(
+            &snapshot_with(
+                vec![
+                    ("serve.red.eval.2xx".to_string(), 5),
+                    ("serve.red.eval.4xx".to_string(), 1),
+                    ("serve.red.healthz.2xx".to_string(), 9),
+                    ("serve.requests".to_string(), 15),
+                ],
+                Vec::new(),
+            ),
+            &ServerGauges::default(),
+        );
+        assert!(
+            body.contains("snoop_requests_total{endpoint=\"eval\",status=\"2xx\"} 5\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("snoop_requests_total{endpoint=\"healthz\",status=\"2xx\"} 9\n"),
+            "{body}"
+        );
+        // The non-RED counter stays in the generic family.
+        assert!(body.contains("snoop_counter_total{name=\"serve.requests\"} 15\n"), "{body}");
+        // Exactly one TYPE line for the family.
+        assert_eq!(body.matches("# TYPE snoop_requests_total counter").count(), 1, "{body}");
+    }
+
+    #[test]
+    fn histograms_expose_monotone_buckets_closed_by_inf() {
+        let mut h = hist::Hist::new();
+        for v in [0.5, 1.0, 2.0, 4.0, 100.0] {
+            assert!(h.record(v));
+        }
+        let body = render(
+            &snapshot_with(Vec::new(), vec![("serve.queue_wait_ms".to_string(), h)]),
+            &ServerGauges::default(),
+        );
+        let mut last = 0u64;
+        let mut buckets = 0;
+        for line in body.lines() {
+            let Some(rest) = line.strip_prefix("snoop_hist_bucket{name=\"serve.queue_wait_ms\"")
+            else {
+                continue;
+            };
+            buckets += 1;
+            let count: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "non-monotone bucket in {body}");
+            last = count;
+        }
+        assert!(buckets >= 2, "{body}");
+        assert!(
+            body.contains("snoop_hist_bucket{name=\"serve.queue_wait_ms\",le=\"+Inf\"} 5\n"),
+            "{body}"
+        );
+        assert!(body.contains("snoop_hist_count{name=\"serve.queue_wait_ms\"} 5\n"), "{body}");
+        assert!(body.contains("snoop_hist_sum{name=\"serve.queue_wait_ms\"}"), "{body}");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        let body = render(
+            &snapshot_with(vec![("weird\"name\\with\nstuff".to_string(), 1)], Vec::new()),
+            &ServerGauges::default(),
+        );
+        assert!(
+            body.contains("snoop_counter_total{name=\"weird\\\"name\\\\with\\nstuff\"} 1\n"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn spans_and_events_render_once_per_family() {
+        let snapshot = Snapshot {
+            spans: vec![(
+                "engine.job".to_string(),
+                SpanStats { count: 4, total_ns: 2_000_000_000 },
+            )],
+            counters: Vec::new(),
+            events: vec![(
+                "serve.queue_depth".to_string(),
+                EventStats {
+                    recent: vec![1.0, 2.0],
+                    dropped: 0,
+                    dropped_non_finite: 0,
+                    count: 2,
+                    sum: 3.0,
+                    min: 1.0,
+                    max: 2.0,
+                },
+            )],
+            hists: Vec::new(),
+        };
+        let body = render(&snapshot, &ServerGauges::default());
+        assert!(body.contains("snoop_span_calls_total{name=\"engine.job\"} 4\n"), "{body}");
+        assert!(body.contains("snoop_span_seconds_total{name=\"engine.job\"} 2\n"), "{body}");
+        assert!(body.contains("snoop_event_count_total{name=\"serve.queue_depth\"} 2\n"), "{body}");
+        assert!(body.contains("snoop_event_max{name=\"serve.queue_depth\"} 2\n"), "{body}");
+    }
+}

@@ -24,13 +24,14 @@
 //! and concurrent requests only share state through the engine's
 //! interior-locked cache and the store's atomic publishes.
 
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use snoop_mva::engine::{
     BackendId, DiskStore, Engine, GtpnBackend, MvaBackend, ResilientMvaBackend, Scenario,
@@ -40,7 +41,9 @@ use snoop_numeric::exec::ExecOptions;
 use snoop_numeric::json::format_f64;
 use snoop_numeric::probe;
 
+use crate::access_log::{AccessLog, AccessLogConfig};
 use crate::http::{self, ChunkedWriter, HttpError, Request};
+use crate::metrics::{self, ServerGauges};
 use crate::signal;
 
 /// How long a worker waits on a slow client before giving up on the
@@ -92,6 +95,14 @@ pub struct ServeConfig {
     pub store_dir: Option<PathBuf>,
     /// Store eviction bound (`None`: unbounded).
     pub store_max_entries: Option<usize>,
+    /// NDJSON access-log file (`None`: no access log).
+    pub access_log: Option<PathBuf>,
+    /// Access-log rotation threshold in MiB.
+    pub access_log_max_mb: u64,
+    /// Access-log files kept on disk, live file included.
+    pub access_log_keep: usize,
+    /// Build identity reported by `GET /healthz` (`None`: unknown).
+    pub git_sha: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +116,10 @@ impl Default for ServeConfig {
             cache_capacity: None,
             store_dir: None,
             store_max_entries: None,
+            access_log: None,
+            access_log_max_mb: 64,
+            access_log_keep: 3,
+            git_sha: None,
         }
     }
 }
@@ -197,9 +212,64 @@ struct Shared {
     shutdown: Arc<AtomicBool>,
     /// Connections accepted but not yet picked up by a worker.
     depth: AtomicUsize,
+    /// Requests currently inside a worker's `handle`.
+    inflight: AtomicUsize,
     requests: AtomicU64,
     eval_jobs: AtomicU64,
     rejected: AtomicU64,
+    /// When the daemon started serving (healthz uptime, gauge scrapes).
+    started: Instant,
+    /// Static identity echoed by `GET /healthz`.
+    workers: u64,
+    queue_bound: u64,
+    git_sha: Option<String>,
+    access_log: Option<AccessLog>,
+}
+
+/// What one routed request did, for RED accounting and access logging.
+struct RouteMeta {
+    status: u16,
+    /// (scenario, backend) jobs this request evaluated (`/eval` only).
+    jobs: u64,
+    /// How many of those jobs were cache hits.
+    cached: u64,
+}
+
+impl RouteMeta {
+    fn status(status: u16) -> RouteMeta {
+        RouteMeta { status, jobs: 0, cached: 0 }
+    }
+}
+
+/// The stable endpoint label used in RED counter names, service-time
+/// histogram names and access-log lines.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/eval" => "eval",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/shutdown" => "shutdown",
+        _ => "other",
+    }
+}
+
+/// A write-through wrapper that counts response bytes for the access
+/// log (request handlers only ever write; reads happen before routing).
+struct Counting<'a> {
+    inner: &'a mut TcpStream,
+    written: u64,
+}
+
+impl Write for Counting<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// The bound-but-not-yet-running daemon. [`Server::bind`] resolves the
@@ -266,15 +336,36 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| ServeError::Io { context: "configure listener", error: e.to_string() })?;
 
+        let access_log = match &self.config.access_log {
+            Some(path) => Some(
+                AccessLog::open(AccessLogConfig {
+                    path: path.clone(),
+                    max_bytes: self.config.access_log_max_mb.max(1) * (1 << 20),
+                    keep: self.config.access_log_keep.max(1),
+                })
+                .map_err(|e| ServeError::Io {
+                    context: "open access log",
+                    error: e.to_string(),
+                })?,
+            ),
+            None => None,
+        };
+
         let (tx, rx) = mpsc::sync_channel::<Job>(self.config.queue_bound.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(Shared {
             engine: Arc::clone(&self.engine),
             shutdown: Arc::clone(&self.shutdown),
             depth: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             eval_jobs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            started: Instant::now(),
+            workers: self.config.workers.max(1) as u64,
+            queue_bound: self.config.queue_bound.max(1) as u64,
+            git_sha: self.config.git_sha.clone(),
+            access_log,
         });
 
         let workers: Vec<_> = (0..self.config.workers.max(1))
@@ -402,6 +493,7 @@ impl Shared {
         let mut stream = job.stream;
         let waited_ms = job.accepted.elapsed().as_secs_f64() * 1e3;
         probe::record("serve.queue_wait_ms", waited_ms);
+        probe::hist_record("serve.queue_wait_ms", waited_ms);
         // Accepted sockets may inherit the listener's non-blocking mode
         // on some platforms; request handling wants plain blocking IO
         // with timeouts.
@@ -427,41 +519,136 @@ impl Shared {
         self.requests.fetch_add(1, Ordering::Relaxed);
         probe::counter_add("serve.requests", 1);
 
+        let endpoint = endpoint_label(&request.path);
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        let service_started = Instant::now();
+        let mut counting = Counting { inner: &mut stream, written: 0 };
         let outcome =
-            catch_unwind(AssertUnwindSafe(|| self.route(&mut stream, &request, waited_ms)));
-        match outcome {
-            // Transport errors mid-response just lose that client.
-            Ok(_io_result) => {}
+            catch_unwind(AssertUnwindSafe(|| self.route(&mut counting, &request, waited_ms)));
+        let meta = match outcome {
+            Ok(Ok(meta)) => meta,
+            // Transport errors mid-response just lose that client;
+            // status 0 marks the truncated exchange in RED and the log.
+            Ok(Err(_io)) => RouteMeta::status(0),
             Err(_panic) => {
                 probe::counter_add("serve.panics", 1);
                 let _ = http::write_error(
-                    &mut stream,
+                    &mut counting,
                     500,
                     "internal error: request handler panicked; see server log",
                 );
+                RouteMeta::status(500)
             }
+        };
+        let service_ms = service_started.elapsed().as_secs_f64() * 1e3;
+        let bytes = counting.written;
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+
+        // RED accounting: one counter per (endpoint, status class), one
+        // service-time histogram per endpoint. The `serve.red.*` names
+        // are re-keyed into `snoop_requests_total{endpoint,status}` by
+        // the Prometheus renderer.
+        let class = match meta.status {
+            0 => "io",
+            200..=299 => "2xx",
+            300..=399 => "3xx",
+            400..=499 => "4xx",
+            _ => "5xx",
+        };
+        probe::counter_add(&format!("serve.red.{endpoint}.{class}"), 1);
+        probe::hist_record(&format!("serve.service_ms.{endpoint}"), service_ms);
+
+        if let Some(log) = &self.access_log {
+            let ts = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0);
+            log.log(format!(
+                "{{\"ts\":{ts:.3},\"method\":{},\"path\":{},\"status\":{},\
+                 \"bytes\":{bytes},\"queue_wait_ms\":{},\"service_ms\":{},\
+                 \"jobs\":{},\"cache_hits\":{}}}",
+                http::json_string(&request.method),
+                http::json_string(&request.path),
+                meta.status,
+                format_f64(waited_ms),
+                format_f64(service_ms),
+                meta.jobs,
+                meta.cached,
+            ));
+        }
+    }
+
+    /// The gauge block sampled at scrape time for the Prometheus body.
+    fn gauges(&self) -> ServerGauges {
+        ServerGauges {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            queue_depth: self.depth.load(Ordering::Relaxed) as u64,
+            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+            workers: self.workers,
+            queue_bound: self.queue_bound,
+            requests_total: self.requests.load(Ordering::Relaxed),
+            rejected_total: self.rejected.load(Ordering::Relaxed),
+            eval_jobs_total: self.eval_jobs.load(Ordering::Relaxed),
+            log_dropped_total: self.access_log.as_ref().map_or(0, AccessLog::dropped),
         }
     }
 
     fn route(
         &self,
-        stream: &mut TcpStream,
+        stream: &mut Counting<'_>,
         request: &Request,
         waited_ms: f64,
-    ) -> std::io::Result<()> {
+    ) -> std::io::Result<RouteMeta> {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => {
                 probe::counter_add("serve.requests.healthz", 1);
+                let git_sha = match &self.git_sha {
+                    Some(sha) => http::json_string(sha),
+                    None => "null".to_string(),
+                };
                 let body = format!(
-                    "{{\"status\":\"ok\",\"queue_depth\":{}}}\n",
-                    self.depth.load(Ordering::Relaxed)
+                    "{{\"status\":\"ok\",\"queue_depth\":{},\
+                     \"uptime_seconds\":{},\"version\":{},\"git_sha\":{git_sha},\
+                     \"workers\":{},\"queue_bound\":{},\"requests\":{}}}\n",
+                    self.depth.load(Ordering::Relaxed),
+                    format_f64(self.started.elapsed().as_secs_f64()),
+                    http::json_string(env!("CARGO_PKG_VERSION")),
+                    self.workers,
+                    self.queue_bound,
+                    self.requests.load(Ordering::Relaxed),
                 );
                 http::write_response(stream, 200, "application/json", &[], body.as_bytes())
+                    .map(|()| RouteMeta::status(200))
             }
             ("GET", "/metrics") => {
                 probe::counter_add("serve.requests.metrics", 1);
-                let body = probe::snapshot().to_json();
-                http::write_response(stream, 200, "application/json", &[], body.as_bytes())
+                match request.query_param("format") {
+                    Some("prometheus") => {
+                        let body = metrics::render(&probe::snapshot(), &self.gauges());
+                        http::write_response(
+                            stream,
+                            200,
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            &[],
+                            body.as_bytes(),
+                        )
+                        .map(|()| RouteMeta::status(200))
+                    }
+                    None | Some("json") => {
+                        let body = probe::snapshot().to_json();
+                        http::write_response(stream, 200, "application/json", &[], body.as_bytes())
+                            .map(|()| RouteMeta::status(200))
+                    }
+                    Some(other) => {
+                        probe::counter_add("serve.http_400", 1);
+                        http::write_error(
+                            stream,
+                            400,
+                            &format!("unknown format {other:?}; have json, prometheus"),
+                        )
+                        .map(|()| RouteMeta::status(400))
+                    }
+                }
             }
             ("POST", "/shutdown") => {
                 probe::counter_add("serve.requests.shutdown", 1);
@@ -473,6 +660,7 @@ impl Shared {
                     &[],
                     b"{\"status\":\"shutting down, draining in-flight work\"}\n",
                 )
+                .map(|()| RouteMeta::status(200))
             }
             ("POST", "/eval") => self.handle_eval(stream, request, waited_ms),
             (_, "/healthz" | "/metrics" | "/shutdown" | "/eval") => {
@@ -482,6 +670,7 @@ impl Shared {
                     405,
                     &format!("{} is not supported on {}", request.method, request.path),
                 )
+                .map(|()| RouteMeta::status(405))
             }
             _ => {
                 probe::counter_add("serve.http_404", 1);
@@ -494,6 +683,7 @@ impl Shared {
                         request.path
                     ),
                 )
+                .map(|()| RouteMeta::status(404))
             }
         }
     }
@@ -504,21 +694,23 @@ impl Shared {
     /// `"done"` summary line.
     fn handle_eval(
         &self,
-        stream: &mut TcpStream,
+        stream: &mut Counting<'_>,
         request: &Request,
         waited_ms: f64,
-    ) -> std::io::Result<()> {
+    ) -> std::io::Result<RouteMeta> {
         probe::counter_add("serve.requests.eval", 1);
         let started = Instant::now();
         let Ok(text) = std::str::from_utf8(&request.body) else {
             probe::counter_add("serve.http_400", 1);
-            return http::write_error(stream, 400, "request body is not UTF-8");
+            return http::write_error(stream, 400, "request body is not UTF-8")
+                .map(|()| RouteMeta::status(400));
         };
         let scenarios = match Scenario::parse_batch(text) {
             Ok(scenarios) => scenarios,
             Err(e) => {
                 probe::counter_add("serve.http_400", 1);
-                return http::write_error(stream, 400, &e.to_string());
+                return http::write_error(stream, 400, &e.to_string())
+                    .map(|()| RouteMeta::status(400));
             }
         };
         probe::counter_add("serve.eval.scenarios", scenarios.len() as u64);
@@ -569,7 +761,8 @@ impl Shared {
             format_f64(started.elapsed().as_secs_f64() * 1e3),
         );
         writer.chunk(summary.as_bytes())?;
-        writer.finish()
+        writer.finish()?;
+        Ok(RouteMeta { status: 200, jobs, cached })
     }
 }
 
@@ -578,7 +771,7 @@ mod tests {
     use super::*;
     use snoop_protocol::ModSet;
     use snoop_workload::params::SharingLevel;
-    use std::io::{Read as _, Write as _};
+    use std::io::Read as _;
 
     /// `run()` owns the process-wide probe session, so two concurrently
     /// booted servers would serialize on it while their test clients
@@ -720,9 +913,14 @@ mod tests {
 
         let (status, metrics) = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
         assert_eq!(status, 200);
-        assert!(metrics.contains("snoop-metrics-v1"), "{metrics}");
+        assert!(metrics.contains("snoop-metrics-v2"), "{metrics}");
         assert!(metrics.contains("\"serve.requests\""), "{metrics}");
         assert!(metrics.contains("\"engine.cache.hits\": 2"), "{metrics}");
+        // RED counters and latency histograms are live in the snapshot.
+        assert!(metrics.contains("\"serve.red.eval.2xx\""), "{metrics}");
+        assert!(metrics.contains("\"serve.red.eval.4xx\""), "{metrics}");
+        assert!(metrics.contains("\"serve.service_ms.eval\""), "{metrics}");
+        assert!(metrics.contains("\"serve.queue_wait_ms\""), "{metrics}");
 
         let summary = srv.stop();
         assert!(summary.requests >= 6, "{summary:?}");
@@ -774,6 +972,84 @@ mod tests {
 
         let summary = srv.stop();
         assert_eq!(summary.rejected, 1, "{summary:?}");
+    }
+
+    #[test]
+    fn healthz_reports_identity_and_prometheus_scrape_is_valid() {
+        let _serial = SERVER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut srv = boot(ServeConfig {
+            workers: 3,
+            queue_bound: 17,
+            git_sha: Some("abc1234".to_string()),
+            ..ServeConfig::default()
+        });
+        let addr = srv.addr;
+
+        let (status, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"queue_depth\":"), "{body}");
+        assert!(body.contains("\"uptime_seconds\":"), "{body}");
+        assert!(body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))), "{body}");
+        assert!(body.contains("\"git_sha\":\"abc1234\""), "{body}");
+        assert!(body.contains("\"workers\":3"), "{body}");
+        assert!(body.contains("\"queue_bound\":17"), "{body}");
+        assert!(body.contains("\"requests\":"), "{body}");
+
+        // Drive one eval so histograms and RED counters exist.
+        let (status, _) = post_eval(addr, &scenarios_json(&[2]));
+        assert_eq!(status, 200);
+
+        let (status, body) =
+            roundtrip(addr, "GET /metrics?format=prometheus HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE snoop_queue_depth gauge"), "{body}");
+        assert!(body.contains("snoop_requests_total{endpoint=\"eval\",status=\"2xx\"} 1"), "{body}");
+        assert!(body.contains("snoop_hist_bucket{name=\"serve.queue_wait_ms\",le=\"+Inf\"}"), "{body}");
+        assert!(body.contains("snoop_hist_count{name=\"serve.service_ms.eval\"} 1"), "{body}");
+        assert!(body.contains("snoop_workers 3"), "{body}");
+        assert!(body.contains("snoop_queue_bound 17"), "{body}");
+
+        let (status, body) =
+            roundtrip(addr, "GET /metrics?format=xml HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown format"), "{body}");
+
+        srv.stop();
+    }
+
+    #[test]
+    fn access_log_captures_one_line_per_request() {
+        let _serial = SERVER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir()
+            .join(format!("snoop-serve-access-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("access.log");
+        let mut srv = boot(ServeConfig {
+            access_log: Some(log_path.clone()),
+            ..ServeConfig::default()
+        });
+        let addr = srv.addr;
+
+        let (status, _) = post_eval(addr, &scenarios_json(&[2]));
+        assert_eq!(status, 200);
+        let (status, _) = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 404);
+        srv.stop(); // joins the logger thread, so the log is complete
+
+        let text = std::fs::read_to_string(&log_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"method\":\"POST\""), "{text}");
+        assert!(lines[0].contains("\"path\":\"/eval\""), "{text}");
+        assert!(lines[0].contains("\"status\":200"), "{text}");
+        assert!(lines[0].contains("\"jobs\":1"), "{text}");
+        assert!(lines[0].contains("\"queue_wait_ms\":"), "{text}");
+        assert!(lines[0].contains("\"service_ms\":"), "{text}");
+        assert!(lines[1].contains("\"path\":\"/nope\""), "{text}");
+        assert!(lines[1].contains("\"status\":404"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
